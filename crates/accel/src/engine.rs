@@ -1,0 +1,701 @@
+//! The tiled execution engine.
+//!
+//! Executes a [`TiledProgram`] tile by tile in dispatch order on a
+//! simulated device, optionally delivering one [`StrikeSpec`] when
+//! execution reaches the strike instant. Execution is deterministic for a
+//! given program: a fault-free run reproduces the golden output exactly
+//! (the paper computes golden outputs "on the very same device used for
+//! experiments" for the same reason, §IV-D).
+
+use rand::Rng;
+
+use crate::cache::CacheHierarchy;
+use crate::config::DeviceConfig;
+use crate::error::AccelError;
+use crate::memory::DeviceMemory;
+use crate::profile::ExecutionProfile;
+use crate::trace::{ExecutionTrace, TileTrace};
+use crate::program::{apply_writebacks, MachineCounters, TileCtx, TileFault, TileId, TiledProgram};
+use crate::scheduler::DispatchPlan;
+use crate::strike::{SchedulerEffect, StrikeSpec, StrikeTarget};
+
+/// The result of one engine run.
+///
+/// The engine always runs the program to completion; crash/hang outcomes
+/// are classified by the fault layer *before* execution (a crashed run has
+/// no output to analyze). `strike_delivered` reports whether the strike
+/// found live state to corrupt — `false` means the strike was
+/// architecturally masked (empty cache set, no pending victim).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The output buffer contents after the final cache flush.
+    pub output: Vec<f64>,
+    /// Dynamic profile of the run.
+    pub profile: ExecutionProfile,
+    /// Whether the strike corrupted any machine state.
+    pub strike_delivered: bool,
+}
+
+/// The simulation engine for one device configuration.
+///
+/// # Examples
+///
+/// ```
+/// use radcrit_accel::{config::DeviceConfig, engine::Engine};
+///
+/// let engine = Engine::new(DeviceConfig::kepler_k40());
+/// assert_eq!(engine.config().units(), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: DeviceConfig,
+}
+
+impl Engine {
+    /// Creates an engine for `cfg`.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Engine { cfg }
+    }
+
+    /// The device configuration this engine simulates.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Runs `program` without faults and returns its golden output and
+    /// execution profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program setup/execution errors.
+    pub fn golden<P: TiledProgram + ?Sized>(
+        &self,
+        program: &mut P,
+    ) -> Result<RunOutcome, AccelError> {
+        // The RNG is never consulted without a strike.
+        let mut rng = NoRng;
+        self.run_internal(program, &[], &mut rng, None)
+    }
+
+    /// Like [`Engine::golden`], but also collects a per-tile
+    /// [`ExecutionTrace`] for workload analysis (operational intensity,
+    /// load balance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates program setup/execution errors.
+    pub fn golden_traced<P: TiledProgram + ?Sized>(
+        &self,
+        program: &mut P,
+    ) -> Result<(RunOutcome, ExecutionTrace), AccelError> {
+        let mut rng = NoRng;
+        let mut trace = ExecutionTrace::new();
+        let outcome = self.run_internal(program, &[], &mut rng, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
+    /// Runs `program`, delivering `strike` when dispatch reaches its
+    /// instant. `rng` resolves strike targets against live machine state
+    /// (choice of resident line, victim tile, redirect destination).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::StrikeOutOfRange`] if the strike instant is
+    /// past the last tile, and propagates program errors.
+    pub fn run<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+    ) -> Result<RunOutcome, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.run_internal(program, std::slice::from_ref(strike), rng, None)
+    }
+
+    /// Runs `program` under *several* strikes in one execution — the
+    /// regime the paper's experimental design explicitly avoids (§IV-D
+    /// keeps observed error rates below 10⁻³/execution so at most one
+    /// neutron corrupts a run). Exposed so that the single-strike design
+    /// rule itself can be studied: at high flux, per-strike statistics
+    /// become biased because strikes overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::StrikeOutOfRange`] if any strike instant is
+    /// past the last tile, and propagates program errors.
+    pub fn run_multi<P, R>(
+        &self,
+        program: &mut P,
+        strikes: &[StrikeSpec],
+        rng: &mut R,
+    ) -> Result<RunOutcome, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.run_internal(program, strikes, rng, None)
+    }
+
+    fn run_internal<P, R>(
+        &self,
+        program: &mut P,
+        strikes: &[StrikeSpec],
+        rng: &mut R,
+        mut trace: Option<&mut ExecutionTrace>,
+    ) -> Result<RunOutcome, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let tiles = program.tile_count();
+        let launch_tiles = program.tiles_per_launch().min(tiles).max(1);
+        let threads_per_tile = program.threads_per_tile();
+        let local_mem = program.local_mem_per_tile();
+        for s in strikes {
+            if s.at_tile >= tiles {
+                return Err(AccelError::StrikeOutOfRange {
+                    tile: s.at_tile,
+                    tiles,
+                });
+            }
+        }
+
+        let mut mem = DeviceMemory::new();
+        program.setup(&mut mem)?;
+        let mut caches = CacheHierarchy::new(&self.cfg);
+        let plan = DispatchPlan::new(&self.cfg, tiles, launch_tiles, threads_per_tile, local_mem);
+
+        let mut totals = MachineCounters::default();
+        let mut strike_delivered = false;
+
+        // Pending per-position effects resolved from the strikes. A
+        // single-strike run (the normal case) keeps these collections at
+        // most one element long.
+        let mut armed_faults: Vec<(usize, TileFault)> = Vec::new();
+        let mut skip_positions: Vec<usize> = Vec::new();
+        let mut redirects: Vec<(usize, usize)> = Vec::new();
+        let mut unit_garbles: Vec<usize> = Vec::new();
+
+        let mut l2_resident_samples: f64 = 0.0;
+
+        for pos in 0..tiles {
+            for s in strikes {
+                if s.at_tile == pos {
+                    strike_delivered |= self.deliver_strike(
+                        s,
+                        pos,
+                        &plan,
+                        &mut caches,
+                        &mut armed_faults,
+                        &mut skip_positions,
+                        &mut redirects,
+                        &mut unit_garbles,
+                        rng,
+                    );
+                }
+            }
+
+            if skip_positions.contains(&pos) {
+                continue;
+            }
+
+            let effective_tile = redirects
+                .iter()
+                .find(|(victim, _)| *victim == pos)
+                .map_or(pos, |&(_, dest)| dest);
+
+            let mut fault = armed_faults
+                .iter()
+                .find(|(victim, _)| *victim == pos)
+                .map_or_else(TileFault::none, |&(_, f)| f);
+            if unit_garbles
+                .iter()
+                .any(|&from| plan.unit_garble_applies(from, pos))
+            {
+                fault.garble = true;
+            }
+
+            let unit = plan.unit_of(pos);
+            let stats_before = caches.stats();
+            let mut ctx = TileCtx::new(&mut mem, &mut caches, unit, fault);
+            program.execute_tile(TileId(effective_tile), &mut ctx)?;
+            let c = ctx.drain_counters();
+            totals.ops += c.ops;
+            totals.trans_ops += c.trans_ops;
+            totals.loads += c.loads;
+            totals.stores += c.stores;
+            if let Some(tr) = trace.as_deref_mut() {
+                let stats_after = caches.stats();
+                tr.push(TileTrace {
+                    pos,
+                    unit,
+                    ops: c.ops,
+                    trans_ops: c.trans_ops,
+                    loads: c.loads,
+                    stores: c.stores,
+                    l2_hits: stats_after.l2_hits - stats_before.l2_hits,
+                    l2_misses: stats_after.l2_misses - stats_before.l2_misses,
+                });
+            }
+
+            l2_resident_samples += caches.l2_resident_lines() as f64;
+        }
+
+        // End of kernel: flush the hierarchy; dirty corrupted lines write
+        // their corruption back to DRAM where the host reads the output.
+        let wbs = caches.flush();
+        apply_writebacks(&mut mem, &wbs);
+
+        let output = mem.to_vec(program.output())?;
+        program.output_shape().check_len(output.len()).map_err(|_| {
+            AccelError::InvalidConfig(format!(
+                "program {} declares an output shape not matching its buffer",
+                program.name()
+            ))
+        })?;
+
+        let stats = caches.stats();
+        let line_bytes = caches.line_bytes() as f64;
+        let profile = ExecutionProfile {
+            tiles,
+            threads_per_tile,
+            // Per *launch* (one step of an iterative kernel): what the
+            // scheduler and register file see at once (Table II).
+            instantiated_threads: launch_tiles.saturating_mul(threads_per_tile),
+            resident_threads: self
+                .cfg
+                .resident_threads(launch_tiles, threads_per_tile, local_mem),
+            wave_size: plan.wave_size(),
+            total_ops: totals.ops,
+            transcendental_ops: totals.trans_ops,
+            loads: totals.loads,
+            stores: totals.stores,
+            cache: stats,
+            l2_avg_resident_bytes: if tiles > 0 {
+                l2_resident_samples / tiles as f64 * line_bytes
+            } else {
+                0.0
+            },
+            // L1s refill constantly; approximate average occupancy as the
+            // lesser of per-unit capacity and the L2 share per unit.
+            l1_avg_resident_bytes: (self.cfg.l1().size_bytes as f64)
+                .min(l2_resident_samples / tiles.max(1) as f64 * line_bytes
+                    / self.cfg.units() as f64)
+                * self.cfg.units() as f64,
+        };
+
+        Ok(RunOutcome {
+            output,
+            profile,
+            strike_delivered,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_strike<R: Rng + ?Sized>(
+        &self,
+        strike: &StrikeSpec,
+        pos: usize,
+        plan: &DispatchPlan,
+        caches: &mut CacheHierarchy,
+        armed_faults: &mut Vec<(usize, TileFault)>,
+        skip_positions: &mut Vec<usize>,
+        redirects: &mut Vec<(usize, usize)>,
+        unit_garbles: &mut Vec<usize>,
+        rng: &mut R,
+    ) -> bool {
+        match strike.target {
+            StrikeTarget::L2 { mask } => caches.strike_l2(rng, mask).is_some(),
+            StrikeTarget::L1 { mask } => {
+                let unit = plan.unit_of(pos);
+                caches.strike_l1(unit, rng, mask).is_some()
+            }
+            StrikeTarget::RegisterFile { mask, op_index } => {
+                let victims = plan.pending_in_wave(pos);
+                let victim = rng.gen_range(victims.start..victims.end);
+                let mut f = TileFault::none();
+                f.logic_at = op_index;
+                f.logic_lanes = 1;
+                f.logic_mask = mask;
+                armed_faults.push((victim, f));
+                true
+            }
+            StrikeTarget::VectorRegister {
+                mask,
+                lanes,
+                op_index,
+            } => {
+                let victims = plan.pending_in_wave(pos);
+                let victim = rng.gen_range(victims.start..victims.end);
+                let mut f = TileFault::none();
+                f.logic_at = op_index;
+                f.logic_lanes = u64::from(lanes.max(1));
+                f.logic_mask = mask;
+                armed_faults.push((victim, f));
+                true
+            }
+            StrikeTarget::Fpu { mask, op_index } => {
+                let mut f = TileFault::none();
+                f.logic_at = op_index;
+                f.logic_lanes = 1;
+                f.logic_mask = mask;
+                armed_faults.push((pos, f));
+                true
+            }
+            StrikeTarget::Sfu { scale, op_index } => {
+                let mut f = TileFault::none();
+                f.sfu_at = op_index;
+                f.sfu_scale = scale;
+                armed_faults.push((pos, f));
+                true
+            }
+            StrikeTarget::CoreControl { elems, store_index } => {
+                let mut f = TileFault::none();
+                f.store_at = store_index;
+                f.store_len = u64::from(elems.max(1));
+                armed_faults.push((pos, f));
+                true
+            }
+            StrikeTarget::UnitGarble => {
+                unit_garbles.push(pos);
+                true
+            }
+            StrikeTarget::Scheduler(effect) => {
+                match effect {
+                    SchedulerEffect::SkipTile => skip_positions.push(pos),
+                    SchedulerEffect::RedirectTile => {
+                        let dest = rng.gen_range(0..plan.tiles());
+                        redirects.push((pos, dest));
+                    }
+                    SchedulerEffect::GarbleTile => {
+                        let mut f = TileFault::none();
+                        f.garble = true;
+                        armed_faults.push((pos, f));
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// An RNG that panics if consulted — used for golden runs, which must be
+/// deterministic and never sample anything.
+#[derive(Debug)]
+struct NoRng;
+
+impl rand::RngCore for NoRng {
+    fn next_u32(&mut self) -> u32 {
+        unreachable!("golden runs must not consume randomness")
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        unreachable!("golden runs must not consume randomness")
+    }
+
+    fn fill_bytes(&mut self, _dest: &mut [u8]) {
+        unreachable!("golden runs must not consume randomness")
+    }
+
+    fn try_fill_bytes(&mut self, _dest: &mut [u8]) -> Result<(), rand::Error> {
+        unreachable!("golden runs must not consume randomness")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radcrit_core::shape::OutputShape;
+    use rand_chacha::ChaCha8Rng as SmallRng;
+    use rand::SeedableRng;
+
+    use crate::memory::BufferId;
+
+    /// A minimal test program: out[i] = 2 * in[i] + 1, one tile per 8
+    /// elements.
+    #[derive(Debug)]
+    struct Affine {
+        n: usize,
+        input: Vec<f64>,
+        in_buf: Option<BufferId>,
+        out_buf: Option<BufferId>,
+    }
+
+    impl Affine {
+        fn new(n: usize) -> Self {
+            Affine {
+                n,
+                input: (0..n).map(|i| (i + 1) as f64).collect(),
+                in_buf: None,
+                out_buf: None,
+            }
+        }
+    }
+
+    impl TiledProgram for Affine {
+        fn name(&self) -> &str {
+            "affine"
+        }
+
+        fn tile_count(&self) -> usize {
+            self.n / 8
+        }
+
+        fn threads_per_tile(&self) -> usize {
+            8
+        }
+
+        fn setup(&mut self, mem: &mut DeviceMemory) -> Result<(), AccelError> {
+            self.in_buf = Some(mem.alloc_init("in", &self.input));
+            self.out_buf = Some(mem.alloc("out", self.n));
+            Ok(())
+        }
+
+        fn execute_tile(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+            let start = tile.index() * 8;
+            let mut x = [0.0; 8];
+            ctx.load(self.in_buf.unwrap(), start, &mut x)?;
+            let mut y = [0.0; 8];
+            for i in 0..8 {
+                y[i] = ctx.fma(2.0, x[i], 1.0);
+            }
+            ctx.store(self.out_buf.unwrap(), start, &y)
+        }
+
+        fn output(&self) -> BufferId {
+            self.out_buf.unwrap()
+        }
+
+        fn output_shape(&self) -> OutputShape {
+            OutputShape::d1(self.n)
+        }
+    }
+
+    fn expected(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 2.0 * (i + 1) as f64 + 1.0).collect()
+    }
+
+    #[test]
+    fn golden_run_is_correct_and_deterministic() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let a = engine.golden(&mut p).unwrap();
+        let b = engine.golden(&mut p).unwrap();
+        assert_eq!(a.output, expected(64));
+        assert_eq!(a.output, b.output);
+        assert!(!a.strike_delivered);
+        assert_eq!(a.profile.tiles, 8);
+        assert_eq!(a.profile.total_ops, 64);
+        assert_eq!(a.profile.loads, 64);
+        assert_eq!(a.profile.stores, 64);
+    }
+
+    #[test]
+    fn strike_past_end_rejected() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s = StrikeSpec::new(100, StrikeTarget::Fpu { mask: 1, op_index: 0 });
+        assert!(matches!(
+            engine.run(&mut p, &s, &mut rng),
+            Err(AccelError::StrikeOutOfRange { tile: 100, tiles: 8 })
+        ));
+    }
+
+    #[test]
+    fn fpu_strike_corrupts_one_element() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = StrikeSpec::new(
+            3,
+            StrikeTarget::Fpu {
+                mask: 1 << 63,
+                op_index: 2,
+            },
+        );
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        assert!(out.strike_delivered);
+        let exp = expected(64);
+        let diffs: Vec<usize> = (0..64).filter(|&i| out.output[i] != exp[i]).collect();
+        assert_eq!(diffs, vec![3 * 8 + 2], "exactly op 2 of tile 3 corrupted");
+        assert_eq!(out.output[26], -exp[26], "sign flip of the result");
+    }
+
+    #[test]
+    fn fpu_strike_past_tile_ops_is_silent() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = StrikeSpec::new(
+            0,
+            StrikeTarget::Fpu {
+                mask: 1 << 63,
+                op_index: 1000,
+            },
+        );
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        assert_eq!(out.output, expected(64), "op index beyond work is masked");
+    }
+
+    #[test]
+    fn vector_strike_corrupts_lane_burst() {
+        let engine = Engine::new(DeviceConfig::xeon_phi_3120a());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = StrikeSpec::new(
+            7,
+            StrikeTarget::VectorRegister {
+                mask: 1 << 63,
+                lanes: 4,
+                op_index: 0,
+            },
+        );
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        let exp = expected(64);
+        let diffs: Vec<usize> = (0..64).filter(|&i| out.output[i] != exp[i]).collect();
+        assert_eq!(diffs.len(), 4, "four consecutive lanes corrupted");
+        assert_eq!(diffs[3] - diffs[0], 3, "burst is consecutive");
+        // With 8 tiles in one Phi wave, the victim pending at position 7
+        // is tile 7 itself.
+        assert_eq!(diffs[0], 7 * 8);
+    }
+
+    #[test]
+    fn scheduler_skip_leaves_stale_region() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = StrikeSpec::new(2, StrikeTarget::Scheduler(SchedulerEffect::SkipTile));
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        let exp = expected(64);
+        for (i, (&got, &want)) in out.output.iter().zip(&exp).enumerate() {
+            if (16..24).contains(&i) {
+                assert_eq!(got, 0.0, "skipped tile keeps initial zeros");
+            } else {
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_garble_trashes_whole_tile() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = StrikeSpec::new(5, StrikeTarget::Scheduler(SchedulerEffect::GarbleTile));
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        let exp = expected(64);
+        let diffs = (40..48).filter(|&i| out.output[i] != exp[i]).count();
+        // Stale-value garble lets the occasional op through correctly.
+        assert!(diffs >= 6, "most elements of tile 5 corrupted, got {diffs}");
+        let outside = (0..64)
+            .filter(|&i| !(40..48).contains(&i) && out.output[i] != exp[i])
+            .count();
+        assert_eq!(outside, 0);
+    }
+
+    #[test]
+    fn scheduler_redirect_overwrites_other_tile_region() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let s = StrikeSpec::new(1, StrikeTarget::Scheduler(SchedulerEffect::RedirectTile));
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        let exp = expected(64);
+        // Tile 1's own region was never written by tile 1: it is either
+        // zero (stale) or correct (if the redirect destination was tile 1
+        // itself or a later tile overwrote it).
+        let region_ok_or_stale = (8..16).all(|i| out.output[i] == exp[i] || out.output[i] == 0.0);
+        assert!(region_ok_or_stale);
+    }
+
+    #[test]
+    fn l2_strike_on_input_corrupts_consumers_but_not_dram() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Strike early so later tiles read corrupted input.
+        let s = StrikeSpec::new(1, StrikeTarget::L2 { mask: 1 << 62 });
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        assert!(out.strike_delivered);
+        let exp = expected(64);
+        let diffs = (0..64).filter(|&i| out.output[i] != exp[i]).count();
+        // The strike lands on input or output data; input corruption
+        // propagates to at most the elements reading the line after the
+        // strike; output corruption persists via dirty write-back.
+        assert!(diffs <= 16, "single line bounds the corruption, got {diffs}");
+    }
+
+    #[test]
+    fn multi_strike_accumulates_independent_corruptions() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let strikes = vec![
+            StrikeSpec::new(1, StrikeTarget::Fpu { mask: 1 << 63, op_index: 0 }),
+            StrikeSpec::new(4, StrikeTarget::Fpu { mask: 1 << 63, op_index: 3 }),
+            StrikeSpec::new(6, StrikeTarget::Scheduler(SchedulerEffect::SkipTile)),
+        ];
+        let out = engine.run_multi(&mut p, &strikes, &mut rng).unwrap();
+        let exp = expected(64);
+        let diffs: Vec<usize> = (0..64).filter(|&i| out.output[i] != exp[i]).collect();
+        // Two single-op flips plus one skipped 8-element tile.
+        assert_eq!(diffs.len(), 2 + 8, "diffs: {diffs:?}");
+        assert!(diffs.contains(&8), "op 0 of tile 1");
+        assert!(diffs.contains(&35), "op 3 of tile 4");
+        assert!((48..56).all(|i| diffs.contains(&i)), "tile 6 skipped");
+    }
+
+    #[test]
+    fn strike_at_last_tile_is_legal() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let s = StrikeSpec::new(7, StrikeTarget::Scheduler(SchedulerEffect::SkipTile));
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        let exp = expected(64);
+        assert!((56..64).all(|i| out.output[i] == 0.0));
+        assert!((0..56).all(|i| out.output[i] == exp[i]));
+    }
+
+    #[test]
+    fn faulty_run_profile_matches_golden_profile_shape() {
+        // Skipping a tile reduces counted work; everything else in the
+        // profile stays structurally identical.
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let golden = engine.golden(&mut p).unwrap();
+        let mut rng = SmallRng::seed_from_u64(24);
+        let s = StrikeSpec::new(0, StrikeTarget::Scheduler(SchedulerEffect::SkipTile));
+        let faulty = engine.run(&mut p, &s, &mut rng).unwrap();
+        assert_eq!(faulty.profile.tiles, golden.profile.tiles);
+        assert_eq!(faulty.profile.wave_size, golden.profile.wave_size);
+        assert_eq!(faulty.profile.total_ops, golden.profile.total_ops - 8);
+    }
+
+    #[test]
+    fn empty_strike_list_equals_golden() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(22);
+        let out = engine.run_multi(&mut p, &[], &mut rng).unwrap();
+        assert_eq!(out.output, expected(64));
+        assert!(!out.strike_delivered);
+    }
+
+    #[test]
+    fn profile_reflects_memory_traffic() {
+        let engine = Engine::new(DeviceConfig::xeon_phi_3120a());
+        let mut p = Affine::new(128);
+        let out = engine.golden(&mut p).unwrap();
+        assert_eq!(out.profile.loads, 128);
+        assert_eq!(out.profile.stores, 128);
+        assert!(out.profile.cache.l2_misses > 0);
+        assert!(out.profile.l2_avg_resident_bytes > 0.0);
+        assert_eq!(out.profile.wave_size, 57); // 4-thread tiles, 4 hw threads/core... one tile per core
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the accelerator simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator APIs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// A buffer id does not exist in device memory.
+    UnknownBuffer(usize),
+    /// An access was outside a buffer's bounds.
+    OutOfBounds {
+        /// The buffer accessed.
+        buffer: usize,
+        /// The offending element index.
+        index: usize,
+        /// The buffer length in elements.
+        len: usize,
+    },
+    /// A device configuration parameter was invalid.
+    InvalidConfig(String),
+    /// A strike specification referenced a tile outside the program.
+    StrikeOutOfRange {
+        /// Tile index named by the strike.
+        tile: usize,
+        /// Number of tiles in the program.
+        tiles: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::UnknownBuffer(id) => write!(f, "unknown device buffer id {id}"),
+            AccelError::OutOfBounds { buffer, index, len } => write!(
+                f,
+                "access to element {index} of buffer {buffer} (length {len}) is out of bounds"
+            ),
+            AccelError::InvalidConfig(msg) => write!(f, "invalid device configuration: {msg}"),
+            AccelError::StrikeOutOfRange { tile, tiles } => write!(
+                f,
+                "strike targets tile {tile} but the program has only {tiles} tiles"
+            ),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = AccelError::OutOfBounds {
+            buffer: 2,
+            index: 10,
+            len: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('8') && s.contains('2'));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<AccelError>();
+    }
+}

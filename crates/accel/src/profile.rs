@@ -1,0 +1,136 @@
+//! Execution profiles: the dynamic footprint of one kernel run.
+//!
+//! The fault sampler needs to know how much live state a program exposes
+//! (threads, cache occupancy, arithmetic volume) to weight strike sites
+//! the way real cross-sections would. A profile is collected from a
+//! fault-free (golden) run and reused for every injection of the same
+//! configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheStats;
+
+/// Dynamic footprint of one program execution on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    /// Number of tiles dispatched.
+    pub tiles: usize,
+    /// Threads per tile.
+    pub threads_per_tile: usize,
+    /// Threads instantiated in total (`tiles × threads_per_tile`).
+    pub instantiated_threads: usize,
+    /// Threads concurrently resident on the device.
+    pub resident_threads: usize,
+    /// Concurrently resident tiles (wave width).
+    pub wave_size: usize,
+    /// Total arithmetic operations (FMA-equivalent) executed.
+    pub total_ops: u64,
+    /// Transcendental operations executed.
+    pub transcendental_ops: u64,
+    /// Elements loaded through the cache hierarchy.
+    pub loads: u64,
+    /// Elements stored through the cache hierarchy.
+    pub stores: u64,
+    /// Cache statistics at the end of the run.
+    pub cache: CacheStats,
+    /// Average bytes resident in the shared L2, sampled per tile.
+    pub l2_avg_resident_bytes: f64,
+    /// Average bytes resident across all L1s (estimated from capacity and
+    /// miss behaviour).
+    pub l1_avg_resident_bytes: f64,
+}
+
+impl ExecutionProfile {
+    /// Arithmetic operations per tile, averaged.
+    pub fn ops_per_tile(&self) -> f64 {
+        if self.tiles == 0 {
+            0.0
+        } else {
+            self.total_ops as f64 / self.tiles as f64
+        }
+    }
+
+    /// Operational intensity proxy: arithmetic operations per element
+    /// moved (Table I's compute-bound/memory-bound classification;
+    /// the paper cites the roofline model's ratio of floating point
+    /// operations to bytes brought from memory).
+    pub fn operational_intensity(&self) -> f64 {
+        let moved = (self.loads + self.stores) as f64;
+        if moved == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_ops as f64 / moved
+        }
+    }
+
+    /// L2 hit rate in `[0, 1]` (0 when the L2 was never accessed).
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.cache.l2_hits + self.cache.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of transcendental ops among all ops.
+    pub fn transcendental_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.transcendental_ops as f64 / self.total_ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExecutionProfile {
+        ExecutionProfile {
+            tiles: 10,
+            threads_per_tile: 64,
+            instantiated_threads: 640,
+            resident_threads: 640,
+            wave_size: 10,
+            total_ops: 1000,
+            transcendental_ops: 100,
+            loads: 400,
+            stores: 100,
+            cache: CacheStats {
+                l1_hits: 300,
+                l1_misses: 200,
+                l2_hits: 150,
+                l2_misses: 50,
+                l2_resident_lines: 8,
+            },
+            l2_avg_resident_bytes: 512.0,
+            l1_avg_resident_bytes: 256.0,
+        }
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let p = sample();
+        assert!((p.ops_per_tile() - 100.0).abs() < 1e-12);
+        assert!((p.operational_intensity() - 2.0).abs() < 1e-12);
+        assert!((p.l2_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((p.transcendental_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let mut p = sample();
+        p.tiles = 0;
+        p.total_ops = 0;
+        p.loads = 0;
+        p.stores = 0;
+        p.cache.l2_hits = 0;
+        p.cache.l2_misses = 0;
+        assert_eq!(p.ops_per_tile(), 0.0);
+        assert!(p.operational_intensity().is_infinite());
+        assert_eq!(p.l2_hit_rate(), 0.0);
+        assert_eq!(p.transcendental_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,608 @@
+//! The program model: tiled kernels and their machine context.
+//!
+//! A [`TiledProgram`] is a kernel decomposed into *tiles* — units of
+//! dispatch corresponding to CUDA thread blocks on the K40 and core tasks
+//! on the Xeon Phi. Tiles within one step must be independent; programs
+//! with iterative structure (stencils, time-stepped solvers) encode
+//! `step × tile` into the tile index and double-buffer their state.
+//!
+//! All data movement goes through [`TileCtx`] so the cache hierarchy sees
+//! every access, and all floating-point arithmetic goes through the
+//! `TileCtx` op wrappers ([`TileCtx::fma`], [`TileCtx::exp`], …) so that
+//! in-flight logic upsets can corrupt individual operations. The wrappers
+//! compile to plain arithmetic plus one predictable branch when no fault
+//! is armed.
+
+use radcrit_core::shape::OutputShape;
+
+use crate::error::AccelError;
+use crate::memory::{BufferId, DeviceMemory, ElemAddr};
+
+/// Index of a tile within a program's dispatch space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileId(pub usize);
+
+impl TileId {
+    /// The raw index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A kernel that executes tile by tile on the simulated device.
+pub trait TiledProgram {
+    /// Kernel name for logs and reports.
+    fn name(&self) -> &str;
+
+    /// Total number of tiles (across all steps for iterative kernels).
+    fn tile_count(&self) -> usize;
+
+    /// Tiles of one kernel *launch* (one time step for iterative
+    /// kernels). Thread-count-driven exposure (scheduler queue, register
+    /// residency) sees one launch at a time, not the whole run; Table II
+    /// counts threads per launch. Defaults to [`TiledProgram::tile_count`]
+    /// for single-launch kernels.
+    fn tiles_per_launch(&self) -> usize {
+        self.tile_count()
+    }
+
+    /// Threads one tile occupies on the device (drives wave width,
+    /// scheduler strain and register exposure).
+    fn threads_per_tile(&self) -> usize;
+
+    /// Software-managed local/shared memory one tile occupies, in bytes.
+    /// Big footprints limit occupancy on devices with shared memory
+    /// (§V-B: LavaMD's ~14 KB per block). Defaults to 0.
+    fn local_mem_per_tile(&self) -> usize {
+        0
+    }
+
+    /// Allocates and initializes device buffers. Called once per run on a
+    /// fresh [`DeviceMemory`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/initialization failures.
+    fn setup(&mut self, mem: &mut DeviceMemory) -> Result<(), AccelError>;
+
+    /// Executes one tile, with all memory traffic and arithmetic routed
+    /// through `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-bounds accesses (which indicate a program bug,
+    /// not a simulated fault).
+    fn execute_tile(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError>;
+
+    /// The buffer holding the kernel's output after the last tile.
+    fn output(&self) -> BufferId;
+
+    /// The logical geometry of the output buffer.
+    fn output_shape(&self) -> OutputShape;
+}
+
+/// An in-flight fault armed on one tile by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct TileFault {
+    /// First corrupted arithmetic op (u64::MAX ⇒ none).
+    pub logic_at: u64,
+    /// Number of consecutive ops corrupted from `logic_at`.
+    pub logic_lanes: u64,
+    /// XOR mask for corrupted op results.
+    pub logic_mask: u64,
+    /// Corrupted transcendental op (u64::MAX ⇒ none); the scale applies
+    /// to the *argument*.
+    pub sfu_at: u64,
+    /// Multiplier for the transcendental argument (corrupted range
+    /// reduction).
+    pub sfu_scale: f64,
+    /// First corrupted store (u64::MAX ⇒ none).
+    pub store_at: u64,
+    /// Number of consecutive stale stores.
+    pub store_len: u64,
+    /// Garble: corrupt every op with a pseudo-random mask.
+    pub garble: bool,
+}
+
+impl TileFault {
+    pub(crate) fn none() -> Self {
+        TileFault {
+            logic_at: u64::MAX,
+            logic_lanes: 0,
+            logic_mask: 0,
+            sfu_at: u64::MAX,
+            sfu_scale: 1.0,
+            store_at: u64::MAX,
+            store_len: 0,
+            garble: false,
+        }
+    }
+
+    pub(crate) fn is_armed(&self) -> bool {
+        self.garble || self.logic_at != u64::MAX || self.sfu_at != u64::MAX
+    }
+}
+
+/// Cumulative machine counters across tiles (engine-owned).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MachineCounters {
+    pub ops: u64,
+    pub trans_ops: u64,
+    pub loads: u64,
+    pub stores: u64,
+}
+
+/// The machine context one tile executes against: routed memory access,
+/// instrumented arithmetic, and the fault state armed for this tile.
+#[derive(Debug)]
+pub struct TileCtx<'a> {
+    pub(crate) mem: &'a mut DeviceMemory,
+    pub(crate) caches: &'a mut crate::cache::CacheHierarchy,
+    pub(crate) unit: usize,
+    pub(crate) fault: TileFault,
+    pub(crate) fault_armed: bool,
+    // Per-tile counters (reset each tile).
+    pub(crate) ops: u64,
+    pub(crate) trans_ops: u64,
+    pub(crate) loads: u64,
+    pub(crate) stores: u64,
+    pub(crate) store_ops: u64,
+    pub(crate) last_store: f64,
+    pub(crate) last_op: f64,
+    pub(crate) garble_anchor: Option<f64>,
+    pub(crate) garble_state: u64,
+}
+
+impl<'a> TileCtx<'a> {
+    pub(crate) fn new(
+        mem: &'a mut DeviceMemory,
+        caches: &'a mut crate::cache::CacheHierarchy,
+        unit: usize,
+        fault: TileFault,
+    ) -> Self {
+        let fault_armed = fault.is_armed();
+        TileCtx {
+            mem,
+            caches,
+            unit,
+            fault,
+            fault_armed,
+            ops: 0,
+            trans_ops: 0,
+            loads: 0,
+            stores: 0,
+            store_ops: 0,
+            last_store: 0.0,
+            last_op: 0.0,
+            garble_anchor: None,
+            garble_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The execution unit (SM / core) running this tile.
+    pub fn unit(&self) -> usize {
+        self.unit
+    }
+
+    /// Records one arithmetic operation and returns its (possibly
+    /// corrupted) result. The fast path — no fault armed on this tile —
+    /// is a counter increment and a predictable branch.
+    #[inline(always)]
+    pub fn op(&mut self, value: f64) -> f64 {
+        let idx = self.ops;
+        self.ops += 1;
+        if self.fault_armed {
+            self.op_faulty(idx, value)
+        } else {
+            value
+        }
+    }
+
+    #[cold]
+    fn op_faulty(&mut self, idx: u64, value: f64) -> f64 {
+        if self.fault.garble {
+            // Garbled dispatch/task state makes the unit compute with
+            // wrong operands — data fetched from wrong addresses or
+            // phases. The result is a *plausible-magnitude* wrong value
+            // (an in-flight result from when the state was corrupted),
+            // not a random bit pattern: replay the value latched at
+            // corruption time, perturbed per op so outputs are not all
+            // identical.
+            let mut x = self.garble_state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.garble_state = x;
+            if self.garble_anchor.is_none() {
+                self.garble_anchor = Some(value);
+            }
+            let anchor = self.garble_anchor.expect("just set");
+            // A small per-op wobble (±25 %) around the stale anchor.
+            let wobble = 0.75 + (x >> 40) as f64 / (1u64 << 24) as f64 * 0.5;
+            // Occasionally let the correct value through (some lanes
+            // still hit the right data).
+            return if x & 0xF == 0 { value } else { anchor * wobble };
+        }
+        self.last_op = value;
+        if idx >= self.fault.logic_at && idx < self.fault.logic_at + self.fault.logic_lanes {
+            return f64::from_bits(value.to_bits() ^ self.fault.logic_mask);
+        }
+        value
+    }
+
+    /// Fused multiply-add routed through the op counter: `a * b + acc`.
+    #[inline(always)]
+    pub fn fma(&mut self, a: f64, b: f64, acc: f64) -> f64 {
+        self.op(a * b + acc)
+    }
+
+    /// Addition routed through the op counter.
+    #[inline(always)]
+    pub fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.op(a + b)
+    }
+
+    /// Multiplication routed through the op counter.
+    #[inline(always)]
+    pub fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.op(a * b)
+    }
+
+    /// Division routed through the op counter.
+    #[inline(always)]
+    pub fn div(&mut self, a: f64, b: f64) -> f64 {
+        self.op(a / b)
+    }
+
+    /// Exponential through the transcendental (SFU) unit: an armed SFU
+    /// fault scales the *argument* (a corrupted range reduction),
+    /// modeling the K40's exposed special function unit.
+    #[inline(always)]
+    pub fn exp(&mut self, x: f64) -> f64 {
+        let idx = self.trans_ops;
+        self.trans_ops += 1;
+        let x = if self.fault_armed && idx == self.fault.sfu_at {
+            x * self.fault.sfu_scale
+        } else {
+            x
+        };
+        x.exp()
+    }
+
+    /// Square root through the transcendental unit (same fault model as
+    /// [`TileCtx::exp`]).
+    #[inline(always)]
+    pub fn sqrt(&mut self, x: f64) -> f64 {
+        let idx = self.trans_ops;
+        self.trans_ops += 1;
+        let x = if self.fault_armed && idx == self.fault.sfu_at {
+            x * self.fault.sfu_scale
+        } else {
+            x
+        };
+        x.sqrt()
+    }
+
+    /// Loads `dst.len()` consecutive elements starting at `start` from
+    /// `buf` through the cache hierarchy, observing any corruption pending
+    /// on resident lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::OutOfBounds`] when the range exceeds the
+    /// buffer.
+    pub fn load(&mut self, buf: BufferId, start: usize, dst: &mut [f64]) -> Result<(), AccelError> {
+        if dst.is_empty() {
+            return Ok(());
+        }
+        self.loads += dst.len() as u64;
+        let base = self.mem.byte_addr(ElemAddr {
+            buffer: buf,
+            index: start,
+        })?;
+        {
+            let src = self.mem.slice(buf)?;
+            let end = start + dst.len();
+            let window = src.get(start..end).ok_or(AccelError::OutOfBounds {
+                buffer: buf.index(),
+                index: end - 1,
+                len: src.len(),
+            })?;
+            dst.copy_from_slice(window);
+        }
+        let wbs = self
+            .caches
+            .access(self.unit, base, dst.len() * 8, false);
+        apply_writebacks(self.mem, &wbs);
+        // Slow path only for elements on struck lines.
+        if self.caches.has_pending_corruption() {
+            for (i, v) in dst.iter_mut().enumerate() {
+                let addr = base + i * 8;
+                if self.caches.elem_maybe_corrupted(addr) {
+                    let mask = self.caches.corruption_for(self.unit, addr);
+                    if mask != 0 {
+                        *v = f64::from_bits(v.to_bits() ^ mask);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a single element through the cache hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::OutOfBounds`] when `index` exceeds the
+    /// buffer.
+    pub fn read_one(&mut self, buf: BufferId, index: usize) -> Result<f64, AccelError> {
+        let mut v = [0.0];
+        self.load(buf, index, &mut v)?;
+        Ok(v[0])
+    }
+
+    /// Stores `src` to consecutive elements starting at `start` of `buf`
+    /// through the cache hierarchy. An armed core-control fault makes the
+    /// affected stores write stale store-queue data (the previously stored
+    /// value) instead of the computed one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::OutOfBounds`] when the range exceeds the
+    /// buffer.
+    pub fn store(&mut self, buf: BufferId, start: usize, src: &[f64]) -> Result<(), AccelError> {
+        if src.is_empty() {
+            return Ok(());
+        }
+        self.stores += src.len() as u64;
+        let base = self.mem.byte_addr(ElemAddr {
+            buffer: buf,
+            index: start,
+        })?;
+        let fault_stores = self.fault.store_at != u64::MAX;
+        {
+            let dstbuf = self.mem.slice_mut(buf)?;
+            let end = start + src.len();
+            let len = dstbuf.len();
+            let window = dstbuf
+                .get_mut(start..end)
+                .ok_or(AccelError::OutOfBounds {
+                    buffer: buf.index(),
+                    index: end - 1,
+                    len,
+                })?;
+            if fault_stores {
+                for (slot, &v) in window.iter_mut().zip(src) {
+                    let idx = self.store_ops;
+                    self.store_ops += 1;
+                    if idx >= self.fault.store_at
+                        && idx < self.fault.store_at + self.fault.store_len
+                    {
+                        *slot = self.last_store; // stale store-queue entry
+                    } else {
+                        *slot = v;
+                        self.last_store = v;
+                    }
+                }
+            } else {
+                window.copy_from_slice(src);
+                self.store_ops += src.len() as u64;
+                if let Some(&last) = src.last() {
+                    self.last_store = last;
+                }
+            }
+        }
+        let wbs = self.caches.access(self.unit, base, src.len() * 8, true);
+        apply_writebacks(self.mem, &wbs);
+        // A program store supersedes pending corruption of the element.
+        if self.caches.has_pending_corruption() {
+            for i in 0..src.len() {
+                let addr = base + i * 8;
+                if self.caches.elem_maybe_corrupted(addr) {
+                    self.caches.note_element_write(self.unit, addr);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores a single element through the cache hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::OutOfBounds`] when `index` exceeds the
+    /// buffer.
+    pub fn write_one(&mut self, buf: BufferId, index: usize, value: f64) -> Result<(), AccelError> {
+        self.store(buf, index, &[value])
+    }
+
+    pub(crate) fn drain_counters(&self) -> MachineCounters {
+        MachineCounters {
+            ops: self.ops,
+            trans_ops: self.trans_ops,
+            loads: self.loads,
+            stores: self.stores,
+        }
+    }
+}
+
+/// Applies corrupted write-backs (evicted dirty corrupted lines) to
+/// backing memory.
+pub(crate) fn apply_writebacks(mem: &mut DeviceMemory, wbs: &[crate::cache::WriteBack]) {
+    for wb in wbs {
+        if let Some(addr) = mem.elem_at_byte(wb.byte_addr) {
+            // Ignore failures: a write-back beyond any buffer means the
+            // strike corrupted padding bytes, which no element observes.
+            let _ = mem.flip_bits(addr.buffer, addr.index, wb.mask);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheHierarchy;
+    use crate::config::DeviceConfig;
+
+    fn machine() -> (DeviceMemory, CacheHierarchy) {
+        let cfg = DeviceConfig::builder("t")
+            .units(2)
+            .max_threads_per_unit(64)
+            .build()
+            .unwrap();
+        (DeviceMemory::new(), CacheHierarchy::new(&cfg))
+    }
+
+    #[test]
+    fn ops_counted_and_clean_without_fault() {
+        let (mut mem, mut caches) = machine();
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+        let r = ctx.fma(2.0, 3.0, 1.0);
+        assert_eq!(r, 7.0);
+        assert_eq!(ctx.add(1.0, 1.0), 2.0);
+        assert_eq!(ctx.mul(2.0, 4.0), 8.0);
+        assert_eq!(ctx.div(9.0, 3.0), 3.0);
+        assert_eq!(ctx.ops, 4);
+        let e = ctx.exp(0.0);
+        assert_eq!(e, 1.0);
+        assert_eq!(ctx.trans_ops, 1);
+    }
+
+    #[test]
+    fn logic_fault_hits_exact_op() {
+        let (mut mem, mut caches) = machine();
+        let mut fault = TileFault::none();
+        fault.logic_at = 1;
+        fault.logic_lanes = 1;
+        fault.logic_mask = 1 << 63; // sign flip
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, fault);
+        assert_eq!(ctx.op(5.0), 5.0); // op 0 clean
+        assert_eq!(ctx.op(5.0), -5.0); // op 1 corrupted
+        assert_eq!(ctx.op(5.0), 5.0); // op 2 clean
+    }
+
+    #[test]
+    fn vector_fault_hits_lane_burst() {
+        let (mut mem, mut caches) = machine();
+        let mut fault = TileFault::none();
+        fault.logic_at = 2;
+        fault.logic_lanes = 3;
+        fault.logic_mask = 1 << 63;
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, fault);
+        let got: Vec<f64> = (0..6).map(|_| ctx.op(1.0)).collect();
+        assert_eq!(got, vec![1.0, 1.0, -1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn sfu_fault_scales_argument() {
+        let (mut mem, mut caches) = machine();
+        let mut fault = TileFault::none();
+        fault.sfu_at = 0;
+        // A corrupted range reduction off by -2^5: exp(-32x) explodes
+        // for negative arguments.
+        fault.sfu_scale = -32.0;
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, fault);
+        let corrupted = ctx.exp(-1.0);
+        assert!(corrupted > 1e13, "exp(32) expected, got {corrupted}");
+        let clean = ctx.exp(-1.0); // only trans op 0 was armed
+        assert!((clean - (-1.0f64).exp()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn garble_replays_stale_values() {
+        let (mut mem, mut caches) = machine();
+        let mut fault = TileFault::none();
+        fault.garble = true;
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, fault);
+        let results: Vec<f64> = (0..64).map(|i| ctx.op(10.0 + i as f64)).collect();
+        let wrong = results
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| v != 10.0 + *i as f64)
+            .count();
+        assert!(wrong > 40, "most op results must be wrong, got {wrong}/64");
+        // And every produced value stays near the anchor's magnitude
+        // (wrong-address data, not random bit garbage).
+        for &v in &results {
+            assert!((7.0..80.0).contains(&v), "implausible {v}");
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip_through_caches() {
+        let (mut mem, mut caches) = machine();
+        let buf = mem.alloc("data", 64);
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+        let src: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        ctx.store(buf, 8, &src).unwrap();
+        let mut dst = vec![0.0; 16];
+        ctx.load(buf, 8, &mut dst).unwrap();
+        assert_eq!(dst, src);
+        assert_eq!(ctx.loads, 16);
+        assert_eq!(ctx.stores, 16);
+        assert!(ctx.caches.stats().l2_hits > 0, "reload must hit the cache");
+    }
+
+    #[test]
+    fn out_of_bounds_load_rejected() {
+        let (mut mem, mut caches) = machine();
+        let buf = mem.alloc("data", 4);
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+        let mut dst = vec![0.0; 8];
+        assert!(ctx.load(buf, 0, &mut dst).is_err());
+        assert!(ctx.store(buf, 2, &[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn stale_store_fault_replays_previous_value() {
+        let (mut mem, mut caches) = machine();
+        let buf = mem.alloc("out", 8);
+        let mut fault = TileFault::none();
+        fault.store_at = 2;
+        fault.store_len = 2;
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, fault);
+        ctx.store(buf, 0, &[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        let mem2 = ctx.mem.to_vec(buf).unwrap();
+        // Stores 2 and 3 replay the last good value (20.0).
+        assert_eq!(&mem2[..5], &[10.0, 20.0, 20.0, 20.0, 50.0]);
+    }
+
+    #[test]
+    fn corrupted_line_observed_by_load() {
+        use rand_chacha::ChaCha8Rng as SmallRng;
+        use rand::SeedableRng;
+        let (mut mem, mut caches) = machine();
+        let buf = mem.alloc_init("in", &vec![1.0; 32]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        {
+            let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+            let mut dst = vec![0.0; 32];
+            ctx.load(buf, 0, &mut dst).unwrap(); // bring lines in
+        }
+        let info = caches.strike_l2(&mut rng, 1 << 63).unwrap();
+        let victim = mem.elem_at_byte(info.byte_addr).unwrap();
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+        let got = ctx.read_one(buf, victim.index).unwrap();
+        assert_eq!(got, -1.0, "sign-flipped while resident");
+        // Backing memory itself stays clean.
+        assert_eq!(ctx.mem.read(buf, victim.index).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn program_store_clears_pending_corruption() {
+        use rand_chacha::ChaCha8Rng as SmallRng;
+        use rand::SeedableRng;
+        let (mut mem, mut caches) = machine();
+        let buf = mem.alloc("out", 32);
+        let mut rng = SmallRng::seed_from_u64(4);
+        {
+            let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+            ctx.store(buf, 0, &vec![5.0; 32]).unwrap();
+        }
+        let info = caches.strike_l2(&mut rng, 0xFF).unwrap();
+        let victim = mem.elem_at_byte(info.byte_addr).unwrap();
+        let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+        ctx.write_one(buf, victim.index, 9.0).unwrap();
+        assert_eq!(ctx.read_one(buf, victim.index).unwrap(), 9.0);
+    }
+}

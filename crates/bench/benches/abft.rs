@@ -1,0 +1,56 @@
+//! Criterion benchmarks of ABFT DGEMM: checksum construction and the
+//! detect/locate/correct pass — the linear-time property §III relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use radcrit_abft::AbftDgemm;
+use radcrit_kernels::input::matrix_value;
+
+fn inputs(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut a = Vec::with_capacity(n * n);
+    let mut b = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            a.push(matrix_value(1, i, j));
+            b.push(matrix_value(2, i, j));
+        }
+    }
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let av = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += av * b[k * n + j];
+            }
+        }
+    }
+    (a, b, c)
+}
+
+fn bench_abft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abft");
+    for &n in &[64usize, 128, 256] {
+        let (a, b, product) = inputs(n);
+        group.bench_with_input(BenchmarkId::new("build_checksums", n), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(AbftDgemm::from_inputs(&a, &b, n, 1e-9)));
+        });
+        let checker = AbftDgemm::from_inputs(&a, &b, n, 1e-9);
+        group.bench_with_input(BenchmarkId::new("check_clean", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut m = product.clone();
+                std::hint::black_box(checker.check(&mut m))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("check_and_correct_single", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut m = product.clone();
+                m[n + 3] += 42.0;
+                std::hint::black_box(checker.check(&mut m))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abft);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of golden kernel execution on both simulated
+//! devices — the per-run cost that bounds campaign throughput for every
+//! table and figure of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use radcrit_accel::engine::Engine;
+use radcrit_campaign::config::KernelSpec;
+use radcrit_campaign::presets;
+
+fn bench_goldens(c: &mut Criterion) {
+    let devices = [("k40", presets::k40()), ("phi", presets::xeon_phi())];
+    let kernels = [
+        ("dgemm_64", KernelSpec::Dgemm { n: 64 }),
+        ("dgemm_128", KernelSpec::Dgemm { n: 128 }),
+        (
+            "lavamd_4x8",
+            KernelSpec::LavaMd {
+                grid: 4,
+                particles: 8,
+            },
+        ),
+        (
+            "hotspot_64x64x8",
+            KernelSpec::HotSpot {
+                rows: 64,
+                cols: 64,
+                iterations: 8,
+            },
+        ),
+        (
+            "clamr_48x48x20",
+            KernelSpec::Shallow {
+                rows: 48,
+                cols: 48,
+                steps: 20,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("golden");
+    group.sample_size(10);
+    for (dev_name, device) in &devices {
+        let engine = Engine::new(device.clone());
+        for (kernel_name, spec) in &kernels {
+            group.bench_with_input(
+                BenchmarkId::new(*kernel_name, dev_name),
+                spec,
+                |b, spec| {
+                    let mut kernel = spec.build(1).expect("valid kernel spec");
+                    b.iter(|| {
+                        let out = engine.golden(kernel.as_mut()).expect("golden run");
+                        std::hint::black_box(out.output.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_goldens);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the criticality metrics themselves: output
+//! comparison, tolerance filtering and the spatial-locality classifier —
+//! the per-injection analysis cost of every campaign.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use radcrit_core::compare::compare_slices;
+use radcrit_core::filter::ToleranceFilter;
+use radcrit_core::locality::LocalityClassifier;
+use radcrit_core::shape::OutputShape;
+use radcrit_kernels::input::unit_value;
+
+fn corrupted_pair(n: usize, corrupted: usize) -> (Vec<f64>, Vec<f64>) {
+    let golden: Vec<f64> = (0..n).map(|i| unit_value(1, i as u64)).collect();
+    let mut observed = golden.clone();
+    for k in 0..corrupted {
+        let idx = (k * 97) % n;
+        observed[idx] *= 1.0 + 0.001 * (k % 50) as f64;
+    }
+    (golden, observed)
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare");
+    for &n in &[4096usize, 65536, 262144] {
+        let (golden, observed) = corrupted_pair(n, 100);
+        let shape = OutputShape::d2(n / 64, 64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let report =
+                    compare_slices(&golden, &observed, shape).expect("matching lengths");
+                std::hint::black_box(report.incorrect_elements())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_and_classify(c: &mut Criterion) {
+    let n = 65536;
+    let shape = OutputShape::d2(256, 256);
+    let mut group = c.benchmark_group("criticality");
+    for &corrupted in &[10usize, 1000, 10000] {
+        let (golden, observed) = corrupted_pair(n, corrupted);
+        let report = compare_slices(&golden, &observed, shape).expect("matching lengths");
+        let filter = ToleranceFilter::paper_default();
+        let classifier = LocalityClassifier::default();
+        group.bench_with_input(
+            BenchmarkId::new("filter", corrupted),
+            &corrupted,
+            |b, _| b.iter(|| std::hint::black_box(filter.apply(&report).incorrect_elements())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classify", corrupted),
+            &corrupted,
+            |b, _| b.iter(|| std::hint::black_box(classifier.classify(&report))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_criticality", corrupted),
+            &corrupted,
+            |b, _| {
+                b.iter(|| std::hint::black_box(report.criticality(&filter, &classifier)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare, bench_filter_and_classify);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! `radcrit-campaign` — run one injection campaign from the command line.
+//!
+//! ```text
+//! radcrit-campaign --device k40|phi [--scale N] --kernel dgemm|lavamd|hotspot|clamr
+//!                  [--n N] [--grid G] [--particles P] [--rows R] [--cols C]
+//!                  [--steps S] [--iterations I]
+//!                  [--injections N] [--seed S] [--tolerance PCT]
+//!                  [--workers W] [--csv FILE] [--log FILE] [--hardening]
+//! ```
+//!
+//! Prints the campaign summary (outcome counts, FIT break-downs, §III
+//! metrics) and optionally writes the CAROL-style log and CSV that third
+//! parties can re-filter.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::process::exit;
+
+use radcrit_accel::config::DeviceConfig;
+use radcrit_campaign::log::{write_csv, write_log};
+use radcrit_campaign::{Campaign, HardeningAnalysis, KernelSpec};
+use radcrit_core::filter::ToleranceFilter;
+use radcrit_core::locality::SpatialClass;
+
+#[derive(Debug, Default)]
+struct Args {
+    device: Option<String>,
+    scale: usize,
+    kernel: Option<String>,
+    n: usize,
+    grid: usize,
+    particles: usize,
+    rows: usize,
+    cols: usize,
+    steps: usize,
+    iterations: usize,
+    injections: usize,
+    seed: u64,
+    tolerance: f64,
+    workers: usize,
+    csv: Option<String>,
+    log: Option<String>,
+    hardening: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: radcrit-campaign --device k40|phi --kernel dgemm|lavamd|hotspot|clamr\n\
+         \x20      [--scale 8] [--n 128] [--grid 7] [--particles 16]\n\
+         \x20      [--rows 128] [--cols 128] [--steps 200] [--iterations 128]\n\
+         \x20      [--injections 200] [--seed 2017] [--tolerance 2.0]\n\
+         \x20      [--workers 0] [--csv out.csv] [--log out.log] [--hardening]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        scale: 8,
+        n: 128,
+        grid: 7,
+        particles: 16,
+        rows: 128,
+        cols: 128,
+        steps: 200,
+        iterations: 128,
+        injections: 200,
+        seed: 2017,
+        tolerance: ToleranceFilter::PAPER_THRESHOLD_PCT,
+        ..Args::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let val = |it: &mut dyn Iterator<Item = String>| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--device" => a.device = Some(val(&mut it)),
+            "--scale" => a.scale = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--kernel" => a.kernel = Some(val(&mut it)),
+            "--n" => a.n = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--grid" => a.grid = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--particles" => a.particles = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--rows" => a.rows = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--cols" => a.cols = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--steps" => a.steps = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--iterations" => a.iterations = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--injections" => a.injections = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--tolerance" => a.tolerance = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--workers" => a.workers = val(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--csv" => a.csv = Some(val(&mut it)),
+            "--log" => a.log = Some(val(&mut it)),
+            "--hardening" => a.hardening = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+
+    let device = match args.device.as_deref() {
+        Some("k40") => DeviceConfig::kepler_k40(),
+        Some("phi") => DeviceConfig::xeon_phi_3120a(),
+        _ => usage(),
+    };
+    let device = if args.scale > 1 {
+        device.scaled(args.scale).unwrap_or_else(|e| {
+            eprintln!("cannot scale device: {e}");
+            exit(2)
+        })
+    } else {
+        device
+    };
+
+    let kernel = match args.kernel.as_deref() {
+        Some("dgemm") => KernelSpec::Dgemm { n: args.n },
+        Some("lavamd") => KernelSpec::LavaMd {
+            grid: args.grid,
+            particles: args.particles,
+        },
+        Some("hotspot") => KernelSpec::HotSpot {
+            rows: args.rows,
+            cols: args.cols,
+            iterations: args.iterations,
+        },
+        Some("clamr") => KernelSpec::Shallow {
+            rows: args.rows,
+            cols: args.cols,
+            steps: args.steps,
+        },
+        _ => usage(),
+    };
+
+    let tolerance = ToleranceFilter::new(args.tolerance).unwrap_or_else(|e| {
+        eprintln!("bad tolerance: {e}");
+        exit(2)
+    });
+
+    eprintln!(
+        "running {} x {} on {} ({} injections, seed {}) ...",
+        kernel.name(),
+        kernel.input_label(),
+        device.kind(),
+        args.injections,
+        args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let result = Campaign::new(device, kernel, args.injections, args.seed)
+        .with_tolerance(tolerance)
+        .with_workers(args.workers)
+        .run()
+        .unwrap_or_else(|e| {
+            eprintln!("campaign failed: {e}");
+            exit(1)
+        });
+    eprintln!("done in {:.1?}", t0.elapsed());
+
+    let s = result.summary();
+    println!(
+        "outcomes: {} SDC ({} critical at >{}%), {} masked, {} crash, {} hang",
+        s.sdc,
+        s.critical_sdc,
+        args.tolerance,
+        s.masked,
+        s.crash,
+        s.hang
+    );
+    println!(
+        "SDC:(crash+hang) ratio: {:.2} | filtered out: {:.0}% | sigma {:.3e} a.u.",
+        s.sdc_to_crash_hang_ratio(),
+        s.filtered_out_fraction() * 100.0,
+        s.sigma_total
+    );
+    println!("FIT (a.u., scaled 1e-3):");
+    for (label, b) in [("All", &s.fit_all), (">tol", &s.fit_filtered)] {
+        let classes = SpatialClass::PLOTTED
+            .iter()
+            .map(|&c| format!("{c}:{:.2}", b.rate(c).value() * 1e-3))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  {label:>4}: total {:.2} | {classes}", b.total().value() * 1e-3);
+    }
+    let (lo, hi) = s.fit_all_ci95();
+    println!(
+        "  95% CI on All total: [{:.2}, {:.2}]",
+        lo * 1e-3,
+        hi * 1e-3
+    );
+
+    if args.hardening {
+        let analysis = HardeningAnalysis::of(&result);
+        println!("hardening priority (site: critical SDCs, AVF):");
+        for (site, impact) in analysis.ranked_sites() {
+            println!(
+                "  {site:>16}: {:>4} critical, AVF {}",
+                impact.critical,
+                analysis
+                    .avf(site)
+                    .map_or_else(|| "-".into(), |v| format!("{v:.2}"))
+            );
+        }
+    }
+
+    if let Some(path) = args.log {
+        let f = File::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(1)
+        });
+        write_log(&result, BufWriter::new(f)).expect("log write");
+        eprintln!("log written to {path}");
+    }
+    if let Some(path) = args.csv {
+        let f = File::create(&path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(1)
+        });
+        write_csv(&result, BufWriter::new(f)).expect("csv write");
+        eprintln!("csv written to {path}");
+    }
+}

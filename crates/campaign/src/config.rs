@@ -1,0 +1,210 @@
+//! Campaign configuration: which kernel, which device, how many
+//! injections.
+
+use radcrit_accel::config::DeviceConfig;
+use radcrit_accel::error::AccelError;
+use radcrit_core::filter::ToleranceFilter;
+use radcrit_core::locality::LocalityClassifier;
+use radcrit_kernels::dgemm::Dgemm;
+use radcrit_kernels::hotspot::HotSpot;
+use radcrit_kernels::lavamd::LavaMd;
+use radcrit_kernels::shallow::ShallowWater;
+use radcrit_kernels::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Which kernel a campaign runs, with its input size. Mirrors Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelSpec {
+    /// DGEMM with a square matrix of the given side.
+    Dgemm {
+        /// Matrix side (multiple of 16).
+        n: usize,
+    },
+    /// LavaMD over a `grid³` box space.
+    LavaMd {
+        /// Boxes per dimension.
+        grid: usize,
+        /// Particles per box (192 on the paper's K40, 100 on its Phi).
+        particles: usize,
+    },
+    /// The HotSpot 2-D stencil.
+    HotSpot {
+        /// Grid rows (multiple of 8).
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+        /// Stencil iterations.
+        iterations: usize,
+    },
+    /// The CLAMR-equivalent shallow-water dam break.
+    Shallow {
+        /// Grid rows (multiple of 8).
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+        /// Time steps.
+        steps: usize,
+    },
+}
+
+impl KernelSpec {
+    /// Instantiates the kernel with deterministic inputs from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's configuration validation.
+    pub fn build(&self, seed: u64) -> Result<Box<dyn Workload + Send>, AccelError> {
+        Ok(match *self {
+            KernelSpec::Dgemm { n } => Box::new(Dgemm::new(n, seed)?),
+            KernelSpec::LavaMd { grid, particles } => {
+                Box::new(LavaMd::new(grid, particles, seed)?)
+            }
+            KernelSpec::HotSpot {
+                rows,
+                cols,
+                iterations,
+            } => Box::new(HotSpot::new(rows, cols, iterations, seed)?),
+            KernelSpec::Shallow { rows, cols, steps } => {
+                Box::new(ShallowWater::new(rows, cols, steps)?)
+            }
+        })
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelSpec::Dgemm { .. } => "dgemm",
+            KernelSpec::LavaMd { .. } => "lavamd",
+            KernelSpec::HotSpot { .. } => "hotspot",
+            KernelSpec::Shallow { .. } => "clamr",
+        }
+    }
+
+    /// A short input-size label (the x-axis labels of Figs. 3 and 5).
+    pub fn input_label(&self) -> String {
+        match *self {
+            KernelSpec::Dgemm { n } => format!("{n}x{n}"),
+            KernelSpec::LavaMd { grid, .. } => format!("{grid}"),
+            KernelSpec::HotSpot { rows, cols, .. } => format!("{rows}x{cols}"),
+            KernelSpec::Shallow { rows, cols, .. } => format!("{rows}x{cols}"),
+        }
+    }
+}
+
+/// One injection campaign: device + kernel + budget + analysis knobs.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The simulated device.
+    pub device: DeviceConfig,
+    /// The kernel and input size.
+    pub kernel: KernelSpec,
+    /// Number of injected executions.
+    pub injections: usize,
+    /// Base seed: inputs and injection randomness derive from it, so a
+    /// campaign is reproducible regardless of worker count.
+    pub seed: u64,
+    /// The relative-error tolerance (2 % in the paper).
+    pub tolerance: ToleranceFilter,
+    /// The spatial-locality classifier.
+    pub classifier: LocalityClassifier,
+    /// Worker threads (0 ⇒ one per available core).
+    pub workers: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign with the paper's analysis defaults (2 % filter,
+    /// default classifier) and automatic worker count.
+    pub fn new(device: DeviceConfig, kernel: KernelSpec, injections: usize, seed: u64) -> Self {
+        Campaign {
+            device,
+            kernel,
+            injections,
+            seed,
+            tolerance: ToleranceFilter::paper_default(),
+            classifier: LocalityClassifier::default(),
+            workers: 0,
+        }
+    }
+
+    /// Sets the tolerance filter.
+    pub fn with_tolerance(mut self, tolerance: ToleranceFilter) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_their_kernels() {
+        assert_eq!(KernelSpec::Dgemm { n: 32 }.build(1).unwrap().name(), "dgemm");
+        assert_eq!(
+            KernelSpec::LavaMd { grid: 2, particles: 4 }
+                .build(1)
+                .unwrap()
+                .name(),
+            "lavamd"
+        );
+        assert_eq!(
+            KernelSpec::HotSpot { rows: 8, cols: 8, iterations: 2 }
+                .build(1)
+                .unwrap()
+                .name(),
+            "hotspot"
+        );
+        assert_eq!(
+            KernelSpec::Shallow { rows: 16, cols: 16, steps: 2 }
+                .build(1)
+                .unwrap()
+                .name(),
+            "shallow"
+        );
+    }
+
+    #[test]
+    fn bad_specs_propagate_errors() {
+        assert!(KernelSpec::Dgemm { n: 17 }.build(1).is_err());
+        assert!(KernelSpec::LavaMd { grid: 0, particles: 4 }.build(1).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_axes() {
+        assert_eq!(KernelSpec::Dgemm { n: 1024 }.input_label(), "1024x1024");
+        assert_eq!(
+            KernelSpec::LavaMd { grid: 13, particles: 100 }.input_label(),
+            "13"
+        );
+    }
+
+    #[test]
+    fn campaign_defaults() {
+        let c = Campaign::new(
+            DeviceConfig::kepler_k40(),
+            KernelSpec::Dgemm { n: 32 },
+            10,
+            1,
+        );
+        assert_eq!(c.tolerance.threshold_pct(), 2.0);
+        assert!(c.effective_workers() >= 1);
+        let c = c.with_workers(3);
+        assert_eq!(c.effective_workers(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! # radcrit-campaign
+//!
+//! Campaign orchestration for the radcrit reproduction of the HPCA 2017
+//! error-criticality study: everything needed to run "beam time" against
+//! the simulated accelerators and produce the numbers behind the paper's
+//! tables and figures.
+//!
+//! A [`Campaign`] fixes a device, a kernel and an injection budget; its
+//! [`Campaign::run`] performs the golden execution, derives the
+//! cross-section table, then replays the fault-injection loop in
+//! parallel, classifying every injection as masked, SDC, crash or hang —
+//! the four outcomes of §II-A. The resulting [`CampaignResult`] exposes
+//!
+//! * per-injection records with the four §III metrics evaluated both raw
+//!   and under the 2 % tolerance filter,
+//! * FIT break-downs by spatial class in arbitrary units (the bars of
+//!   Figs. 3, 5 and 7),
+//! * scatter series of mean relative error versus incorrect elements
+//!   (Figs. 2, 4, 6 and 8),
+//! * CAROL-style event logs and CSV export mirroring the public
+//!   `HPCA2017-log-data` repository.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod config;
+pub mod hardening;
+pub mod log;
+pub mod outcome;
+pub mod parse;
+pub mod presets;
+pub mod runner;
+pub mod summary;
+pub mod sweep;
+
+pub use config::{Campaign, KernelSpec};
+pub use hardening::HardeningAnalysis;
+pub use outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
+pub use runner::CampaignResult;
+pub use summary::CampaignSummary;
+pub use sweep::{Sweep, SweepResult};

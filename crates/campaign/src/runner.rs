@@ -1,0 +1,262 @@
+//! The campaign runner: golden run, cross sections, parallel injection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use radcrit_accel::engine::Engine;
+use radcrit_accel::error::AccelError;
+use radcrit_accel::profile::ExecutionProfile;
+use radcrit_core::mismatch::Mismatch;
+use radcrit_core::report::ErrorReport;
+use radcrit_faults::sampler::{FaultSampler, InjectionPlan};
+use radcrit_kernels::Workload;
+
+use crate::config::Campaign;
+use crate::outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
+use crate::summary::CampaignSummary;
+
+/// Everything a finished campaign produced.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// The campaign that was run.
+    pub campaign: Campaign,
+    /// Golden execution profile.
+    pub profile: ExecutionProfile,
+    /// Total cross-section in byte-equivalents (drives the FIT scale).
+    pub sigma_total: f64,
+    /// Raw output length in elements.
+    pub output_len: usize,
+    /// One record per injection, in index order.
+    pub records: Vec<InjectionRecord>,
+}
+
+impl CampaignResult {
+    /// Builds the aggregate summary (FIT break-downs, scatter series,
+    /// outcome counts).
+    pub fn summary(&self) -> CampaignSummary {
+        CampaignSummary::from_result(self)
+    }
+}
+
+impl Campaign {
+    /// Runs the campaign: one golden execution, then `injections`
+    /// fault-injected executions distributed over worker threads.
+    ///
+    /// Results are deterministic for a given `(campaign, seed)` pair
+    /// regardless of the worker count: injection `i` always uses its own
+    /// seeded RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel construction and execution errors.
+    pub fn run(&self) -> Result<CampaignResult, AccelError> {
+        let engine = Engine::new(self.device.clone());
+
+        // Golden execution: output, profile, cross sections.
+        let mut golden_kernel = self.kernel.build(self.seed)?;
+        let golden = engine.golden(golden_kernel.as_mut())?;
+        let sampler = FaultSampler::new(&self.device, &golden.profile);
+        let sigma_total = sampler.table().total();
+        let golden_output = golden.output;
+
+        let next = AtomicUsize::new(0);
+        let failures: Mutex<Option<AccelError>> = Mutex::new(None);
+        let records: Mutex<Vec<InjectionRecord>> = Mutex::new(Vec::with_capacity(self.injections));
+
+        let workers = self.effective_workers().min(self.injections.max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| {
+                    let mut kernel = match self.kernel.build(self.seed) {
+                        Ok(k) => k,
+                        Err(e) => {
+                            *failures.lock().expect("poisoned") = Some(e);
+                            return;
+                        }
+                    };
+                    let engine = Engine::new(self.device.clone());
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= self.injections {
+                            break;
+                        }
+                        match self.run_one(
+                            i,
+                            &engine,
+                            kernel.as_mut(),
+                            &sampler,
+                            &golden_output,
+                        ) {
+                            Ok(record) => local.push(record),
+                            Err(e) => {
+                                *failures.lock().expect("poisoned") = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                    records.lock().expect("poisoned").extend(local);
+                });
+            }
+        })
+        .expect("campaign worker panicked");
+
+        if let Some(e) = failures.into_inner().expect("poisoned") {
+            return Err(e);
+        }
+        let mut records = records.into_inner().expect("poisoned");
+        records.sort_by_key(|r| r.index);
+
+        Ok(CampaignResult {
+            campaign: self.clone(),
+            profile: golden.profile,
+            sigma_total,
+            output_len: golden_output.len(),
+            records,
+        })
+    }
+
+    fn run_one(
+        &self,
+        index: usize,
+        engine: &Engine,
+        kernel: &mut (dyn Workload + Send),
+        sampler: &FaultSampler,
+        golden: &[f64],
+    ) -> Result<InjectionRecord, AccelError> {
+        // A per-injection RNG stream: reproducible independent of worker
+        // scheduling.
+        let stream = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64);
+        let mut rng = StdRng::seed_from_u64(stream);
+
+        let plan = sampler.sample(&mut rng);
+        match plan {
+            InjectionPlan::Crash => Ok(InjectionRecord {
+                index,
+                site: "fatal".into(),
+                at_tile: None,
+                delivered: true,
+                outcome: InjectionOutcome::Crash,
+            }),
+            InjectionPlan::Hang => Ok(InjectionRecord {
+                index,
+                site: "fatal".into(),
+                at_tile: None,
+                delivered: true,
+                outcome: InjectionOutcome::Hang,
+            }),
+            InjectionPlan::Strike(spec) => {
+                let run = engine.run(kernel, &spec, &mut rng)?;
+                let report = compare_with_logical_coords(golden, &run.output, kernel);
+                let outcome = if report.is_sdc() {
+                    let criticality = report.criticality(&self.tolerance, &self.classifier);
+                    InjectionOutcome::Sdc(SdcDetail {
+                        criticality,
+                        output_len: golden.len(),
+                    })
+                } else {
+                    InjectionOutcome::Masked
+                };
+                Ok(InjectionRecord {
+                    index,
+                    site: spec.target.site_name().to_owned(),
+                    at_tile: Some(spec.at_tile),
+                    delivered: run.strike_delivered,
+                    outcome,
+                })
+            }
+        }
+    }
+}
+
+/// Compares outputs element-wise, mapping each mismatch to the kernel's
+/// *logical* coordinate space (e.g. LavaMD's box grid), which is what the
+/// paper's spatial-locality metric operates on.
+pub fn compare_with_logical_coords(
+    golden: &[f64],
+    observed: &[f64],
+    kernel: &(dyn Workload + Send),
+) -> ErrorReport {
+    let mut mismatches = Vec::new();
+    for (i, (&g, &o)) in golden.iter().zip(observed.iter()).enumerate() {
+        let matches = (g == o) || (g.is_nan() && o.is_nan());
+        if !matches {
+            mismatches.push(Mismatch::new(kernel.error_coord(i), o, g));
+        }
+    }
+    ErrorReport::new(kernel.logical_shape(), mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelSpec;
+    use radcrit_accel::config::DeviceConfig;
+
+    fn small_campaign(device: DeviceConfig) -> Campaign {
+        Campaign::new(device, KernelSpec::Dgemm { n: 32 }, 40, 7).with_workers(2)
+    }
+
+    #[test]
+    fn campaign_produces_one_record_per_injection() {
+        let result = small_campaign(DeviceConfig::kepler_k40()).run().unwrap();
+        assert_eq!(result.records.len(), 40);
+        for (i, r) in result.records.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+        assert_eq!(result.output_len, 32 * 32);
+        assert!(result.sigma_total > 0.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let base = small_campaign(DeviceConfig::kepler_k40());
+        let one = base.clone().with_workers(1).run().unwrap();
+        let four = base.with_workers(4).run().unwrap();
+        assert_eq!(one.records, four.records);
+    }
+
+    #[test]
+    fn campaign_observes_all_outcome_kinds_eventually() {
+        let c = Campaign::new(
+            DeviceConfig::kepler_k40(),
+            KernelSpec::Dgemm { n: 32 },
+            300,
+            11,
+        )
+        .with_workers(4);
+        let result = c.run().unwrap();
+        let tags: std::collections::HashSet<_> =
+            result.records.iter().map(|r| r.outcome.tag()).collect();
+        assert!(tags.contains("SDC"), "tags: {tags:?}");
+        assert!(tags.contains("CRASH") || tags.contains("HANG"), "tags: {tags:?}");
+        assert!(tags.contains("MASKED"), "tags: {tags:?}");
+    }
+
+    #[test]
+    fn logical_coordinates_used_for_lavamd() {
+        let c = Campaign::new(
+            DeviceConfig::xeon_phi_3120a(),
+            KernelSpec::LavaMd { grid: 3, particles: 6 },
+            60,
+            3,
+        )
+        .with_workers(2);
+        let result = c.run().unwrap();
+        for r in &result.records {
+            if let InjectionOutcome::Sdc(d) = &r.outcome {
+                // Logical shape is the 3x3x3 box grid.
+                assert!(
+                    d.criticality.incorrect_elements >= 1,
+                    "SDC must have mismatches"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Aggregate campaign statistics: the numbers behind the paper's plots.
+
+use std::collections::BTreeMap;
+
+use radcrit_core::fit::{FitBreakdown, FitRate};
+use radcrit_core::locality::SpatialClass;
+use radcrit_core::stats::poisson_ci;
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::InjectionOutcome;
+use crate::runner::CampaignResult;
+
+/// One scatter point of Figs. 2/4/6/8: a faulty execution's number of
+/// incorrect elements versus its mean relative error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    /// Number of incorrect elements.
+    pub incorrect_elements: usize,
+    /// Mean relative error in percent (uncapped).
+    pub mean_relative_error: f64,
+}
+
+/// Aggregate statistics of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Kernel name.
+    pub kernel: String,
+    /// Input-size label.
+    pub input: String,
+    /// Device name.
+    pub device: String,
+    /// Number of injections.
+    pub injections: usize,
+    /// Masked executions.
+    pub masked: usize,
+    /// SDC executions (before the tolerance filter).
+    pub sdc: usize,
+    /// SDC executions that survive the tolerance filter.
+    pub critical_sdc: usize,
+    /// Crashes.
+    pub crash: usize,
+    /// Hangs.
+    pub hang: usize,
+    /// Total cross-section (a.u.) — the FIT scale factor.
+    pub sigma_total: f64,
+    /// FIT break-down by raw spatial class ("All" bars).
+    pub fit_all: FitBreakdown,
+    /// FIT break-down by filtered spatial class ("> 2 %" bars).
+    pub fit_filtered: FitBreakdown,
+    /// Scatter series over raw metrics.
+    pub scatter: Vec<ScatterPoint>,
+    /// Per-site SDC counts.
+    pub sdc_by_site: BTreeMap<String, usize>,
+}
+
+impl CampaignSummary {
+    /// Builds the summary from a finished campaign.
+    pub fn from_result(result: &CampaignResult) -> Self {
+        let mut masked = 0usize;
+        let mut crash = 0usize;
+        let mut hang = 0usize;
+        let mut sdc = 0usize;
+        let mut critical_sdc = 0usize;
+        let mut all_counts: BTreeMap<SpatialClass, usize> = BTreeMap::new();
+        let mut filt_counts: BTreeMap<SpatialClass, usize> = BTreeMap::new();
+        let mut scatter = Vec::new();
+        let mut sdc_by_site: BTreeMap<String, usize> = BTreeMap::new();
+
+        for r in &result.records {
+            match &r.outcome {
+                InjectionOutcome::Masked => masked += 1,
+                InjectionOutcome::Crash => crash += 1,
+                InjectionOutcome::Hang => hang += 1,
+                InjectionOutcome::Sdc(d) => {
+                    sdc += 1;
+                    *sdc_by_site.entry(r.site.clone()).or_default() += 1;
+                    *all_counts.entry(d.criticality.locality).or_default() += 1;
+                    if d.criticality.is_critical() {
+                        critical_sdc += 1;
+                        *filt_counts
+                            .entry(d.criticality.filtered_locality)
+                            .or_default() += 1;
+                    }
+                    scatter.push(ScatterPoint {
+                        incorrect_elements: d.criticality.incorrect_elements,
+                        mean_relative_error: d
+                            .criticality
+                            .mean_relative_error
+                            .unwrap_or(f64::INFINITY),
+                    });
+                }
+            }
+        }
+
+        // FIT in arbitrary units: the event share scaled by the total
+        // cross-section. Ratios across campaigns then behave like the
+        // paper's relative FIT: (events_cat / injections) × σ_total ∝
+        // events_cat / fluence.
+        let injections = result.records.len().max(1) as f64;
+        let to_fit = |count: usize| {
+            FitRate::from_raw(count as f64 / injections * result.sigma_total)
+        };
+        let fit_all = all_counts
+            .iter()
+            .map(|(&class, &n)| (class, to_fit(n)))
+            .collect();
+        let fit_filtered = filt_counts
+            .iter()
+            .map(|(&class, &n)| (class, to_fit(n)))
+            .collect();
+
+        CampaignSummary {
+            kernel: result.campaign.kernel.name().to_owned(),
+            input: result.campaign.kernel.input_label(),
+            device: result.campaign.device.kind().to_string(),
+            injections: result.records.len(),
+            masked,
+            sdc,
+            critical_sdc,
+            crash,
+            hang,
+            sigma_total: result.sigma_total,
+            fit_all,
+            fit_filtered,
+            scatter,
+            sdc_by_site,
+        }
+    }
+
+    /// SDC : (crash + hang) ratio (§V intro).
+    pub fn sdc_to_crash_hang_ratio(&self) -> f64 {
+        let fatal = self.crash + self.hang;
+        if fatal == 0 {
+            f64::INFINITY
+        } else {
+            self.sdc as f64 / fatal as f64
+        }
+    }
+
+    /// Fraction of SDCs fully inside the tolerance (dropped by the
+    /// filter) — §V-A reports 50–75 % for K40 DGEMM, ~0 for the Phi;
+    /// §V-C reports 80–95 % for HotSpot.
+    pub fn filtered_out_fraction(&self) -> f64 {
+        if self.sdc == 0 {
+            0.0
+        } else {
+            1.0 - self.critical_sdc as f64 / self.sdc as f64
+        }
+    }
+
+    /// The total "All" FIT in a.u.
+    pub fn fit_all_total(&self) -> f64 {
+        self.fit_all.total().value()
+    }
+
+    /// The total "> threshold" FIT in a.u.
+    pub fn fit_filtered_total(&self) -> f64 {
+        self.fit_filtered.total().value()
+    }
+
+    /// 95 % Poisson confidence interval on the "All" FIT total, in a.u.
+    pub fn fit_all_ci95(&self) -> (f64, f64) {
+        let (lo, hi) = poisson_ci(self.sdc, 0.95);
+        let scale = self.sigma_total / self.injections.max(1) as f64;
+        (lo * scale, hi * scale)
+    }
+
+    /// Mean number of incorrect elements over SDCs.
+    pub fn mean_incorrect_elements(&self) -> f64 {
+        if self.scatter.is_empty() {
+            return 0.0;
+        }
+        self.scatter
+            .iter()
+            .map(|p| p.incorrect_elements as f64)
+            .sum::<f64>()
+            / self.scatter.len() as f64
+    }
+
+    /// Fraction of SDCs whose mean relative error is at most
+    /// `bound_pct` (for statements like "about 75 % of K40 DGEMM errors
+    /// have a mean relative error below 10 %").
+    pub fn fraction_mre_at_most(&self, bound_pct: f64) -> f64 {
+        if self.scatter.is_empty() {
+            return 0.0;
+        }
+        self.scatter
+            .iter()
+            .filter(|p| p.mean_relative_error <= bound_pct)
+            .count() as f64
+            / self.scatter.len() as f64
+    }
+
+    /// Share of cubic + square locality among filtered SDCs (§V-B's
+    /// 55 %→42 % trend for K40 LavaMD).
+    pub fn block_locality_fraction(&self) -> f64 {
+        self.fit_all
+            .fraction_of(&[SpatialClass::Cubic, SpatialClass::Square])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Campaign, KernelSpec};
+    use radcrit_accel::config::DeviceConfig;
+
+    fn result() -> CampaignResult {
+        Campaign::new(
+            DeviceConfig::kepler_k40(),
+            KernelSpec::Dgemm { n: 32 },
+            200,
+            5,
+        )
+        .with_workers(4)
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let r = result();
+        let s = r.summary();
+        assert_eq!(s.injections, 200);
+        assert_eq!(s.masked + s.sdc + s.crash + s.hang, 200);
+        assert!(s.critical_sdc <= s.sdc);
+        assert_eq!(
+            s.scatter.len(),
+            s.sdc,
+            "one scatter point per faulty execution"
+        );
+        let by_site_total: usize = s.sdc_by_site.values().sum();
+        assert_eq!(by_site_total, s.sdc);
+    }
+
+    #[test]
+    fn fit_totals_scale_with_sigma() {
+        let r = result();
+        let s = r.summary();
+        let expected = s.sdc as f64 / 200.0 * s.sigma_total;
+        assert!((s.fit_all_total() - expected).abs() < 1e-9 * expected.max(1.0));
+        assert!(s.fit_filtered_total() <= s.fit_all_total() + 1e-9);
+    }
+
+    #[test]
+    fn ci_brackets_fit() {
+        let r = result();
+        let s = r.summary();
+        if s.sdc > 0 {
+            let (lo, hi) = s.fit_all_ci95();
+            assert!(lo < s.fit_all_total());
+            assert!(hi > s.fit_all_total());
+        }
+    }
+
+    #[test]
+    fn fraction_mre_is_monotone_in_bound() {
+        let r = result();
+        let s = r.summary();
+        assert!(s.fraction_mre_at_most(1.0) <= s.fraction_mre_at_most(100.0));
+        assert!(s.fraction_mre_at_most(f64::INFINITY) <= 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Parameter sweeps: run a matrix of campaigns and analyze trends.
+//!
+//! The paper's headline architecture findings are *trends across input
+//! sizes* — DGEMM FIT growing 7× on the K40 while staying flat on the
+//! Phi (§V-A), LavaMD's gentler 30 % steps (§V-B). A [`Sweep`] runs a
+//! list of presets (optionally sharing one thread pool sequentially, as
+//! each campaign already parallelizes internally) and exposes those
+//! trends directly.
+
+use radcrit_accel::error::AccelError;
+
+use crate::presets::Preset;
+use crate::summary::CampaignSummary;
+
+/// A list of campaigns to run as one experiment.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    presets: Vec<Preset>,
+    seed: u64,
+}
+
+impl Sweep {
+    /// Creates a sweep over `presets` with a common base seed.
+    pub fn new(presets: Vec<Preset>, seed: u64) -> Self {
+        Sweep { presets, seed }
+    }
+
+    /// The presets in order.
+    pub fn presets(&self) -> &[Preset] {
+        &self.presets
+    }
+
+    /// Runs every campaign in order and collects the summaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first campaign failure.
+    pub fn run(&self) -> Result<SweepResult, AccelError> {
+        let mut summaries = Vec::with_capacity(self.presets.len());
+        for p in &self.presets {
+            summaries.push(p.campaign(self.seed).run()?.summary());
+        }
+        Ok(SweepResult { summaries })
+    }
+}
+
+/// The collected summaries of a sweep, in preset order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    summaries: Vec<CampaignSummary>,
+}
+
+impl SweepResult {
+    /// All summaries.
+    pub fn summaries(&self) -> &[CampaignSummary] {
+        &self.summaries
+    }
+
+    /// Summaries restricted to one kernel name.
+    pub fn for_kernel(&self, kernel: &str) -> Vec<&CampaignSummary> {
+        self.summaries.iter().filter(|s| s.kernel == kernel).collect()
+    }
+
+    /// Summaries restricted to one device name.
+    pub fn for_device(&self, device: &str) -> Vec<&CampaignSummary> {
+        self.summaries.iter().filter(|s| s.device == device).collect()
+    }
+
+    /// FIT growth over a subset: last total over first total, or `None`
+    /// when fewer than two entries match or the first is zero.
+    pub fn fit_growth(&self, kernel: &str, device: &str) -> Option<f64> {
+        let subset: Vec<&CampaignSummary> = self
+            .summaries
+            .iter()
+            .filter(|s| s.kernel == kernel && s.device == device)
+            .collect();
+        let first = subset.first()?.fit_all_total();
+        let last = subset.last()?.fit_all_total();
+        if subset.len() < 2 || first <= 0.0 {
+            None
+        } else {
+            Some(last / first)
+        }
+    }
+
+    /// The series of (input label, total FIT in a.u.) for one
+    /// kernel/device — a figure-3-style line.
+    pub fn fit_series(&self, kernel: &str, device: &str) -> Vec<(String, f64)> {
+        self.summaries
+            .iter()
+            .filter(|s| s.kernel == kernel && s.device == device)
+            .map(|s| (s.input.clone(), s.fit_all_total()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelSpec;
+    use crate::presets::Preset;
+    use radcrit_accel::config::DeviceConfig;
+
+    fn tiny_sweep() -> Sweep {
+        let device = DeviceConfig::kepler_k40().scaled(8).unwrap();
+        let presets = vec![
+            Preset {
+                device: device.clone(),
+                kernel: KernelSpec::Dgemm { n: 32 },
+                injections: 60,
+            },
+            Preset {
+                device: device.clone(),
+                kernel: KernelSpec::Dgemm { n: 64 },
+                injections: 40,
+            },
+            Preset {
+                device,
+                kernel: KernelSpec::HotSpot { rows: 16, cols: 16, iterations: 4 },
+                injections: 30,
+            },
+        ];
+        Sweep::new(presets, 5)
+    }
+
+    #[test]
+    fn sweep_collects_in_order() {
+        let r = tiny_sweep().run().unwrap();
+        assert_eq!(r.summaries().len(), 3);
+        assert_eq!(r.summaries()[0].input, "32x32");
+        assert_eq!(r.summaries()[1].input, "64x64");
+        assert_eq!(r.summaries()[2].kernel, "hotspot");
+    }
+
+    #[test]
+    fn selectors_filter() {
+        let r = tiny_sweep().run().unwrap();
+        assert_eq!(r.for_kernel("dgemm").len(), 2);
+        assert_eq!(r.for_kernel("hotspot").len(), 1);
+        assert_eq!(r.for_device("K40").len(), 3);
+        assert_eq!(r.for_device("Xeon Phi").len(), 0);
+    }
+
+    #[test]
+    fn growth_and_series() {
+        let r = tiny_sweep().run().unwrap();
+        let g = r.fit_growth("dgemm", "K40").expect("two sizes present");
+        assert!(g > 0.0);
+        let series = r.fit_series("dgemm", "K40");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "32x32");
+        assert!(r.fit_growth("hotspot", "K40").is_none(), "one entry only");
+        assert!(r.fit_growth("dgemm", "Xeon Phi").is_none());
+    }
+}

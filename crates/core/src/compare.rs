@@ -1,0 +1,201 @@
+//! Golden-vs-observed output comparison.
+//!
+//! Mirrors the experimental procedure of §IV-D: a host gathers results and
+//! compares them with a pre-computed golden output; any differing element
+//! becomes a [`Mismatch`] in the resulting [`ErrorReport`].
+
+use crate::error::CoreError;
+use crate::mismatch::Mismatch;
+use crate::report::ErrorReport;
+use crate::shape::OutputShape;
+
+/// Compares an observed output against the golden output element by
+/// element and collects every exact mismatch.
+///
+/// Bitwise-equal elements (including equal NaN payload semantics: two NaNs
+/// are treated as matching, since the golden run produced a NaN there too)
+/// are considered correct; everything else becomes a [`Mismatch`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::LengthMismatch`] when the two slices have different
+/// lengths and [`CoreError::ShapeMismatch`] when their length does not
+/// match `shape`.
+///
+/// # Examples
+///
+/// ```
+/// use radcrit_core::{compare::compare_slices, shape::OutputShape};
+///
+/// let golden = [1.0, 2.0, 3.0, 4.0];
+/// let observed = [1.0, 2.5, 3.0, 4.0];
+/// let report = compare_slices(&golden, &observed, OutputShape::d2(2, 2))?;
+/// assert_eq!(report.incorrect_elements(), 1);
+/// assert_eq!(report.mismatches()[0].coord(), [0, 1, 0]);
+/// # Ok::<(), radcrit_core::CoreError>(())
+/// ```
+pub fn compare_slices(
+    golden: &[f64],
+    observed: &[f64],
+    shape: OutputShape,
+) -> Result<ErrorReport, CoreError> {
+    if golden.len() != observed.len() {
+        return Err(CoreError::LengthMismatch {
+            golden: golden.len(),
+            observed: observed.len(),
+        });
+    }
+    shape.check_len(golden.len())?;
+    let mismatches = collect_mismatches(golden, observed, shape);
+    Ok(ErrorReport::new(shape, mismatches))
+}
+
+/// Single-precision variant of [`compare_slices`], used for kernels that
+/// work over `f32` data (HotSpot in the paper uses single precision).
+///
+/// Values are widened to `f64` for relative-error computation, which is
+/// exact for every `f32`.
+///
+/// # Errors
+///
+/// Same conditions as [`compare_slices`].
+pub fn compare_slices_f32(
+    golden: &[f32],
+    observed: &[f32],
+    shape: OutputShape,
+) -> Result<ErrorReport, CoreError> {
+    if golden.len() != observed.len() {
+        return Err(CoreError::LengthMismatch {
+            golden: golden.len(),
+            observed: observed.len(),
+        });
+    }
+    shape.check_len(golden.len())?;
+    let mut mismatches = Vec::new();
+    for (i, (&g, &o)) in golden.iter().zip(observed.iter()).enumerate() {
+        if !values_match(f64::from(g), f64::from(o)) {
+            mismatches.push(Mismatch::new(shape.coord_of(i), f64::from(o), f64::from(g)));
+        }
+    }
+    Ok(ErrorReport::new(shape, mismatches))
+}
+
+fn collect_mismatches(golden: &[f64], observed: &[f64], shape: OutputShape) -> Vec<Mismatch> {
+    let mut mismatches = Vec::new();
+    for (i, (&g, &o)) in golden.iter().zip(observed.iter()).enumerate() {
+        if !values_match(g, o) {
+            mismatches.push(Mismatch::new(shape.coord_of(i), o, g));
+        }
+    }
+    mismatches
+}
+
+/// Whether an observed value matches the golden value under strict
+/// (bitwise-style) comparison: equal numbers match, and a NaN matches a NaN
+/// (the golden execution legitimately produced an invalid value there).
+fn values_match(golden: f64, observed: f64) -> bool {
+    (golden == observed) || (golden.is_nan() && observed.is_nan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_outputs_produce_empty_report() {
+        let data = [1.0, 2.0, 3.0];
+        let report = compare_slices(&data, &data, OutputShape::d1(3)).unwrap();
+        assert_eq!(report.incorrect_elements(), 0);
+        assert!(!report.is_sdc());
+    }
+
+    #[test]
+    fn every_mismatch_located() {
+        let golden = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let observed = [0.0, 9.0, 2.0, 3.0, 8.0, 5.0];
+        let report = compare_slices(&golden, &observed, OutputShape::d2(2, 3)).unwrap();
+        assert_eq!(report.incorrect_elements(), 2);
+        assert_eq!(report.mismatches()[0].coord(), [0, 1, 0]);
+        assert_eq!(report.mismatches()[1].coord(), [1, 1, 0]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = compare_slices(&[1.0], &[1.0, 2.0], OutputShape::d1(1)).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::LengthMismatch {
+                golden: 1,
+                observed: 2
+            }
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let err = compare_slices(&[1.0, 2.0], &[1.0, 2.0], OutputShape::d1(3)).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::ShapeMismatch {
+                expected: 3,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn nan_in_both_matches() {
+        let golden = [f64::NAN, 1.0];
+        let observed = [f64::NAN, 1.0];
+        let report = compare_slices(&golden, &observed, OutputShape::d1(2)).unwrap();
+        assert_eq!(report.incorrect_elements(), 0);
+    }
+
+    #[test]
+    fn nan_in_observed_only_is_a_mismatch() {
+        let golden = [2.0, 1.0];
+        let observed = [f64::NAN, 1.0];
+        let report = compare_slices(&golden, &observed, OutputShape::d1(2)).unwrap();
+        assert_eq!(report.incorrect_elements(), 1);
+        assert!(report.mismatches()[0].relative_error().is_infinite());
+    }
+
+    #[test]
+    fn f32_comparison_widens_exactly() {
+        let golden = [1.0f32, 0.1f32];
+        let mut observed = golden;
+        observed[1] = 0.2f32;
+        let report = compare_slices_f32(&golden, &observed, OutputShape::d1(2)).unwrap();
+        assert_eq!(report.incorrect_elements(), 1);
+        let re = report.mismatches()[0].relative_error();
+        assert!((re - 100.0).abs() < 1e-4, "0.1 -> 0.2 is ~100 %, got {re}");
+    }
+
+    proptest! {
+        #[test]
+        fn mismatch_count_equals_differing_positions(
+            golden in proptest::collection::vec(-1e6f64..1e6, 1..64),
+            flips in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let n = golden.len().min(flips.len());
+            let golden = &golden[..n];
+            let observed: Vec<f64> = golden.iter().zip(&flips[..n])
+                .map(|(&g, &f)| if f { g + 1.0 } else { g })
+                .collect();
+            let expected = flips[..n].iter().filter(|&&f| f).count();
+            let report = compare_slices(golden, &observed, OutputShape::d1(n)).unwrap();
+            prop_assert_eq!(report.incorrect_elements(), expected);
+        }
+
+        #[test]
+        fn comparison_is_symmetric_in_count(
+            a in proptest::collection::vec(-1e6f64..1e6, 1..32),
+            b in proptest::collection::vec(-1e6f64..1e6, 1..32)) {
+            let n = a.len().min(b.len());
+            let shape = OutputShape::d1(n);
+            let fwd = compare_slices(&a[..n], &b[..n], shape).unwrap();
+            let rev = compare_slices(&b[..n], &a[..n], shape).unwrap();
+            prop_assert_eq!(fwd.incorrect_elements(), rev.incorrect_elements());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for the metrics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the metrics APIs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The golden and observed outputs have different lengths.
+    LengthMismatch {
+        /// Number of elements in the golden output.
+        golden: usize,
+        /// Number of elements in the observed output.
+        observed: usize,
+    },
+    /// A slice length does not match the volume of the declared shape.
+    ShapeMismatch {
+        /// Volume (total element count) of the declared shape.
+        expected: usize,
+        /// Actual slice length.
+        actual: usize,
+    },
+    /// A shape dimension was zero.
+    EmptyShape,
+    /// A fluence or flux value was not strictly positive.
+    NonPositiveFluence(f64),
+    /// A tolerance threshold was negative or NaN.
+    InvalidThreshold(f64),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::LengthMismatch { golden, observed } => write!(
+                f,
+                "golden output has {golden} elements but observed output has {observed}"
+            ),
+            CoreError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "shape declares {expected} elements but slice holds {actual}"
+            ),
+            CoreError::EmptyShape => write!(f, "output shape has a zero dimension"),
+            CoreError::NonPositiveFluence(v) => {
+                write!(f, "fluence must be strictly positive, got {v}")
+            }
+            CoreError::InvalidThreshold(v) => {
+                write!(f, "tolerance threshold must be a non-negative number, got {v}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = CoreError::LengthMismatch {
+            golden: 4,
+            observed: 5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('4') && msg.contains('5'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", CoreError::EmptyShape).is_empty());
+    }
+}

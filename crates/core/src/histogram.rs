@@ -1,0 +1,250 @@
+//! Log-scale histograms of error magnitudes.
+//!
+//! Relative errors in radiation campaigns span many decades — from
+//! sub-ulp mantissa flips to exploded exponents (§V-B's 20 000 %+). A
+//! linear histogram is useless there; this module bins values by decade,
+//! which is also how the scatter figures of the paper are best read.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over decades: one bin per power of ten between `10^min`
+/// and `10^max`, plus underflow/overflow bins.
+///
+/// # Examples
+///
+/// ```
+/// use radcrit_core::histogram::DecadeHistogram;
+///
+/// let mut h = DecadeHistogram::new(-2, 4); // 0.01 % .. 10 000 %
+/// h.record(0.5);
+/// h.record(3.0);
+/// h.record(25_000.0);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecadeHistogram {
+    min_decade: i32,
+    max_decade: i32,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    zeros: u64,
+}
+
+impl DecadeHistogram {
+    /// Creates a histogram covering `10^min_decade ..= 10^max_decade`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_decade > max_decade`.
+    pub fn new(min_decade: i32, max_decade: i32) -> Self {
+        assert!(
+            min_decade <= max_decade,
+            "decade range inverted: {min_decade} > {max_decade}"
+        );
+        let n = (max_decade - min_decade) as usize;
+        DecadeHistogram {
+            min_decade,
+            max_decade,
+            bins: vec![0; n.max(1)],
+            underflow: 0,
+            overflow: 0,
+            zeros: 0,
+        }
+    }
+
+    /// The default range for relative errors in percent: 10⁻⁶ % (around
+    /// double-precision ulp level) to 10⁶ % (exploded exponents).
+    pub fn for_relative_errors() -> Self {
+        DecadeHistogram::new(-6, 6)
+    }
+
+    /// Records one value. Zero and negative values count as `zeros`
+    /// (relative errors are non-negative; exact zero means "equal
+    /// magnitude"). Non-finite values count as overflow.
+    pub fn record(&mut self, value: f64) {
+        if value <= 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        if !value.is_finite() {
+            self.overflow += 1;
+            return;
+        }
+        let d = value.log10().floor() as i32;
+        if d < self.min_decade {
+            self.underflow += 1;
+        } else if d >= self.max_decade {
+            self.overflow += 1;
+        } else {
+            self.bins[(d - self.min_decade) as usize] += 1;
+        }
+    }
+
+    /// Records every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Count in the bin for decade `d` (`10^d ..< 10^(d+1)`).
+    pub fn bin(&self, decade: i32) -> u64 {
+        if decade < self.min_decade || decade >= self.max_decade {
+            0
+        } else {
+            self.bins[(decade - self.min_decade) as usize]
+        }
+    }
+
+    /// Values below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Values at or above the top of the range, including non-finite.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Zero (or negative) values.
+    pub fn zeros(&self) -> u64 {
+        self.zeros
+    }
+
+    /// All recorded values.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow + self.zeros
+    }
+
+    /// Fraction of (non-zero) values at or above `10^decade`.
+    pub fn fraction_at_least(&self, decade: i32) -> f64 {
+        let nonzero = self.total() - self.zeros;
+        if nonzero == 0 {
+            return 0.0;
+        }
+        let mut count = self.overflow;
+        for d in decade.max(self.min_decade)..self.max_decade {
+            count += self.bin(d);
+        }
+        if decade < self.min_decade {
+            count += self.underflow;
+        }
+        count as f64 / nonzero as f64
+    }
+
+    /// Renders an ASCII bar view, one row per decade.
+    pub fn render(&self) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.zeros > 0 {
+            out.push_str(&format!("{:>10} | {}\n", "zero", self.zeros));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>10} | {}\n", "under", self.underflow));
+        }
+        for d in self.min_decade..self.max_decade {
+            let n = self.bin(d);
+            let width = (n * 40 / max) as usize;
+            out.push_str(&format!(
+                "{:>9}% | {:<40} {}\n",
+                format_decade(d),
+                "#".repeat(width),
+                n
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>10} | {}\n", "over", self.overflow));
+        }
+        out
+    }
+}
+
+fn format_decade(d: i32) -> String {
+    if (-3..=3).contains(&d) {
+        format!("{}", 10f64.powi(d))
+    } else {
+        format!("1e{d}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_by_decade() {
+        let mut h = DecadeHistogram::new(0, 3);
+        h.record(1.0); // decade 0
+        h.record(9.99); // decade 0
+        h.record(10.0); // decade 1
+        h.record(999.0); // decade 2
+        assert_eq!(h.bin(0), 2);
+        assert_eq!(h.bin(1), 1);
+        assert_eq!(h.bin(2), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_over_zero_flow() {
+        let mut h = DecadeHistogram::new(0, 2);
+        h.record(0.5); // under
+        h.record(100.0); // at top => over
+        h.record(0.0); // zero
+        h.record(f64::INFINITY); // over
+        h.record(f64::NAN); // over
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.zeros(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn fraction_at_least_counts_tail() {
+        let mut h = DecadeHistogram::new(0, 4);
+        h.extend([1.0, 15.0, 150.0, 1500.0]);
+        assert!((h.fraction_at_least(2) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_at_least(0) - 1.0).abs() < 1e-12);
+        // Zeros are excluded from the denominator.
+        h.record(0.0);
+        assert!((h.fraction_at_least(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = DecadeHistogram::new(-1, 2);
+        h.extend([0.5, 5.0, 5.5, 50.0]);
+        let r = h.render();
+        assert!(r.contains('#'));
+        assert!(r.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "decade range inverted")]
+    fn inverted_range_panics() {
+        DecadeHistogram::new(3, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_recorded(values in proptest::collection::vec(-1e9f64..1e9, 0..200)) {
+            let mut h = DecadeHistogram::for_relative_errors();
+            h.extend(values.iter().copied());
+            prop_assert_eq!(h.total(), values.len() as u64);
+        }
+
+        #[test]
+        fn fraction_is_monotone_in_decade(values in proptest::collection::vec(1e-8f64..1e8, 1..100)) {
+            let mut h = DecadeHistogram::for_relative_errors();
+            h.extend(values.iter().copied());
+            let mut prev = 1.0f64;
+            for d in -6..=6 {
+                let f = h.fraction_at_least(d);
+                prop_assert!(f <= prev + 1e-12);
+                prev = f;
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Individual output mismatches and their relative error.
+
+use serde::{Deserialize, Serialize};
+
+use crate::shape::Coord;
+
+/// A single corrupted output element: where it is, what was read, and what
+/// the golden execution produced.
+///
+/// The **relative error** metric of the paper (§III) is computed per
+/// mismatch:
+///
+/// ```text
+/// relative error = |read − expected| / |expected| × 100
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use radcrit_core::mismatch::Mismatch;
+///
+/// let m = Mismatch::new([0, 0, 0], 10.0, 1.0);
+/// assert_eq!(m.relative_error(), 900.0); // "ten times the expected" → 900 %
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mismatch {
+    coord: Coord,
+    expected: f64,
+    read: f64,
+}
+
+impl Mismatch {
+    /// Creates a mismatch at `coord` where the device produced `read`
+    /// instead of `expected`.
+    pub fn new(coord: Coord, read: f64, expected: f64) -> Self {
+        Mismatch {
+            coord,
+            expected,
+            read,
+        }
+    }
+
+    /// The coordinate of the corrupted element in the output geometry.
+    pub fn coord(&self) -> Coord {
+        self.coord
+    }
+
+    /// The value produced by the (faulty) execution.
+    pub fn read(&self) -> f64 {
+        self.read
+    }
+
+    /// The golden (fault-free) value.
+    pub fn expected(&self) -> f64 {
+        self.expected
+    }
+
+    /// The relative error in percent: `|read − expected| / |expected| × 100`.
+    ///
+    /// When the expected value is exactly zero the ratio is undefined; this
+    /// implementation returns `f64::INFINITY` for any non-zero read (the
+    /// corruption is unboundedly off in relative terms) and `0.0` when the
+    /// read is also zero. NaN reads (e.g. a corrupted exponent producing an
+    /// invalid operation) yield `f64::INFINITY` as well, since a NaN output
+    /// is maximally wrong for any tolerance.
+    pub fn relative_error(&self) -> f64 {
+        if self.read.is_nan() || self.expected.is_nan() {
+            return f64::INFINITY;
+        }
+        let diff = (self.read - self.expected).abs();
+        if diff == 0.0 {
+            return 0.0;
+        }
+        if self.expected == 0.0 {
+            return f64::INFINITY;
+        }
+        diff / self.expected.abs() * 100.0
+    }
+
+    /// The relative error saturated at `cap` percent.
+    ///
+    /// The paper caps plotted errors (100 % for DGEMM in Fig. 2, 20 000 %
+    /// for LavaMD in Fig. 4) "to improve figure quality"; this helper
+    /// reproduces that presentation rule.
+    pub fn relative_error_capped(&self, cap: f64) -> f64 {
+        self.relative_error().min(cap)
+    }
+
+    /// Whether this mismatch survives a tolerance of `threshold_pct`
+    /// percent, i.e. whether its relative error is **strictly greater**
+    /// than the threshold (the paper "considers only mismatches with
+    /// relative errors greater than 2 %").
+    pub fn exceeds(&self, threshold_pct: f64) -> bool {
+        self.relative_error() > threshold_pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_ten_times_is_900_percent() {
+        let m = Mismatch::new([0, 0, 0], 10.0, 1.0);
+        assert_eq!(m.relative_error(), 900.0);
+    }
+
+    #[test]
+    fn symmetric_under_sign_of_difference() {
+        let over = Mismatch::new([0, 0, 0], 1.5, 1.0);
+        let under = Mismatch::new([0, 0, 0], 0.5, 1.0);
+        assert_eq!(over.relative_error(), under.relative_error());
+    }
+
+    #[test]
+    fn negative_expected_uses_magnitude() {
+        let m = Mismatch::new([0, 0, 0], -1.5, -1.0);
+        assert!((m.relative_error() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_expected_nonzero_read_is_infinite() {
+        let m = Mismatch::new([0, 0, 0], 0.25, 0.0);
+        assert!(m.relative_error().is_infinite());
+    }
+
+    #[test]
+    fn zero_expected_zero_read_is_zero() {
+        let m = Mismatch::new([0, 0, 0], 0.0, 0.0);
+        assert_eq!(m.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn nan_read_is_infinite() {
+        let m = Mismatch::new([0, 0, 0], f64::NAN, 1.0);
+        assert!(m.relative_error().is_infinite());
+        assert!(m.exceeds(2.0));
+    }
+
+    #[test]
+    fn capping_saturates() {
+        let m = Mismatch::new([0, 0, 0], 10.0, 1.0);
+        assert_eq!(m.relative_error_capped(100.0), 100.0);
+        let small = Mismatch::new([0, 0, 0], 1.05, 1.0);
+        assert!((small.relative_error_capped(100.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exceeds_is_strict() {
+        let m = Mismatch::new([0, 0, 0], 1.02, 1.0);
+        // exactly 2 % does NOT exceed a 2 % threshold
+        assert!((m.relative_error() - 2.0).abs() < 1e-9);
+        assert!(!m.exceeds(2.0 + 1e-9));
+        assert!(m.exceeds(1.9));
+    }
+
+    proptest! {
+        #[test]
+        fn relative_error_is_non_negative(read in -1e12f64..1e12, expected in -1e12f64..1e12) {
+            let m = Mismatch::new([0, 0, 0], read, expected);
+            prop_assert!(m.relative_error() >= 0.0);
+        }
+
+        #[test]
+        fn scaling_both_values_preserves_relative_error(
+            read in 0.1f64..1e6, expected in 0.1f64..1e6, k in 0.1f64..1e3) {
+            let a = Mismatch::new([0, 0, 0], read, expected).relative_error();
+            let b = Mismatch::new([0, 0, 0], read * k, expected * k).relative_error();
+            prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0));
+        }
+
+        #[test]
+        fn cap_never_exceeded(read in -1e9f64..1e9, expected in 0.1f64..1e9, cap in 0.0f64..1e5) {
+            let m = Mismatch::new([0, 0, 0], read, expected);
+            prop_assert!(m.relative_error_capped(cap) <= cap);
+        }
+    }
+}

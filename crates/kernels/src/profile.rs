@@ -1,0 +1,126 @@
+//! Kernel classification metadata (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Which resource bounds the kernel's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bound {
+    /// Compute-bound (CPU in Table I).
+    Cpu,
+    /// Memory-bound.
+    Memory,
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Cpu => f.write_str("CPU"),
+            Bound::Memory => f.write_str("Memory"),
+        }
+    }
+}
+
+/// Whether the work is evenly distributed across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoadBalance {
+    /// Even distribution.
+    Balanced,
+    /// Uneven distribution (border boxes in LavaMD, AMR in CLAMR).
+    Imbalanced,
+}
+
+impl std::fmt::Display for LoadBalance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadBalance::Balanced => f.write_str("Balanced"),
+            LoadBalance::Imbalanced => f.write_str("Imbalanced"),
+        }
+    }
+}
+
+/// Regularity of the memory access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryAccess {
+    /// Coalesced / vectorizable accesses.
+    Regular,
+    /// Data-dependent, irregular accesses.
+    Irregular,
+}
+
+impl std::fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryAccess::Regular => f.write_str("Regular"),
+            MemoryAccess::Irregular => f.write_str("Irregular"),
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelClass {
+    /// Bounding resource.
+    pub bound: Bound,
+    /// Load balance.
+    pub balance: LoadBalance,
+    /// Memory access pattern.
+    pub access: MemoryAccess,
+}
+
+impl KernelClass {
+    /// Table I row for DGEMM.
+    pub const DGEMM: KernelClass = KernelClass {
+        bound: Bound::Cpu,
+        balance: LoadBalance::Balanced,
+        access: MemoryAccess::Regular,
+    };
+
+    /// Table I row for LavaMD.
+    pub const LAVAMD: KernelClass = KernelClass {
+        bound: Bound::Memory,
+        balance: LoadBalance::Imbalanced,
+        access: MemoryAccess::Regular,
+    };
+
+    /// Table I row for HotSpot.
+    pub const HOTSPOT: KernelClass = KernelClass {
+        bound: Bound::Memory,
+        balance: LoadBalance::Balanced,
+        access: MemoryAccess::Regular,
+    };
+
+    /// Table I row for CLAMR.
+    pub const CLAMR: KernelClass = KernelClass {
+        bound: Bound::Cpu,
+        balance: LoadBalance::Imbalanced,
+        access: MemoryAccess::Irregular,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_rows_match_paper() {
+        assert_eq!(KernelClass::DGEMM.bound, Bound::Cpu);
+        assert_eq!(KernelClass::DGEMM.balance, LoadBalance::Balanced);
+        assert_eq!(KernelClass::DGEMM.access, MemoryAccess::Regular);
+
+        assert_eq!(KernelClass::LAVAMD.bound, Bound::Memory);
+        assert_eq!(KernelClass::LAVAMD.balance, LoadBalance::Imbalanced);
+
+        assert_eq!(KernelClass::HOTSPOT.bound, Bound::Memory);
+        assert_eq!(KernelClass::HOTSPOT.balance, LoadBalance::Balanced);
+
+        assert_eq!(KernelClass::CLAMR.bound, Bound::Cpu);
+        assert_eq!(KernelClass::CLAMR.access, MemoryAccess::Irregular);
+    }
+
+    #[test]
+    fn display_matches_table_wording() {
+        assert_eq!(Bound::Cpu.to_string(), "CPU");
+        assert_eq!(LoadBalance::Imbalanced.to_string(), "Imbalanced");
+        assert_eq!(MemoryAccess::Irregular.to_string(), "Irregular");
+    }
+}

@@ -1,0 +1,174 @@
+//! Bringing your own kernel: criticality analysis for a workload the
+//! paper never tested.
+//!
+//! Implements [`TiledProgram`] + [`Workload`]-style analysis for a 1-D
+//! Jacobi solver (tridiagonal Poisson relaxation) from scratch, then runs
+//! it through the same pipeline as the paper's kernels: golden run, site
+//! table, fault injection, and the four §III metrics.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use radcrit::accel::engine::Engine;
+use radcrit::accel::error::AccelError;
+use radcrit::accel::memory::{BufferId, DeviceMemory};
+use radcrit::accel::program::{TileCtx, TileId, TiledProgram};
+use radcrit::campaign::presets;
+use radcrit::core::compare::compare_slices;
+use radcrit::core::filter::ToleranceFilter;
+use radcrit::core::locality::LocalityClassifier;
+use radcrit::core::shape::OutputShape;
+use radcrit::faults::sampler::{FaultSampler, InjectionPlan};
+
+/// A 1-D Jacobi relaxation: `x'_i = (b_i + x_{i-1} + x_{i+1}) / 2`,
+/// double-buffered, `sweeps` iterations over `n` unknowns.
+#[derive(Debug)]
+struct Jacobi1d {
+    n: usize,
+    sweeps: usize,
+    b: Vec<f64>,
+    bufs: Option<[BufferId; 3]>, // x_a, x_b, b
+}
+
+const TILE: usize = 64;
+
+impl Jacobi1d {
+    fn new(n: usize, sweeps: usize, seed: u64) -> Self {
+        let b = (0..n)
+            .map(|i| radcrit::kernels::input::in_range(seed, i as u64, -1.0, 1.0))
+            .collect();
+        Jacobi1d {
+            n,
+            sweeps,
+            b,
+            bufs: None,
+        }
+    }
+
+    fn tiles_per_sweep(&self) -> usize {
+        self.n / TILE
+    }
+}
+
+impl TiledProgram for Jacobi1d {
+    fn name(&self) -> &str {
+        "jacobi1d"
+    }
+
+    fn tile_count(&self) -> usize {
+        self.tiles_per_sweep() * self.sweeps
+    }
+
+    fn tiles_per_launch(&self) -> usize {
+        self.tiles_per_sweep()
+    }
+
+    fn threads_per_tile(&self) -> usize {
+        TILE
+    }
+
+    fn setup(&mut self, mem: &mut DeviceMemory) -> Result<(), AccelError> {
+        self.bufs = Some([
+            mem.alloc("x_a", self.n),
+            mem.alloc("x_b", self.n),
+            mem.alloc_init("b", &self.b),
+        ]);
+        Ok(())
+    }
+
+    fn execute_tile(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        let [xa, xb, bb] = self.bufs.expect("setup ran");
+        let tps = self.tiles_per_sweep();
+        let (sweep, blk) = (tile.index() / tps, tile.index() % tps);
+        let (src, dst) = if sweep % 2 == 0 { (xa, xb) } else { (xb, xa) };
+
+        let start = blk * TILE;
+        let lo = start.saturating_sub(1);
+        let hi = (start + TILE).min(self.n - 1);
+        let mut window = vec![0.0; hi - lo + 1];
+        ctx.load(src, lo, &mut window)?;
+        let mut rhs = vec![0.0; TILE];
+        ctx.load(bb, start, &mut rhs)?;
+
+        let mut out = vec![0.0; TILE];
+        for k in 0..TILE {
+            let i = start + k;
+            let left = if i == 0 { 0.0 } else { window[i - 1 - lo] };
+            let right = if i == self.n - 1 { 0.0 } else { window[i + 1 - lo] };
+            let sum = ctx.add(left, right);
+            let total = ctx.add(rhs[k], sum);
+            out[k] = ctx.mul(0.5, total);
+        }
+        ctx.store(dst, start, &out)
+    }
+
+    fn output(&self) -> BufferId {
+        let [xa, xb, _] = self.bufs.expect("setup ran");
+        if self.sweeps.is_multiple_of(2) {
+            xa
+        } else {
+            xb
+        }
+    }
+
+    fn output_shape(&self) -> OutputShape {
+        OutputShape::d1(self.n)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = presets::k40();
+    let engine = Engine::new(device.clone());
+    let mut kernel = Jacobi1d::new(4096, 40, 5);
+
+    let golden = engine.golden(&mut kernel)?;
+    println!(
+        "custom kernel '{}': {} tiles, {:.2}M ops, output {} unknowns",
+        kernel.name(),
+        golden.profile.tiles,
+        golden.profile.total_ops as f64 / 1e6,
+        golden.output.len()
+    );
+
+    let sampler = FaultSampler::new(&device, &golden.profile);
+    let tolerance = ToleranceFilter::paper_default();
+    let classifier = LocalityClassifier::default();
+    let shape = OutputShape::d1(4096);
+
+    let (mut masked, mut fatal, mut sdc, mut critical) = (0, 0, 0, 0);
+    let mut class_counts = std::collections::BTreeMap::new();
+    for i in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(0xCAFE ^ i);
+        match sampler.sample(&mut rng) {
+            InjectionPlan::Crash | InjectionPlan::Hang => fatal += 1,
+            InjectionPlan::Strike(spec) => {
+                let run = engine.run(&mut kernel, &spec, &mut rng)?;
+                let report = compare_slices(&golden.output, &run.output, shape)?;
+                if !report.is_sdc() {
+                    masked += 1;
+                    continue;
+                }
+                sdc += 1;
+                let crit = report.criticality(&tolerance, &classifier);
+                if crit.is_critical() {
+                    critical += 1;
+                }
+                *class_counts.entry(crit.locality.to_string()).or_insert(0usize) += 1;
+            }
+        }
+    }
+    println!(
+        "300 injections: {sdc} SDC ({critical} critical at 2%), {masked} masked, {fatal} fatal"
+    );
+    println!("locality mix: {class_counts:?}");
+    println!(
+        "\nreading: a relaxation solver behaves like a 1-D HotSpot — corrupted\n\
+         values average away sweep by sweep, so most SDCs fall inside the 2%\n\
+         tolerance; the pipeline needed zero changes to analyze a new kernel."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Architecture design-space exploration: how cache capacity and
+//! register-file ECC trade performance-oriented design against error
+//! criticality (§V-E: "the architectural design must tune the
+//! performance gain obtained by such decisions with the reliability
+//! issues incurred").
+//!
+//! Builds custom devices with the [`DeviceConfig`] builder, runs the
+//! same LavaMD workload on each, and compares SDC rates, error spread
+//! and magnitudes.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use radcrit::accel::cache::CacheGeometry;
+use radcrit::accel::config::DeviceConfig;
+use radcrit::campaign::{Campaign, KernelSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = KernelSpec::LavaMd {
+        grid: 5,
+        particles: 16,
+    };
+
+    // A small GPU-like baseline and three design variants.
+    let base = || {
+        DeviceConfig::builder("base")
+            .units(8)
+            .max_threads_per_unit(512)
+            .l1(CacheGeometry::new(16 * 1024, 64, 4).expect("valid L1"))
+            .l2(CacheGeometry::new(128 * 1024, 64, 8).expect("valid L2"))
+            .ecc(false, 0.0)
+    };
+    let designs: Vec<(&str, DeviceConfig)> = vec![
+        ("baseline (128 KiB L2, no ECC)", base().build()?),
+        (
+            "8x larger L2 (perf: fewer misses)",
+            base()
+                .l2(CacheGeometry::new(1024 * 1024, 64, 8).expect("valid L2"))
+                .build()?,
+        ),
+        ("register ECC (99% coverage)", base().ecc(true, 0.99).build()?),
+        (
+            "big L2 + register ECC",
+            base()
+                .l2(CacheGeometry::new(1024 * 1024, 64, 8).expect("valid L2"))
+                .ecc(true, 0.99)
+                .build()?,
+        ),
+    ];
+
+    println!(
+        "{:<36} | {:>5} | {:>9} | {:>12} | {:>10}",
+        "design", "SDCs", "L2 hit %", "mean elems", "block loc %"
+    );
+    println!("{:-<36}-+-{:->5}-+-{:->9}-+-{:->12}-+-{:->10}", "", "", "", "", "");
+    for (name, device) in designs {
+        let result = Campaign::new(device, kernel, 250, 9).run()?;
+        let hit = result.profile.l2_hit_rate() * 100.0;
+        let s = result.summary();
+        println!(
+            "{name:<36} | {:>5} | {hit:>8.1}% | {:>12.1} | {:>9.0}%",
+            s.sdc,
+            s.mean_incorrect_elements(),
+            s.block_locality_fraction() * 100.0,
+        );
+    }
+
+    println!(
+        "\nreading: growing the cache improves hit rates but keeps corrupted\n\
+         lines alive longer, spreading single strikes across more of the\n\
+         output (the paper's Phi-vs-K40 asymmetry); ECC removes the\n\
+         register-file population of single-element errors but cannot touch\n\
+         cache-spread or scheduler effects — 'long pipelines or large caches\n\
+         ... enhance performance but leave data more exposed' (§V-E)."
+    );
+    Ok(())
+}

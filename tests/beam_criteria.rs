@@ -1,0 +1,104 @@
+//! Cross-crate integration: beam-session bookkeeping against real kernel
+//! cross sections (§IV-D experimental design).
+
+use radcrit::accel::engine::Engine;
+use radcrit::campaign::presets;
+use radcrit::campaign::KernelSpec;
+use radcrit::faults::beam::{BeamSession, Facility};
+use radcrit::faults::site::SiteTable;
+
+#[test]
+fn single_strike_criterion_holds_for_preset_kernels() {
+    // The paper tunes the beam so that at most one neutron corrupts an
+    // execution (<1e-3 errors/execution). Check the criterion with our
+    // pseudo-cross-sections and realistic wall times.
+    let session = BeamSession::paper_reference();
+    for (device, kernel) in [
+        (presets::k40(), KernelSpec::Dgemm { n: 64 }),
+        (presets::xeon_phi(), KernelSpec::Dgemm { n: 64 }),
+        (presets::k40(), KernelSpec::LavaMd { grid: 3, particles: 8 }),
+    ] {
+        let engine = Engine::new(device.clone());
+        let mut k = kernel.build(1).unwrap();
+        let golden = engine.golden(k.as_mut()).unwrap();
+        let table = SiteTable::for_program(&device, &golden.profile);
+        let sigma = table.total_cm2();
+        assert!(
+            session.single_strike_criterion(sigma, 1.0),
+            "{} {}: {} strikes/exec",
+            device.kind(),
+            kernel.name(),
+            session.strikes_per_execution(sigma, 1.0)
+        );
+    }
+}
+
+#[test]
+fn fluence_accounting_matches_fit_scaling() {
+    use radcrit::core::fit::{FitRate, Fluence};
+    let session = BeamSession::new(Facility::Lansce, 100.0, 2, 1.0);
+    let fluence = session.total_fluence();
+    // Double the events, double the FIT.
+    let one = FitRate::from_events_sea_level(10, fluence);
+    let two = FitRate::from_events_sea_level(20, fluence);
+    assert!((two.value() / one.value() - 2.0).abs() < 1e-12);
+    // Doubling beam time at fixed events halves the FIT.
+    let longer = BeamSession::new(Facility::Lansce, 200.0, 2, 1.0);
+    let less = FitRate::from_events_sea_level(10, longer.total_fluence());
+    assert!((one.value() / less.value() - 2.0).abs() < 1e-12);
+    let _ = Fluence::new(1.0).unwrap();
+}
+
+#[test]
+fn site_tables_reflect_architecture() {
+    use radcrit::faults::site::Site;
+    let engine_k40 = Engine::new(presets::k40());
+    let engine_phi = Engine::new(presets::xeon_phi());
+
+    let mut dgemm = KernelSpec::Dgemm { n: 64 }.build(1).unwrap();
+    let k40_profile = engine_k40.golden(dgemm.as_mut()).unwrap().profile;
+    let phi_profile = engine_phi.golden(dgemm.as_mut()).unwrap().profile;
+    let k40 = SiteTable::for_program(&presets::k40(), &k40_profile);
+    let phi = SiteTable::for_program(&presets::xeon_phi(), &phi_profile);
+
+    // The architectural asymmetries the whole study rests on:
+    assert!(
+        k40.share(Site::Scheduler) > phi.share(Site::Scheduler),
+        "hardware scheduler exposes more state than the OS's core contexts"
+    );
+    assert!(
+        phi.share(Site::CoreControl) > k40.share(Site::CoreControl),
+        "complex in-order x86 cores expose more control state"
+    );
+    assert_eq!(k40.weight(Site::VectorRegister), 0.0);
+    assert_eq!(phi.weight(Site::RegisterFile), 0.0);
+    assert_eq!(phi.weight(Site::Sfu), 0.0, "no exposed SFU on the Phi");
+}
+
+#[test]
+fn lavamd_occupancy_limits_k40_register_exposure() {
+    // §V-B: local memory bounds LavaMD's active threads on the K40, so
+    // its register site is far smaller than an occupancy-unlimited
+    // kernel's despite the larger thread count.
+    use radcrit::faults::site::Site;
+    let device = presets::k40();
+    let engine = Engine::new(device.clone());
+
+    let mut lavamd = KernelSpec::LavaMd { grid: 5, particles: 16 }.build(1).unwrap();
+    let lavamd_profile = engine.golden(lavamd.as_mut()).unwrap().profile;
+    let mut hotspot = KernelSpec::HotSpot { rows: 64, cols: 64, iterations: 2 }
+        .build(1)
+        .unwrap();
+    let hotspot_profile = engine.golden(hotspot.as_mut()).unwrap().profile;
+
+    assert!(
+        lavamd_profile.resident_threads < lavamd_profile.instantiated_threads,
+        "local memory must limit LavaMD residency"
+    );
+    let lavamd_table = SiteTable::for_program(&device, &lavamd_profile);
+    let hotspot_table = SiteTable::for_program(&device, &hotspot_profile);
+    assert!(
+        lavamd_table.share(Site::RegisterFile) < hotspot_table.share(Site::RegisterFile),
+        "occupancy-limited LavaMD has the smaller register share"
+    );
+}

@@ -1,0 +1,97 @@
+//! Cross-crate integration: the full campaign pipeline from device model
+//! to criticality summary, logs and CSV.
+
+use radcrit::accel::config::DeviceConfig;
+use radcrit::campaign::{log, Campaign, InjectionOutcome, KernelSpec};
+
+fn campaign(device: DeviceConfig, kernel: KernelSpec, n: usize) -> Campaign {
+    Campaign::new(device, kernel, n, 99).with_workers(2)
+}
+
+#[test]
+fn dgemm_campaign_end_to_end_on_both_devices() {
+    for device in [
+        DeviceConfig::kepler_k40().scaled(8).unwrap(),
+        DeviceConfig::xeon_phi_3120a().scaled(8).unwrap(),
+    ] {
+        let name = device.kind().to_string();
+        let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 80).run().unwrap();
+        let s = result.summary();
+        assert_eq!(s.injections, 80, "{name}");
+        assert_eq!(s.masked + s.sdc + s.crash + s.hang, 80, "{name}");
+        assert!(s.sdc > 0, "{name}: a campaign this size must observe SDCs");
+        assert!(s.sigma_total > 0.0);
+        // FIT bookkeeping is consistent with the outcome counts.
+        let expected_fit = s.sdc as f64 / 80.0 * s.sigma_total;
+        assert!((s.fit_all_total() - expected_fit).abs() < 1e-6 * expected_fit.max(1.0));
+    }
+}
+
+#[test]
+fn every_kernel_runs_in_a_campaign() {
+    let device = DeviceConfig::xeon_phi_3120a().scaled(8).unwrap();
+    let kernels = [
+        KernelSpec::Dgemm { n: 32 },
+        KernelSpec::LavaMd { grid: 3, particles: 6 },
+        KernelSpec::HotSpot { rows: 16, cols: 16, iterations: 6 },
+        KernelSpec::Shallow { rows: 24, cols: 24, steps: 10 },
+    ];
+    for kernel in kernels {
+        let result = campaign(device.clone(), kernel, 40).run().unwrap();
+        assert_eq!(result.records.len(), 40, "{}", kernel.name());
+    }
+}
+
+#[test]
+fn sdc_details_are_internally_consistent() {
+    let device = DeviceConfig::kepler_k40().scaled(8).unwrap();
+    let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 150).run().unwrap();
+    for r in &result.records {
+        if let InjectionOutcome::Sdc(d) = &r.outcome {
+            let c = &d.criticality;
+            assert!(c.incorrect_elements > 0);
+            assert!(c.filtered_incorrect_elements <= c.incorrect_elements);
+            assert!(c.mean_relative_error.is_some());
+            if c.filtered_incorrect_elements > 0 {
+                // Surviving mismatches must exceed the threshold, so their
+                // mean does too.
+                let fmre = c.filtered_mean_relative_error.expect("non-empty mean");
+                assert!(fmre > c.threshold_pct || fmre.is_nan());
+            } else {
+                assert_eq!(c.filtered_mean_relative_error, None);
+            }
+            assert!(r.delivered, "an SDC requires a delivered strike");
+        }
+    }
+}
+
+#[test]
+fn log_and_csv_cover_all_records() {
+    let device = DeviceConfig::kepler_k40().scaled(8).unwrap();
+    let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 50).run().unwrap();
+
+    let mut log_buf = Vec::new();
+    log::write_log(&result, &mut log_buf).unwrap();
+    let log_text = String::from_utf8(log_buf).unwrap();
+    assert_eq!(log_text.lines().count(), 51, "header + one line per record");
+
+    let mut csv_buf = Vec::new();
+    log::write_csv(&result, &mut csv_buf).unwrap();
+    let csv_text = String::from_utf8(csv_buf).unwrap();
+    assert_eq!(csv_text.lines().count(), 51);
+    // Outcome tags in the CSV agree with the records.
+    for (line, record) in csv_text.lines().skip(1).zip(&result.records) {
+        let tag = line.split(',').nth(1).unwrap();
+        assert_eq!(tag, record.outcome.tag());
+    }
+}
+
+#[test]
+fn campaigns_are_reproducible() {
+    let device = DeviceConfig::xeon_phi_3120a().scaled(8).unwrap();
+    let c = campaign(device, KernelSpec::Dgemm { n: 32 }, 60);
+    let a = c.run().unwrap();
+    let b = c.run().unwrap();
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.sigma_total, b.sigma_total);
+}
