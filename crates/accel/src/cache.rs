@@ -362,7 +362,13 @@ impl CacheHierarchy {
     /// Touches every line overlapping `[byte_addr, byte_addr + len)` from
     /// `unit`, with `write` marking L2 lines dirty. Returns corrupted
     /// write-backs caused by evictions (apply them to backing memory).
-    pub fn access(&mut self, unit: usize, byte_addr: usize, len: usize, write: bool) -> Vec<WriteBack> {
+    pub fn access(
+        &mut self,
+        unit: usize,
+        byte_addr: usize,
+        len: usize,
+        write: bool,
+    ) -> Vec<WriteBack> {
         let mut out = Vec::new();
         if len == 0 {
             return out;
@@ -489,8 +495,8 @@ impl CacheHierarchy {
 mod tests {
     use super::*;
     use crate::config::DeviceConfig;
-    use rand_chacha::ChaCha8Rng as SmallRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng as SmallRng;
 
     fn tiny_hierarchy() -> CacheHierarchy {
         // 2 units, small caches to force evictions quickly.
@@ -563,7 +569,10 @@ mod tests {
         let mut wb = Vec::new();
         wb.extend(h.access(0, set_stride, 8, false));
         wb.extend(h.access(0, 2 * set_stride, 8, false));
-        assert!(wb.is_empty(), "clean eviction must not write back corruption");
+        assert!(
+            wb.is_empty(),
+            "clean eviction must not write back corruption"
+        );
         assert_eq!(h.corruption_for(0, info.byte_addr), 0, "corruption gone");
     }
 
@@ -664,8 +673,10 @@ mod tests {
             }
             let survived = h.corruption_for(0, info.byte_addr) != 0;
             assert_eq!(
-                survived, expect_surviving,
-                "L2 of {} bytes", cfg.l2().size_bytes
+                survived,
+                expect_surviving,
+                "L2 of {} bytes",
+                cfg.l2().size_bytes
             );
         }
     }

@@ -468,7 +468,10 @@ mod tests {
         assert!(k40.ecc_register_file());
         assert!(k40.exposed_sfu());
         // 30 Mbit total register file = 15 x 256 KiB.
-        assert_eq!(k40.register_file_bytes_per_unit() * 15 * 8, 30 * 1024 * 1024);
+        assert_eq!(
+            k40.register_file_bytes_per_unit() * 15 * 8,
+            30 * 1024 * 1024
+        );
     }
 
     #[test]
@@ -541,7 +544,10 @@ mod tests {
             .max_threads_per_unit(0)
             .build()
             .is_err());
-        assert!(DeviceConfig::builder("bad").vector_lanes_f64(0).build().is_err());
+        assert!(DeviceConfig::builder("bad")
+            .vector_lanes_f64(0)
+            .build()
+            .is_err());
         assert!(DeviceConfig::builder("bad").ecc(true, 1.5).build().is_err());
         assert!(DeviceConfig::builder("bad")
             .per_bit_sensitivity(0.0)

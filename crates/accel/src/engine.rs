@@ -14,10 +14,10 @@ use crate::config::DeviceConfig;
 use crate::error::AccelError;
 use crate::memory::DeviceMemory;
 use crate::profile::ExecutionProfile;
-use crate::trace::{ExecutionTrace, TileTrace};
 use crate::program::{apply_writebacks, MachineCounters, TileCtx, TileFault, TileId, TiledProgram};
 use crate::scheduler::DispatchPlan;
 use crate::strike::{SchedulerEffect, StrikeSpec, StrikeTarget};
+use crate::trace::{ExecutionTrace, TileTrace};
 
 /// The result of one engine run.
 ///
@@ -250,12 +250,15 @@ impl Engine {
         apply_writebacks(&mut mem, &wbs);
 
         let output = mem.to_vec(program.output())?;
-        program.output_shape().check_len(output.len()).map_err(|_| {
-            AccelError::InvalidConfig(format!(
-                "program {} declares an output shape not matching its buffer",
-                program.name()
-            ))
-        })?;
+        program
+            .output_shape()
+            .check_len(output.len())
+            .map_err(|_| {
+                AccelError::InvalidConfig(format!(
+                    "program {} declares an output shape not matching its buffer",
+                    program.name()
+                ))
+            })?;
 
         let stats = caches.stats();
         let line_bytes = caches.line_bytes() as f64;
@@ -281,10 +284,9 @@ impl Engine {
             },
             // L1s refill constantly; approximate average occupancy as the
             // lesser of per-unit capacity and the L2 share per unit.
-            l1_avg_resident_bytes: (self.cfg.l1().size_bytes as f64)
-                .min(l2_resident_samples / tiles.max(1) as f64 * line_bytes
-                    / self.cfg.units() as f64)
-                * self.cfg.units() as f64,
+            l1_avg_resident_bytes: (self.cfg.l1().size_bytes as f64).min(
+                l2_resident_samples / tiles.max(1) as f64 * line_bytes / self.cfg.units() as f64,
+            ) * self.cfg.units() as f64,
         };
 
         Ok(RunOutcome {
@@ -409,8 +411,8 @@ impl rand::RngCore for NoRng {
 mod tests {
     use super::*;
     use radcrit_core::shape::OutputShape;
-    use rand_chacha::ChaCha8Rng as SmallRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng as SmallRng;
 
     use crate::memory::BufferId;
 
@@ -498,10 +500,19 @@ mod tests {
         let engine = Engine::new(DeviceConfig::kepler_k40());
         let mut p = Affine::new(64);
         let mut rng = SmallRng::seed_from_u64(0);
-        let s = StrikeSpec::new(100, StrikeTarget::Fpu { mask: 1, op_index: 0 });
+        let s = StrikeSpec::new(
+            100,
+            StrikeTarget::Fpu {
+                mask: 1,
+                op_index: 0,
+            },
+        );
         assert!(matches!(
             engine.run(&mut p, &s, &mut rng),
-            Err(AccelError::StrikeOutOfRange { tile: 100, tiles: 8 })
+            Err(AccelError::StrikeOutOfRange {
+                tile: 100,
+                tiles: 8
+            })
         ));
     }
 
@@ -627,7 +638,10 @@ mod tests {
         // The strike lands on input or output data; input corruption
         // propagates to at most the elements reading the line after the
         // strike; output corruption persists via dirty write-back.
-        assert!(diffs <= 16, "single line bounds the corruption, got {diffs}");
+        assert!(
+            diffs <= 16,
+            "single line bounds the corruption, got {diffs}"
+        );
     }
 
     #[test]
@@ -636,8 +650,20 @@ mod tests {
         let mut p = Affine::new(64);
         let mut rng = SmallRng::seed_from_u64(21);
         let strikes = vec![
-            StrikeSpec::new(1, StrikeTarget::Fpu { mask: 1 << 63, op_index: 0 }),
-            StrikeSpec::new(4, StrikeTarget::Fpu { mask: 1 << 63, op_index: 3 }),
+            StrikeSpec::new(
+                1,
+                StrikeTarget::Fpu {
+                    mask: 1 << 63,
+                    op_index: 0,
+                },
+            ),
+            StrikeSpec::new(
+                4,
+                StrikeTarget::Fpu {
+                    mask: 1 << 63,
+                    op_index: 3,
+                },
+            ),
             StrikeSpec::new(6, StrikeTarget::Scheduler(SchedulerEffect::SkipTile)),
         ];
         let out = engine.run_multi(&mut p, &strikes, &mut rng).unwrap();

@@ -27,6 +27,14 @@ pub enum AccelError {
         /// Number of tiles in the program.
         tiles: usize,
     },
+    /// A campaign worker panicked while executing an injection; the
+    /// payload is the panic message. Surfaced as a typed error so a
+    /// panicking kernel aborts the campaign cleanly instead of the
+    /// process.
+    WorkerPanic(String),
+    /// A persisted artifact (checkpoint, log) could not be read or was
+    /// inconsistent with the campaign being run.
+    Corrupt(String),
 }
 
 impl fmt::Display for AccelError {
@@ -42,6 +50,8 @@ impl fmt::Display for AccelError {
                 f,
                 "strike targets tile {tile} but the program has only {tiles} tiles"
             ),
+            AccelError::WorkerPanic(msg) => write!(f, "campaign worker panicked: {msg}"),
+            AccelError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
         }
     }
 }

@@ -101,14 +101,11 @@ impl DeviceMemory {
     /// Returns [`AccelError::UnknownBuffer`] or [`AccelError::OutOfBounds`].
     pub fn read(&self, buf: BufferId, index: usize) -> Result<f64, AccelError> {
         let b = self.buffer(buf)?;
-        b.data
-            .get(index)
-            .copied()
-            .ok_or(AccelError::OutOfBounds {
-                buffer: buf.0,
-                index,
-                len: b.data.len(),
-            })
+        b.data.get(index).copied().ok_or(AccelError::OutOfBounds {
+            buffer: buf.0,
+            index,
+            len: b.data.len(),
+        })
     }
 
     /// Writes one element.
@@ -225,7 +222,9 @@ impl DeviceMemory {
     }
 
     fn buffer(&self, buf: BufferId) -> Result<&Buffer, AccelError> {
-        self.buffers.get(buf.0).ok_or(AccelError::UnknownBuffer(buf.0))
+        self.buffers
+            .get(buf.0)
+            .ok_or(AccelError::UnknownBuffer(buf.0))
     }
 
     fn buffer_mut(&mut self, buf: BufferId) -> Result<&mut Buffer, AccelError> {
@@ -264,7 +263,11 @@ mod tests {
         let b = mem.alloc("b", 2);
         assert!(matches!(
             mem.read(b, 2),
-            Err(AccelError::OutOfBounds { index: 2, len: 2, .. })
+            Err(AccelError::OutOfBounds {
+                index: 2,
+                len: 2,
+                ..
+            })
         ));
         assert!(mem.write(b, 5, 0.0).is_err());
     }
@@ -280,9 +283,23 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let a = mem.alloc("a", 3); // 24 bytes
         let b = mem.alloc("b", 3);
-        let end_a = mem.byte_addr(ElemAddr { buffer: a, index: 2 }).unwrap() + 8;
-        let start_b = mem.byte_addr(ElemAddr { buffer: b, index: 0 }).unwrap();
-        assert!(start_b >= 256, "second buffer must start on a fresh 256 B block");
+        let end_a = mem
+            .byte_addr(ElemAddr {
+                buffer: a,
+                index: 2,
+            })
+            .unwrap()
+            + 8;
+        let start_b = mem
+            .byte_addr(ElemAddr {
+                buffer: b,
+                index: 0,
+            })
+            .unwrap();
+        assert!(
+            start_b >= 256,
+            "second buffer must start on a fresh 256 B block"
+        );
         assert!(start_b >= end_a);
         assert_eq!(start_b % 256, 0);
     }
@@ -293,7 +310,10 @@ mod tests {
         let a = mem.alloc("a", 10);
         let b = mem.alloc("b", 10);
         for &(buf, idx) in &[(a, 0usize), (a, 9), (b, 0), (b, 5)] {
-            let addr = ElemAddr { buffer: buf, index: idx };
+            let addr = ElemAddr {
+                buffer: buf,
+                index: idx,
+            };
             let byte = mem.byte_addr(addr).unwrap();
             assert_eq!(mem.elem_at_byte(byte), Some(addr));
             // Any byte within the element maps back to it.

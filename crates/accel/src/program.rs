@@ -310,9 +310,7 @@ impl<'a> TileCtx<'a> {
             })?;
             dst.copy_from_slice(window);
         }
-        let wbs = self
-            .caches
-            .access(self.unit, base, dst.len() * 8, false);
+        let wbs = self.caches.access(self.unit, base, dst.len() * 8, false);
         apply_writebacks(self.mem, &wbs);
         // Slow path only for elements on struck lines.
         if self.caches.has_pending_corruption() {
@@ -364,13 +362,11 @@ impl<'a> TileCtx<'a> {
             let dstbuf = self.mem.slice_mut(buf)?;
             let end = start + src.len();
             let len = dstbuf.len();
-            let window = dstbuf
-                .get_mut(start..end)
-                .ok_or(AccelError::OutOfBounds {
-                    buffer: buf.index(),
-                    index: end - 1,
-                    len,
-                })?;
+            let window = dstbuf.get_mut(start..end).ok_or(AccelError::OutOfBounds {
+                buffer: buf.index(),
+                index: end - 1,
+                len,
+            })?;
             if fault_stores {
                 for (slot, &v) in window.iter_mut().zip(src) {
                     let idx = self.store_ops;
@@ -569,8 +565,8 @@ mod tests {
 
     #[test]
     fn corrupted_line_observed_by_load() {
-        use rand_chacha::ChaCha8Rng as SmallRng;
         use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng as SmallRng;
         let (mut mem, mut caches) = machine();
         let buf = mem.alloc_init("in", &vec![1.0; 32]);
         let mut rng = SmallRng::seed_from_u64(3);
@@ -590,8 +586,8 @@ mod tests {
 
     #[test]
     fn program_store_clears_pending_corruption() {
-        use rand_chacha::ChaCha8Rng as SmallRng;
         use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng as SmallRng;
         let (mut mem, mut caches) = machine();
         let buf = mem.alloc("out", 32);
         let mut rng = SmallRng::seed_from_u64(4);

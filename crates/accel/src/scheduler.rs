@@ -68,7 +68,9 @@ impl DispatchPlan {
         local_mem_per_tile: usize,
     ) -> Self {
         let launch_tiles = launch_tiles.clamp(1, tiles.max(1));
-        let wave_size = cfg.concurrent_tiles(threads_per_tile, local_mem_per_tile).max(1);
+        let wave_size = cfg
+            .concurrent_tiles(threads_per_tile, local_mem_per_tile)
+            .max(1);
         let assignment = match cfg.scheduler() {
             SchedulerKind::Hardware => Assignment::RoundRobinWaves,
             SchedulerKind::OperatingSystem => Assignment::StaticChunks {
@@ -315,8 +317,9 @@ mod tests {
         assert_eq!(plan.unit_of(113), 56);
         assert_eq!(plan.unit_of(114), 0, "a new launch restarts at core 0");
         // A garble at the end of launch 0 cannot leak into launch 1.
-        let garbled: Vec<usize> =
-            (0..456).filter(|&p| plan.unit_garble_applies(113, p)).collect();
+        let garbled: Vec<usize> = (0..456)
+            .filter(|&p| plan.unit_garble_applies(113, p))
+            .collect();
         assert_eq!(garbled, vec![113]);
     }
 
@@ -324,10 +327,11 @@ mod tests {
     fn unit_garble_span_is_contiguous_on_phi() {
         let cfg = DeviceConfig::xeon_phi_3120a();
         let plan = DispatchPlan::new(&cfg, 570, 570, 4, 0); // chunks of 10
-        // Strike mid-chunk of core 3 (positions 30..40).
+                                                            // Strike mid-chunk of core 3 (positions 30..40).
         let struck = 34;
-        let garbled: Vec<usize> =
-            (0..570).filter(|&p| plan.unit_garble_applies(struck, p)).collect();
+        let garbled: Vec<usize> = (0..570)
+            .filter(|&p| plan.unit_garble_applies(struck, p))
+            .collect();
         assert_eq!(garbled, (34..40).collect::<Vec<_>>());
     }
 
@@ -339,7 +343,10 @@ mod tests {
         for pos in 0..250 {
             assert!(plan.unit_of(pos) < 57, "pos {pos}");
             let pending = plan.pending_in_wave(pos);
-            assert!(pending.start == pos && pending.end <= 250, "pos {pos}: {pending:?}");
+            assert!(
+                pending.start == pos && pending.end <= 250,
+                "pos {pos}: {pending:?}"
+            );
             assert!(!pending.is_empty());
         }
         // Chunk of ceil(100/57)=2: position 248 is in the final launch's
@@ -363,8 +370,9 @@ mod tests {
         let cfg = DeviceConfig::kepler_k40();
         let plan = DispatchPlan::new(&cfg, 100, 100, 2048, 0); // waves of 15
         let struck = 2;
-        let garbled: Vec<usize> =
-            (0..100).filter(|&p| plan.unit_garble_applies(struck, p)).collect();
+        let garbled: Vec<usize> = (0..100)
+            .filter(|&p| plan.unit_garble_applies(struck, p))
+            .collect();
         assert_eq!(garbled, vec![2], "one block per SM per wave on the K40");
     }
 

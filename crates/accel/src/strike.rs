@@ -155,16 +155,31 @@ mod tests {
         let targets = [
             StrikeTarget::L2 { mask: 1 },
             StrikeTarget::L1 { mask: 1 },
-            StrikeTarget::RegisterFile { mask: 1, op_index: 5 },
-            StrikeTarget::VectorRegister { mask: 1, lanes: 8, op_index: 5 },
-            StrikeTarget::Fpu { mask: 1, op_index: 5 },
-            StrikeTarget::Sfu { scale: -16.0, op_index: 5 },
-            StrikeTarget::CoreControl { elems: 2, store_index: 5 },
+            StrikeTarget::RegisterFile {
+                mask: 1,
+                op_index: 5,
+            },
+            StrikeTarget::VectorRegister {
+                mask: 1,
+                lanes: 8,
+                op_index: 5,
+            },
+            StrikeTarget::Fpu {
+                mask: 1,
+                op_index: 5,
+            },
+            StrikeTarget::Sfu {
+                scale: -16.0,
+                op_index: 5,
+            },
+            StrikeTarget::CoreControl {
+                elems: 2,
+                store_index: 5,
+            },
             StrikeTarget::UnitGarble,
             StrikeTarget::Scheduler(SchedulerEffect::SkipTile),
         ];
-        let names: std::collections::HashSet<_> =
-            targets.iter().map(|t| t.site_name()).collect();
+        let names: std::collections::HashSet<_> = targets.iter().map(|t| t.site_name()).collect();
         assert_eq!(names.len(), targets.len());
     }
 

@@ -36,8 +36,11 @@ fn access_strategy() -> impl Strategy<Value = Access> {
             proptest::collection::vec(-1e6f64..1e6, 1..16)
         )
             .prop_map(|(buf, start, values)| Access::Store { buf, start, values }),
-        (0usize..3, 0usize..48, 1usize..16)
-            .prop_map(|(buf, start, len)| Access::Load { buf, start, len }),
+        (0usize..3, 0usize..48, 1usize..16).prop_map(|(buf, start, len)| Access::Load {
+            buf,
+            start,
+            len
+        }),
     ]
 }
 
@@ -68,7 +71,9 @@ impl TiledProgram for Replay {
     }
 
     fn setup(&mut self, mem: &mut DeviceMemory) -> Result<(), AccelError> {
-        self.bufs = (0..3).map(|i| mem.alloc(format!("b{i}"), BUF_LEN)).collect();
+        self.bufs = (0..3)
+            .map(|i| mem.alloc(format!("b{i}"), BUF_LEN))
+            .collect();
         self.out = Some(mem.alloc("out", 1));
         self.model = vec![vec![0.0; BUF_LEN]; 3];
         self.failures = 0;

@@ -41,13 +41,17 @@ fn bench_abft(c: &mut Criterion) {
                 std::hint::black_box(checker.check(&mut m))
             });
         });
-        group.bench_with_input(BenchmarkId::new("check_and_correct_single", n), &n, |bch, _| {
-            bch.iter(|| {
-                let mut m = product.clone();
-                m[n + 3] += 42.0;
-                std::hint::black_box(checker.check(&mut m))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("check_and_correct_single", n),
+            &n,
+            |bch, _| {
+                bch.iter(|| {
+                    let mut m = product.clone();
+                    m[n + 3] += 42.0;
+                    std::hint::black_box(checker.check(&mut m))
+                });
+            },
+        );
     }
     group.finish();
 }

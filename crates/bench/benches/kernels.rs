@@ -43,17 +43,13 @@ fn bench_goldens(c: &mut Criterion) {
     for (dev_name, device) in &devices {
         let engine = Engine::new(device.clone());
         for (kernel_name, spec) in &kernels {
-            group.bench_with_input(
-                BenchmarkId::new(*kernel_name, dev_name),
-                spec,
-                |b, spec| {
-                    let mut kernel = spec.build(1).expect("valid kernel spec");
-                    b.iter(|| {
-                        let out = engine.golden(kernel.as_mut()).expect("golden run");
-                        std::hint::black_box(out.output.len())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*kernel_name, dev_name), spec, |b, spec| {
+                let mut kernel = spec.build(1).expect("valid kernel spec");
+                b.iter(|| {
+                    let out = engine.golden(kernel.as_mut()).expect("golden run");
+                    std::hint::black_box(out.output.len())
+                });
+            });
         }
     }
     group.finish();

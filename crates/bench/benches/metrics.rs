@@ -27,8 +27,7 @@ fn bench_compare(c: &mut Criterion) {
         let shape = OutputShape::d2(n / 64, 64);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let report =
-                    compare_slices(&golden, &observed, shape).expect("matching lengths");
+                let report = compare_slices(&golden, &observed, shape).expect("matching lengths");
                 std::hint::black_box(report.incorrect_elements())
             });
         });
@@ -45,11 +44,9 @@ fn bench_filter_and_classify(c: &mut Criterion) {
         let report = compare_slices(&golden, &observed, shape).expect("matching lengths");
         let filter = ToleranceFilter::paper_default();
         let classifier = LocalityClassifier::default();
-        group.bench_with_input(
-            BenchmarkId::new("filter", corrupted),
-            &corrupted,
-            |b, _| b.iter(|| std::hint::black_box(filter.apply(&report).incorrect_elements())),
-        );
+        group.bench_with_input(BenchmarkId::new("filter", corrupted), &corrupted, |b, _| {
+            b.iter(|| std::hint::black_box(filter.apply(&report).incorrect_elements()))
+        });
         group.bench_with_input(
             BenchmarkId::new("classify", corrupted),
             &corrupted,
@@ -58,9 +55,7 @@ fn bench_filter_and_classify(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("full_criticality", corrupted),
             &corrupted,
-            |b, _| {
-                b.iter(|| std::hint::black_box(report.criticality(&filter, &classifier)))
-            },
+            |b, _| b.iter(|| std::hint::black_box(report.criticality(&filter, &classifier))),
         );
     }
     group.finish();

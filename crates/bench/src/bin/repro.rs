@@ -23,10 +23,10 @@ use radcrit_bench::{
     fit_header, fit_row, scatter_grid, scatter_stats, shape_report, table, ShapeCheck,
 };
 use radcrit_campaign::config::KernelSpec;
+use radcrit_campaign::log as clog;
 use radcrit_campaign::presets::{self, Preset, Scale};
 use radcrit_campaign::runner::{compare_with_logical_coords, CampaignResult};
 use radcrit_campaign::summary::CampaignSummary;
-use radcrit_campaign::log as clog;
 use radcrit_faults::sampler::{FaultSampler, InjectionPlan};
 use radcrit_kernels::dgemm::Dgemm;
 use radcrit_kernels::profile::KernelClass;
@@ -66,8 +66,23 @@ fn main() {
     }
     if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "table2", "ratios", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "abft", "masscheck", "ablate", "hardening", "injector", "multistrike",
+            "table1",
+            "table2",
+            "ratios",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "abft",
+            "masscheck",
+            "ablate",
+            "hardening",
+            "injector",
+            "multistrike",
         ]
         .iter()
         .map(|s| (*s).to_owned())
@@ -139,10 +154,7 @@ impl Ctx {
             preset.kernel.input_label()
         );
         if !self.cache.contains_key(&key) {
-            eprintln!(
-                "[campaign] {key}: {} injections ...",
-                preset.injections
-            );
+            eprintln!("[campaign] {key}: {} injections ...", preset.injections);
             let t0 = std::time::Instant::now();
             let result = preset
                 .campaign(self.seed)
@@ -172,7 +184,10 @@ impl Ctx {
     }
 
     fn tally(&self) -> String {
-        format!("{} of {} shape checks hold", self.checks_pass, self.checks_total)
+        format!(
+            "{} of {} shape checks hold",
+            self.checks_pass, self.checks_total
+        )
     }
 }
 
@@ -192,17 +207,28 @@ fn table1() {
         (
             "LavaMD",
             KernelClass::LAVAMD,
-            KernelSpec::LavaMd { grid: 4, particles: 8 },
+            KernelSpec::LavaMd {
+                grid: 4,
+                particles: 8,
+            },
         ),
         (
             "HotSpot",
             KernelClass::HOTSPOT,
-            KernelSpec::HotSpot { rows: 64, cols: 64, iterations: 8 },
+            KernelSpec::HotSpot {
+                rows: 64,
+                cols: 64,
+                iterations: 8,
+            },
         ),
         (
             "CLAMR",
             KernelClass::CLAMR,
-            KernelSpec::Shallow { rows: 64, cols: 64, steps: 30 },
+            KernelSpec::Shallow {
+                rows: 64,
+                cols: 64,
+                steps: 30,
+            },
         ),
     ];
     let engine = Engine::new(presets::k40());
@@ -314,19 +340,31 @@ fn ratios(ctx: &mut Ctx) {
 // --------------------------------------------------------------- helpers
 
 fn dgemm_summaries(ctx: &mut Ctx, phi: bool) -> Vec<CampaignSummary> {
-    let device = if phi { presets::xeon_phi() } else { presets::k40() };
+    let device = if phi {
+        presets::xeon_phi()
+    } else {
+        presets::k40()
+    };
     let presets = presets::dgemm(&device, ctx.scale);
     ctx.summaries(&presets)
 }
 
 fn lavamd_summaries(ctx: &mut Ctx, phi: bool) -> Vec<CampaignSummary> {
-    let device = if phi { presets::xeon_phi() } else { presets::k40() };
+    let device = if phi {
+        presets::xeon_phi()
+    } else {
+        presets::k40()
+    };
     let presets = presets::lavamd(&device, ctx.scale);
     ctx.summaries(&presets)
 }
 
 fn hotspot_summary(ctx: &mut Ctx, phi: bool) -> CampaignSummary {
-    let device = if phi { presets::xeon_phi() } else { presets::k40() };
+    let device = if phi {
+        presets::xeon_phi()
+    } else {
+        presets::k40()
+    };
     let preset = presets::hotspot(&device, ctx.scale);
     ctx.run(&preset).summary()
 }
@@ -374,15 +412,31 @@ fn fig2(ctx: &mut Ctx) {
     // paper's "most executions had at most 0.4% of output elements
     // corrupted".
     let median_fraction = |s: &CampaignSummary, n: usize| {
-        let elems: Vec<f64> = s.scatter.iter().map(|p| p.incorrect_elements as f64).collect();
+        let elems: Vec<f64> = s
+            .scatter
+            .iter()
+            .map(|p| p.incorrect_elements as f64)
+            .collect();
         radcrit_core::stats::quantile(&elems, 0.5).unwrap_or(0.0) / (n * n) as f64
     };
     let k40_frac = k40.last().map(|s| {
-        let n = s.input.split('x').next().unwrap().parse::<usize>().unwrap_or(1);
+        let n = s
+            .input
+            .split('x')
+            .next()
+            .unwrap()
+            .parse::<usize>()
+            .unwrap_or(1);
         median_fraction(s, n)
     });
     let phi_frac = phi.last().map(|s| {
-        let n = s.input.split('x').next().unwrap().parse::<usize>().unwrap_or(1);
+        let n = s
+            .input
+            .split('x')
+            .next()
+            .unwrap()
+            .parse::<usize>()
+            .unwrap_or(1);
         median_fraction(s, n)
     });
     let checks = vec![
@@ -393,7 +447,11 @@ fn fig2(ctx: &mut Ctx) {
         ),
         ShapeCheck::new(
             "Phi: mostly large relative errors — far fewer small-error SDCs than K40",
-            format!("K40 {:.0}% vs Phi {:.0}% small", k40_small * 100.0, phi_small * 100.0),
+            format!(
+                "K40 {:.0}% vs Phi {:.0}% small",
+                k40_small * 100.0,
+                phi_small * 100.0
+            ),
             phi_small < k40_small,
         ),
         ShapeCheck::new(
@@ -418,9 +476,17 @@ fn fig3(ctx: &mut Ctx) {
     print_fit("DGEMM Xeon Phi", &phi);
 
     let k40_growth = k40.last().map(|l| l.fit_all_total()).unwrap_or(0.0)
-        / k40.first().map(|f| f.fit_all_total()).unwrap_or(1.0).max(1e-30);
+        / k40
+            .first()
+            .map(|f| f.fit_all_total())
+            .unwrap_or(1.0)
+            .max(1e-30);
     let phi_growth = phi[phi.len().min(3) - 1].fit_all_total()
-        / phi.first().map(|f| f.fit_all_total()).unwrap_or(1.0).max(1e-30);
+        / phi
+            .first()
+            .map(|f| f.fit_all_total())
+            .unwrap_or(1.0)
+            .max(1e-30);
     let k40_filtered = mean_of(&k40, CampaignSummary::filtered_out_fraction);
     let phi_filtered = mean_of(&phi, CampaignSummary::filtered_out_fraction);
     let checks = vec![
@@ -496,7 +562,10 @@ fn fig4(ctx: &mut Ctx) {
     let checks = vec![
         ShapeCheck::new(
             "K40 LavaMD criticals are drastically wrong — >=100% MRE (paper: 1e3-1e4 %)",
-            format!("{:.0}% of criticals at or beyond 100% MRE", k40_huge * 100.0),
+            format!(
+                "{:.0}% of criticals at or beyond 100% MRE",
+                k40_huge * 100.0
+            ),
             k40_huge > 0.6,
         ),
         ShapeCheck::new(
@@ -521,12 +590,16 @@ fn fig5(ctx: &mut Ctx) {
     print_fit("LavaMD K40", &k40);
     print_fit("LavaMD Xeon Phi", &phi);
 
-    let k40_blocks: Vec<f64> = k40.iter().map(CampaignSummary::block_locality_fraction).collect();
+    let k40_blocks: Vec<f64> = k40
+        .iter()
+        .map(CampaignSummary::block_locality_fraction)
+        .collect();
     let phi_block = mean_of(&phi, CampaignSummary::block_locality_fraction);
     let k40_filtered = mean_of(&k40, CampaignSummary::filtered_out_fraction);
     let phi_filtered = mean_of(&phi, CampaignSummary::filtered_out_fraction);
     let k40_growth = growth(&k40);
-    let checks = vec![
+    let checks =
+        vec![
         ShapeCheck::new(
             "Phi LavaMD has a large cubic+square share, far above the K40's (paper: most errors)",
             format!(
@@ -763,9 +836,10 @@ fn abft(ctx: &mut Ctx) {
                 let mut c = run.output.clone();
                 match checker.check(&mut c) {
                     AbftOutcome::Corrected(_) => {
-                        if c.iter().zip(&golden.output).all(|(x, y)| {
-                            (x - y).abs() <= 1e-6 * y.abs().max(1.0)
-                        }) {
+                        if c.iter()
+                            .zip(&golden.output)
+                            .all(|(x, y)| (x - y).abs() <= 1e-6 * y.abs().max(1.0))
+                        {
                             corrected += 1;
                         } else {
                             uncorrectable += 1;
@@ -831,7 +905,11 @@ fn masscheck(ctx: &mut Ctx) {
             }
         }
     }
-    let coverage = if sdc == 0 { 0.0 } else { detected as f64 / sdc as f64 };
+    let coverage = if sdc == 0 {
+        0.0
+    } else {
+        detected as f64 / sdc as f64
+    };
     println!(
         "mass check detected {detected} of {sdc} SDCs ({:.0}% coverage; paper reports 82%)",
         coverage * 100.0
@@ -848,7 +926,6 @@ fn masscheck(ctx: &mut Ctx) {
         "(campaign had {campaign_sdc} SDC records overall)"
     );
 }
-
 
 // ---------------------------------------------------------------- ablate
 
@@ -875,27 +952,34 @@ fn ablate(ctx: &mut Ctx) {
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ (0xAB1A << 32) ^ i);
         if let InjectionPlan::Strike(spec) = sampler.sample(&mut rng) {
             if let Ok(run) = engine.run(kernel.as_mut(), &spec, &mut rng) {
-                let report = compare_with_logical_coords(&golden.output, &run.output, kernel.as_ref());
+                let report =
+                    compare_with_logical_coords(&golden.output, &run.output, kernel.as_ref());
                 if report.is_sdc() {
                     reports.push(report);
                 }
             }
         }
     }
-    println!("\n(A) tolerance sweep over {} corrupted HotSpot outputs:", reports.len());
+    println!(
+        "\n(A) tolerance sweep over {} corrupted HotSpot outputs:",
+        reports.len()
+    );
     let mut rows = Vec::new();
     let mut prev_surviving = usize::MAX;
     let mut monotone = true;
     for threshold in [0.0, 0.5, 1.0, 2.0, 4.0, 10.0] {
-        let filter = radcrit_core::filter::ToleranceFilter::new(threshold)
-            .expect("non-negative threshold");
+        let filter =
+            radcrit_core::filter::ToleranceFilter::new(threshold).expect("non-negative threshold");
         let surviving = reports.iter().filter(|r| !filter.fully_masks(r)).count();
         monotone &= surviving <= prev_surviving;
         prev_surviving = surviving;
         rows.push(vec![
             format!("{threshold}%"),
             surviving.to_string(),
-            format!("{:.0}%", surviving as f64 / reports.len().max(1) as f64 * 100.0),
+            format!(
+                "{:.0}%",
+                surviving as f64 / reports.len().max(1) as f64 * 100.0
+            ),
         ]);
     }
     println!("{}", table(&["threshold", "critical SDCs", "share"], &rows));
@@ -928,7 +1012,11 @@ fn ablate(ctx: &mut Ctx) {
     let mut growths = Vec::new();
     let scaling_matrix: [(usize, [usize; 2], usize); 3] = match ctx.scale {
         Scale::Quick => [(4, [64, 128], 40), (8, [32, 64], 60), (16, [16, 32], 80)],
-        Scale::Standard => [(4, [256, 1024], 60), (8, [128, 512], 120), (16, [64, 256], 200)],
+        Scale::Standard => [
+            (4, [256, 1024], 60),
+            (8, [128, 512], 120),
+            (16, [64, 256], 200),
+        ],
     };
     for (divisor, sizes, injections) in scaling_matrix {
         let device = radcrit_accel::config::DeviceConfig::kepler_k40()
@@ -947,7 +1035,11 @@ fn ablate(ctx: &mut Ctx) {
             .summary();
             fits.push(summary.fit_all_total());
         }
-        let growth = if fits[0] > 0.0 { fits[1] / fits[0] } else { 0.0 };
+        let growth = if fits[0] > 0.0 {
+            fits[1] / fits[0]
+        } else {
+            0.0
+        };
         growths.push(growth);
         rows.push(vec![
             format!("1/{divisor}"),
@@ -959,14 +1051,18 @@ fn ablate(ctx: &mut Ctx) {
     }
     println!(
         "{}",
-        table(&["scale", "sides", "FIT small", "FIT large", "growth"], &rows)
+        table(
+            &["scale", "sides", "FIT small", "FIT large", "growth"],
+            &rows
+        )
     );
 
-    let spread = growths
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
-        / growths.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+    let spread = growths.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        / growths
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     let checks = vec![
         ShapeCheck::new(
             "raising the tolerance never increases the critical SDC count",
@@ -1025,9 +1121,7 @@ fn injector(ctx: &mut Ctx) {
                     beam.sample(&mut rng)
                 };
                 if let InjectionPlan::Strike(spec) = plan {
-                    let run = engine
-                        .run(&mut kernel, &spec, &mut rng)
-                        .expect("dgemm run");
+                    let run = engine.run(&mut kernel, &spec, &mut rng).expect("dgemm run");
                     let report = radcrit_core::compare::compare_slices(
                         &golden.output,
                         &run.output,
@@ -1036,9 +1130,7 @@ fn injector(ctx: &mut Ctx) {
                     .expect("matching outputs");
                     if report.is_sdc() {
                         sdc += 1;
-                        mre_sum += report
-                            .mean_relative_error_capped(1e4)
-                            .unwrap_or(0.0);
+                        mre_sum += report.mean_relative_error_capped(1e4).unwrap_or(0.0);
                         let class = classify.classify(&report);
                         if class == SpatialClass::Square || class == SpatialClass::Random {
                             blocks += 1;
@@ -1126,7 +1218,8 @@ fn multistrike(ctx: &mut Ctx) {
     let mut rows = Vec::new();
     let mut per_strike_rates = Vec::new();
     for mean in [0.001f64, 0.5, 1.0, 2.0, 4.0] {
-        let (mut strikes_total, mut sdc_runs, mut fatal, mut quiet) = (0usize, 0usize, 0usize, 0usize);
+        let (mut strikes_total, mut sdc_runs, mut fatal, mut quiet) =
+            (0usize, 0usize, 0usize, 0usize);
         let mut incorrect_sum = 0usize;
         let mut multi_class = 0usize;
         for i in 0..runs as u64 {
@@ -1216,7 +1309,11 @@ fn multistrike(ctx: &mut Ctx) {
 fn hardening(ctx: &mut Ctx) {
     heading("Selective hardening: critical-SDC attribution by site (Section VI)");
     for phi in [false, true] {
-        let device = if phi { presets::xeon_phi() } else { presets::k40() };
+        let device = if phi {
+            presets::xeon_phi()
+        } else {
+            presets::k40()
+        };
         let presets_list = presets::dgemm(&device, ctx.scale);
         let preset = presets_list.last().expect("at least one DGEMM size");
         let analysis = radcrit_campaign::HardeningAnalysis::of(ctx.run(preset));

@@ -10,9 +10,9 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+use radcrit_campaign::summary::{CampaignSummary, ScatterPoint};
 use radcrit_core::fit::FitBreakdown;
 use radcrit_core::locality::SpatialClass;
-use radcrit_campaign::summary::{CampaignSummary, ScatterPoint};
 
 /// Formats an aligned text table.
 ///
@@ -59,7 +59,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Renders a FIT break-down (one bar of Figs. 3/5/7) as one table row:
 /// total plus per-class values in a.u.
 pub fn fit_row(label: &str, b: &FitBreakdown, scale: f64) -> Vec<String> {
-    let mut row = vec![label.to_owned(), format!("{:.2}", b.total().value() * scale)];
+    let mut row = vec![
+        label.to_owned(),
+        format!("{:.2}", b.total().value() * scale),
+    ];
     for class in SpatialClass::PLOTTED {
         row.push(format!("{:.2}", b.rate(class).value() * scale));
     }
@@ -68,7 +71,9 @@ pub fn fit_row(label: &str, b: &FitBreakdown, scale: f64) -> Vec<String> {
 
 /// Header matching [`fit_row`].
 pub fn fit_header() -> Vec<&'static str> {
-    vec!["input", "total", "cubic", "square", "line", "single", "random"]
+    vec![
+        "input", "total", "cubic", "square", "line", "single", "random",
+    ]
 }
 
 /// Renders a scatter series (Figs. 2/4/6/8) as an ASCII density grid:
@@ -86,8 +91,8 @@ pub fn scatter_grid(points: &[ScatterPoint], y_cap: f64, width: usize, height: u
         .max(1) as f64;
     let mut grid = vec![vec![0usize; width]; height];
     for p in points {
-        let x = ((p.incorrect_elements as f64).ln_1p() / x_max.ln_1p() * (width - 1) as f64)
-            .round() as usize;
+        let x = ((p.incorrect_elements as f64).ln_1p() / x_max.ln_1p() * (width - 1) as f64).round()
+            as usize;
         let y_val = p.mean_relative_error.min(y_cap);
         let y = (y_val / y_cap * (height - 1) as f64).round() as usize;
         grid[height - 1 - y.min(height - 1)][x.min(width - 1)] += 1;
@@ -121,7 +126,11 @@ pub fn scatter_stats(s: &CampaignSummary) -> String {
         .map(|p| p.mean_relative_error)
         .filter(|v| v.is_finite())
         .collect();
-    let elems: Vec<f64> = s.scatter.iter().map(|p| p.incorrect_elements as f64).collect();
+    let elems: Vec<f64> = s
+        .scatter
+        .iter()
+        .map(|p| p.incorrect_elements as f64)
+        .collect();
     let q = |v: &[f64], p: f64| radcrit_core::stats::quantile(v, p).unwrap_or(0.0);
     let pct = |v: f64| -> String {
         if v >= 1.0e4 {
@@ -186,7 +195,11 @@ pub fn shape_report(title: &str, checks: &[ShapeCheck]) -> String {
         out.push('\n');
     }
     let passed = checks.iter().filter(|c| c.pass).count();
-    out.push_str(&format!("{} of {} shape checks hold\n", passed, checks.len()));
+    out.push_str(&format!(
+        "{} of {} shape checks hold\n",
+        passed,
+        checks.len()
+    ));
     out
 }
 
@@ -219,8 +232,14 @@ mod tests {
     fn scatter_grid_handles_empty_and_nonempty() {
         assert!(scatter_grid(&[], 100.0, 10, 5).contains("no faulty"));
         let pts = vec![
-            ScatterPoint { incorrect_elements: 1, mean_relative_error: 5.0 },
-            ScatterPoint { incorrect_elements: 100, mean_relative_error: 95.0 },
+            ScatterPoint {
+                incorrect_elements: 1,
+                mean_relative_error: 5.0,
+            },
+            ScatterPoint {
+                incorrect_elements: 100,
+                mean_relative_error: 95.0,
+            },
         ];
         let g = scatter_grid(&pts, 100.0, 20, 8);
         assert!(g.contains('.') || g.contains('o'));

@@ -6,19 +6,26 @@
 //!                  [--steps S] [--iterations I]
 //!                  [--injections N] [--seed S] [--tolerance PCT]
 //!                  [--workers W] [--csv FILE] [--log FILE] [--hardening]
+//!                  [--deadline-ms MS] [--checkpoint FILE] [--resume]
+//!                  [--progress SECS]
 //! ```
 //!
 //! Prints the campaign summary (outcome counts, FIT break-downs, §III
 //! metrics) and optionally writes the CAROL-style log and CSV that third
-//! parties can re-filter.
+//! parties can re-filter. `--deadline-ms` arms the per-injection hang
+//! watchdog, `--checkpoint`/`--resume` stream records to a JSONL file
+//! that survives kills, and `--progress` prints a periodic status line.
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::path::PathBuf;
 use std::process::exit;
+use std::time::Duration;
 
 use radcrit_accel::config::DeviceConfig;
 use radcrit_campaign::log::{write_csv, write_log};
-use radcrit_campaign::{Campaign, HardeningAnalysis, KernelSpec};
+use radcrit_campaign::summary::render_run;
+use radcrit_campaign::{Campaign, HardeningAnalysis, KernelSpec, RunOptions};
 use radcrit_core::filter::ToleranceFilter;
 use radcrit_core::locality::SpatialClass;
 
@@ -41,6 +48,10 @@ struct Args {
     csv: Option<String>,
     log: Option<String>,
     hardening: bool,
+    deadline_ms: Option<u64>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    progress: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -49,7 +60,9 @@ fn usage() -> ! {
          \x20      [--scale 8] [--n 128] [--grid 7] [--particles 16]\n\
          \x20      [--rows 128] [--cols 128] [--steps 200] [--iterations 128]\n\
          \x20      [--injections 200] [--seed 2017] [--tolerance 2.0]\n\
-         \x20      [--workers 0] [--csv out.csv] [--log out.log] [--hardening]"
+         \x20      [--workers 0] [--csv out.csv] [--log out.log] [--hardening]\n\
+         \x20      [--deadline-ms 120000] [--checkpoint run.jsonl] [--resume]\n\
+         \x20      [--progress 5]"
     );
     exit(2)
 }
@@ -95,6 +108,12 @@ fn parse_args() -> Args {
             "--csv" => a.csv = Some(val(&mut it)),
             "--log" => a.log = Some(val(&mut it)),
             "--hardening" => a.hardening = true,
+            "--deadline-ms" => {
+                a.deadline_ms = Some(val(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--checkpoint" => a.checkpoint = Some(PathBuf::from(val(&mut it))),
+            "--resume" => a.resume = true,
+            "--progress" => a.progress = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -154,26 +173,42 @@ fn main() {
         args.injections,
         args.seed
     );
-    let t0 = std::time::Instant::now();
-    let result = Campaign::new(device, kernel, args.injections, args.seed)
+    if args.resume && args.checkpoint.is_none() {
+        eprintln!("--resume needs --checkpoint FILE");
+        exit(2)
+    }
+    if args.progress.is_some_and(|p| p <= 0.0 || !p.is_finite()) {
+        eprintln!("--progress must be a positive number of seconds");
+        exit(2)
+    }
+
+    let mut campaign = Campaign::new(device, kernel, args.injections, args.seed)
         .with_tolerance(tolerance)
-        .with_workers(args.workers)
-        .run()
-        .unwrap_or_else(|e| {
-            eprintln!("campaign failed: {e}");
-            exit(1)
-        });
-    eprintln!("done in {:.1?}", t0.elapsed());
+        .with_workers(args.workers);
+    if let Some(ms) = args.deadline_ms {
+        if ms == 0 {
+            eprintln!("--deadline-ms must be positive");
+            exit(2)
+        }
+        campaign = campaign.with_deadline(Duration::from_millis(ms));
+    }
+    let options = RunOptions {
+        checkpoint: args.checkpoint,
+        resume: args.resume,
+        progress: args.progress.map(Duration::from_secs_f64),
+        budget: None,
+    };
+
+    let result = campaign.run_with(&options).unwrap_or_else(|e| {
+        eprintln!("campaign failed: {e}");
+        exit(1)
+    });
 
     let s = result.summary();
+    eprintln!("{}", render_run(&s, &result.telemetry));
     println!(
         "outcomes: {} SDC ({} critical at >{}%), {} masked, {} crash, {} hang",
-        s.sdc,
-        s.critical_sdc,
-        args.tolerance,
-        s.masked,
-        s.crash,
-        s.hang
+        s.sdc, s.critical_sdc, args.tolerance, s.masked, s.crash, s.hang
     );
     println!(
         "SDC:(crash+hang) ratio: {:.2} | filtered out: {:.0}% | sigma {:.3e} a.u.",
@@ -188,7 +223,10 @@ fn main() {
             .map(|&c| format!("{c}:{:.2}", b.rate(c).value() * 1e-3))
             .collect::<Vec<_>>()
             .join(" ");
-        println!("  {label:>4}: total {:.2} | {classes}", b.total().value() * 1e-3);
+        println!(
+            "  {label:>4}: total {:.2} | {classes}",
+            b.total().value() * 1e-3
+        );
     }
     let (lo, hi) = s.fit_all_ci95();
     println!(

@@ -1,0 +1,706 @@
+//! Streaming JSONL checkpoints: crash-safe persistence for long
+//! campaigns.
+//!
+//! A checkpoint file is line-oriented: a header object identifying the
+//! campaign, then one object per finished [`InjectionRecord`], appended
+//! (and flushed) as workers produce them. Killing a campaign therefore
+//! loses at most the line being written; [`crate::Campaign::resume`]
+//! replays the completed indices and re-runs only the rest, which —
+//! thanks to the per-index RNG streams — yields the same records and a
+//! bit-identical summary as an uninterrupted run.
+//!
+//! ```text
+//! {"radcrit_checkpoint":1,"kernel":"Dgemm { n: 32 }","device":"K40",...}
+//! {"i":0,"site":"l2","tile":3,"delivered":true,"outcome":"MASKED"}
+//! {"i":1,"site":"fatal","tile":null,"delivered":true,"outcome":"CRASH"}
+//! {"i":2,"site":"fpu","tile":9,"delivered":true,"outcome":"SDC","sdc":{...}}
+//! ```
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so
+//! `inf` and `NaN` appear verbatim — a deliberate deviation from strict
+//! JSON (infinite mean relative errors are real data here, see
+//! [`radcrit_core::mismatch::Mismatch::relative_error`]) that keeps the
+//! codec lossless. A truncated final line (the kill race) is tolerated
+//! on read; any other malformed line is [`AccelError::Corrupt`].
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use radcrit_accel::error::AccelError;
+use radcrit_core::locality::SpatialClass;
+use radcrit_core::report::CriticalityReport;
+
+use crate::config::Campaign;
+use crate::outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
+
+/// Format version stamped into the header line.
+pub const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    // {:?} is the shortest representation that round-trips through
+    // str::parse::<f64>, including "inf", "-inf" and "NaN".
+    format!("{v:?}")
+}
+
+fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), fmt_f64)
+}
+
+/// The header line identifying the campaign a checkpoint belongs to.
+pub fn header_line(campaign: &Campaign) -> String {
+    format!(
+        "{{\"radcrit_checkpoint\":{FORMAT_VERSION},\"kernel\":\"{}\",\"device\":\"{}\",\
+         \"injections\":{},\"seed\":{},\"threshold\":{}}}",
+        escape(&format!("{:?}", campaign.kernel)),
+        escape(&campaign.device.kind().to_string()),
+        campaign.injections,
+        campaign.seed,
+        fmt_f64(campaign.tolerance.threshold_pct()),
+    )
+}
+
+/// One record as a single JSONL line (no trailing newline).
+pub fn record_line(r: &InjectionRecord) -> String {
+    let tile = r.at_tile.map_or_else(|| "null".into(), |t| t.to_string());
+    let mut line = format!(
+        "{{\"i\":{},\"site\":\"{}\",\"tile\":{tile},\"delivered\":{},\"outcome\":\"{}\"",
+        r.index,
+        escape(&r.site),
+        r.delivered,
+        r.outcome.tag(),
+    );
+    if let InjectionOutcome::Sdc(d) = &r.outcome {
+        let c = &d.criticality;
+        line.push_str(&format!(
+            ",\"sdc\":{{\"incorrect\":{},\"mre\":{},\"locality\":\"{}\",\
+             \"f_incorrect\":{},\"f_mre\":{},\"f_locality\":\"{}\",\
+             \"threshold\":{},\"output_len\":{}}}",
+            c.incorrect_elements,
+            fmt_opt_f64(c.mean_relative_error),
+            c.locality,
+            c.filtered_incorrect_elements,
+            fmt_opt_f64(c.filtered_mean_relative_error),
+            c.filtered_locality,
+            fmt_f64(c.threshold_pct),
+            d.output_len,
+        ));
+    }
+    line.push('}');
+    line
+}
+
+// ---------------------------------------------------------------------
+// Decoding — a minimal JSON(-ish) reader for the lines we emit
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Numbers are kept as their source text for lossless f64 parsing.
+    Num(String),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(_) => self.parse_token(),
+            None => Err("unexpected end of line".into()),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| "invalid utf-8".to_string())?;
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad \\u code point".to_string())?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some((i, c)) => {
+                    out.push(c);
+                    self.pos += i + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_token(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b',' || b == b'}' || b == b':' || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf-8".to_string())?;
+        match tok {
+            "" => Err(format!("empty token at byte {start}")),
+            "null" => Ok(Json::Null),
+            "true" => Ok(Json::Bool(true)),
+            "false" => Ok(Json::Bool(false)),
+            _ => Ok(Json::Num(tok.to_owned())),
+        }
+    }
+}
+
+fn parse_line(line: &str) -> Result<Json, String> {
+    let mut p = Parser::new(line);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn as_obj(v: &Json) -> Result<&[(String, Json)], String> {
+    match v {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err("expected an object".into()),
+    }
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("field {key:?} is not a bool")),
+    }
+}
+
+fn get_usize(obj: &[(String, Json)], key: &str) -> Result<usize, String> {
+    match get(obj, key)? {
+        Json::Num(n) => n
+            .parse()
+            .map_err(|_| format!("field {key:?} is not an integer")),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
+fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => n
+            .parse()
+            .map_err(|_| format!("field {key:?} is not a float")),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
+fn get_opt_f64(obj: &[(String, Json)], key: &str) -> Result<Option<f64>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        Json::Num(n) => n
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("field {key:?} is not a float")),
+        _ => Err(format!("field {key:?} is not a number or null")),
+    }
+}
+
+fn get_opt_usize(obj: &[(String, Json)], key: &str) -> Result<Option<usize>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        Json::Num(n) => n
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("field {key:?} is not an integer")),
+        _ => Err(format!("field {key:?} is not a number or null")),
+    }
+}
+
+fn get_class(obj: &[(String, Json)], key: &str) -> Result<SpatialClass, String> {
+    SpatialClass::from_str(get_str(obj, key)?)
+}
+
+fn record_from_json(v: &Json) -> Result<InjectionRecord, String> {
+    let obj = as_obj(v)?;
+    let index = get_usize(obj, "i")?;
+    let site = get_str(obj, "site")?.to_owned();
+    let at_tile = get_opt_usize(obj, "tile")?;
+    let delivered = get_bool(obj, "delivered")?;
+    let outcome = match get_str(obj, "outcome")? {
+        "MASKED" => InjectionOutcome::Masked,
+        "CRASH" => InjectionOutcome::Crash,
+        "HANG" => InjectionOutcome::Hang,
+        "SDC" => {
+            let sdc = as_obj(get(obj, "sdc")?)?;
+            InjectionOutcome::Sdc(SdcDetail {
+                criticality: CriticalityReport {
+                    incorrect_elements: get_usize(sdc, "incorrect")?,
+                    mean_relative_error: get_opt_f64(sdc, "mre")?,
+                    locality: get_class(sdc, "locality")?,
+                    filtered_incorrect_elements: get_usize(sdc, "f_incorrect")?,
+                    filtered_mean_relative_error: get_opt_f64(sdc, "f_mre")?,
+                    filtered_locality: get_class(sdc, "f_locality")?,
+                    threshold_pct: get_f64(sdc, "threshold")?,
+                },
+                output_len: get_usize(sdc, "output_len")?,
+            })
+        }
+        other => return Err(format!("unknown outcome tag {other:?}")),
+    };
+    Ok(InjectionRecord {
+        index,
+        site,
+        at_tile,
+        delivered,
+        outcome,
+    })
+}
+
+// ---------------------------------------------------------------------
+// File-level API
+// ---------------------------------------------------------------------
+
+fn corrupt(path: &Path, msg: impl std::fmt::Display) -> AccelError {
+    AccelError::Corrupt(format!("checkpoint {}: {msg}", path.display()))
+}
+
+/// Reads and validates the records of `path` against `campaign`.
+///
+/// Tolerates a truncated final line (a campaign killed mid-write) and
+/// duplicate indices (first occurrence wins); anything else malformed is
+/// an error.
+///
+/// # Errors
+///
+/// [`AccelError::Corrupt`] when the file is unreadable, its header does
+/// not match `campaign`, or a non-final line fails to parse.
+pub fn read_records(path: &Path, campaign: &Campaign) -> Result<Vec<InjectionRecord>, AccelError> {
+    let text = std::fs::read_to_string(path).map_err(|e| corrupt(path, e))?;
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let Some(&(_, header)) = lines.first() else {
+        return Err(corrupt(path, "empty file (missing header)"));
+    };
+    if header.trim() != header_line(campaign) {
+        parse_line(header.trim()).map_err(|e| corrupt(path, format!("bad header: {e}")))?;
+        return Err(corrupt(
+            path,
+            "header does not match this campaign (kernel, device, injections, seed or threshold \
+             differ)",
+        ));
+    }
+
+    let mut records = Vec::new();
+    let mut seen: HashSet<usize> = HashSet::new();
+    let last = lines.len() - 1;
+    for (pos, &(lineno, line)) in lines.iter().enumerate().skip(1) {
+        let parsed = parse_line(line.trim()).and_then(|v| record_from_json(&v));
+        match parsed {
+            Ok(r) => {
+                if r.index >= campaign.injections {
+                    return Err(corrupt(
+                        path,
+                        format!(
+                            "line {}: record index {} out of range for {} injections",
+                            lineno + 1,
+                            r.index,
+                            campaign.injections
+                        ),
+                    ));
+                }
+                if seen.insert(r.index) {
+                    records.push(r);
+                }
+            }
+            // The last line may be a torn write from a killed campaign.
+            Err(_) if pos == last => break,
+            Err(e) => {
+                return Err(corrupt(path, format!("line {}: {e}", lineno + 1)));
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// An append-only checkpoint writer that flushes every record.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) a fresh checkpoint for `campaign` and writes
+    /// its header.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Corrupt`] on I/O failure.
+    pub fn create(path: &Path, campaign: &Campaign) -> Result<Self, AccelError> {
+        let file = File::create(path).map_err(|e| corrupt(path, e))?;
+        let mut w = CheckpointWriter {
+            out: BufWriter::new(file),
+            path: path.to_owned(),
+        };
+        w.write_line(&header_line(campaign))?;
+        Ok(w)
+    }
+
+    /// Opens `path` for resumption: replays its records (empty when the
+    /// file does not exist yet, in which case it is created) and returns
+    /// a writer positioned to append.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Corrupt`] on I/O failure or when the checkpoint
+    /// belongs to a different campaign.
+    pub fn resume(
+        path: &Path,
+        campaign: &Campaign,
+    ) -> Result<(Self, Vec<InjectionRecord>), AccelError> {
+        if !path.exists() {
+            return Ok((Self::create(path, campaign)?, Vec::new()));
+        }
+        let records = read_records(path, campaign)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| corrupt(path, e))?;
+        Ok((
+            CheckpointWriter {
+                out: BufWriter::new(file),
+                path: path.to_owned(),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Corrupt`] on I/O failure.
+    pub fn append(&mut self, record: &InjectionRecord) -> Result<(), AccelError> {
+        let line = record_line(record);
+        self.write_line(&line)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), AccelError> {
+        let path = self.path.clone();
+        (|| {
+            self.out.write_all(line.as_bytes())?;
+            self.out.write_all(b"\n")?;
+            self.out.flush()
+        })()
+        .map_err(|e| corrupt(&path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelSpec;
+    use radcrit_accel::config::DeviceConfig;
+
+    fn campaign() -> Campaign {
+        Campaign::new(
+            DeviceConfig::kepler_k40(),
+            KernelSpec::Dgemm { n: 32 },
+            40,
+            7,
+        )
+    }
+
+    fn sdc_record(index: usize, mre: Option<f64>) -> InjectionRecord {
+        InjectionRecord {
+            index,
+            site: "l2".into(),
+            at_tile: Some(3),
+            delivered: true,
+            outcome: InjectionOutcome::Sdc(SdcDetail {
+                criticality: CriticalityReport {
+                    incorrect_elements: 5,
+                    mean_relative_error: mre,
+                    locality: SpatialClass::Line,
+                    filtered_incorrect_elements: 2,
+                    filtered_mean_relative_error: mre.map(|v| v / 2.0),
+                    filtered_locality: SpatialClass::Single,
+                    threshold_pct: 2.0,
+                },
+                output_len: 1024,
+            }),
+        }
+    }
+
+    fn roundtrip(r: &InjectionRecord) -> InjectionRecord {
+        let line = record_line(r);
+        record_from_json(&parse_line(&line).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn records_round_trip_losslessly() {
+        let masked = InjectionRecord {
+            index: 0,
+            site: "scheduler".into(),
+            at_tile: None,
+            delivered: false,
+            outcome: InjectionOutcome::Masked,
+        };
+        assert_eq!(roundtrip(&masked), masked);
+        let crash = InjectionRecord {
+            index: 1,
+            site: "fatal".into(),
+            at_tile: None,
+            delivered: true,
+            outcome: InjectionOutcome::Crash,
+        };
+        assert_eq!(roundtrip(&crash), crash);
+        let sdc = sdc_record(2, Some(1.25));
+        assert_eq!(roundtrip(&sdc), sdc);
+        let no_mre = sdc_record(3, None);
+        assert_eq!(roundtrip(&no_mre), no_mre);
+    }
+
+    #[test]
+    fn infinite_relative_errors_survive_the_round_trip() {
+        let inf = sdc_record(4, Some(f64::INFINITY));
+        assert_eq!(roundtrip(&inf), inf);
+        // Shortest round-trip formatting must be exact for finite values
+        // too, including ones with many digits.
+        let precise = sdc_record(5, Some(1.000_000_000_000_000_2));
+        assert_eq!(roundtrip(&precise), precise);
+    }
+
+    #[test]
+    fn sites_with_funny_characters_survive() {
+        let mut r = sdc_record(6, Some(1.0));
+        r.site = "a \"quoted\"\\\nsite\t".into();
+        assert_eq!(roundtrip(&r), r);
+    }
+
+    #[test]
+    fn file_round_trip_and_truncated_tail() {
+        let c = campaign();
+        let path = std::env::temp_dir().join(format!(
+            "radcrit-checkpoint-test-{}.jsonl",
+            std::process::id()
+        ));
+        let mut w = CheckpointWriter::create(&path, &c).unwrap();
+        let records = vec![sdc_record(0, Some(3.5)), sdc_record(7, None)];
+        for r in &records {
+            w.append(r).unwrap();
+        }
+        drop(w);
+        // Simulate a kill mid-write: append half a line.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"i\":9,\"site\":\"l").unwrap();
+        }
+        let read = read_records(&path, &c).unwrap();
+        assert_eq!(read, records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let c = campaign();
+        let path = std::env::temp_dir().join(format!(
+            "radcrit-checkpoint-mismatch-{}.jsonl",
+            std::process::id()
+        ));
+        CheckpointWriter::create(&path, &c).unwrap();
+        let other = Campaign::new(
+            DeviceConfig::kepler_k40(),
+            KernelSpec::Dgemm { n: 32 },
+            40,
+            8, // different seed
+        );
+        let err = read_records(&path, &other).unwrap_err();
+        assert!(matches!(err, AccelError::Corrupt(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_middle_line_is_corrupt() {
+        let c = campaign();
+        let path = std::env::temp_dir().join(format!(
+            "radcrit-checkpoint-midline-{}.jsonl",
+            std::process::id()
+        ));
+        let mut w = CheckpointWriter::create(&path, &c).unwrap();
+        w.append(&sdc_record(0, Some(1.0))).unwrap();
+        drop(w);
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "not json at all").unwrap();
+            writeln!(f, "{}", record_line(&sdc_record(1, Some(1.0)))).unwrap();
+        }
+        let err = read_records(&path, &c).unwrap_err();
+        assert!(matches!(err, AccelError::Corrupt(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_indices_keep_the_first_record() {
+        let c = campaign();
+        let path = std::env::temp_dir().join(format!(
+            "radcrit-checkpoint-dup-{}.jsonl",
+            std::process::id()
+        ));
+        let mut w = CheckpointWriter::create(&path, &c).unwrap();
+        let first = sdc_record(0, Some(1.0));
+        let second = sdc_record(0, Some(99.0));
+        w.append(&first).unwrap();
+        w.append(&second).unwrap();
+        drop(w);
+        let read = read_records(&path, &c).unwrap();
+        assert_eq!(read, vec![first]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_on_missing_file_starts_fresh() {
+        let c = campaign();
+        let path = std::env::temp_dir().join(format!(
+            "radcrit-checkpoint-fresh-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let (w, replayed) = CheckpointWriter::resume(&path, &c).unwrap();
+        assert!(replayed.is_empty());
+        drop(w);
+        assert!(path.exists(), "header must have been written");
+        assert_eq!(read_records(&path, &c).unwrap(), vec![]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,6 +1,8 @@
 //! Campaign configuration: which kernel, which device, how many
 //! injections.
 
+use std::time::Duration;
+
 use radcrit_accel::config::DeviceConfig;
 use radcrit_accel::error::AccelError;
 use radcrit_core::filter::ToleranceFilter;
@@ -8,6 +10,7 @@ use radcrit_core::locality::LocalityClassifier;
 use radcrit_kernels::dgemm::Dgemm;
 use radcrit_kernels::hotspot::HotSpot;
 use radcrit_kernels::lavamd::LavaMd;
+use radcrit_kernels::pathological::{Failure, Pathological};
 use radcrit_kernels::shallow::ShallowWater;
 use radcrit_kernels::Workload;
 use serde::{Deserialize, Serialize};
@@ -45,6 +48,17 @@ pub enum KernelSpec {
         /// Time steps.
         steps: usize,
     },
+    /// The diagnostic kernel that hangs or panics after `after`
+    /// executions of one instance — used to exercise the runner's
+    /// watchdog and panic capture, never part of the paper matrix.
+    Pathological {
+        /// Output elements.
+        n: usize,
+        /// Healthy executions per instance before the failure mode.
+        after: usize,
+        /// Hang or panic.
+        mode: Failure,
+    },
 }
 
 impl KernelSpec {
@@ -56,9 +70,7 @@ impl KernelSpec {
     pub fn build(&self, seed: u64) -> Result<Box<dyn Workload + Send>, AccelError> {
         Ok(match *self {
             KernelSpec::Dgemm { n } => Box::new(Dgemm::new(n, seed)?),
-            KernelSpec::LavaMd { grid, particles } => {
-                Box::new(LavaMd::new(grid, particles, seed)?)
-            }
+            KernelSpec::LavaMd { grid, particles } => Box::new(LavaMd::new(grid, particles, seed)?),
             KernelSpec::HotSpot {
                 rows,
                 cols,
@@ -66,6 +78,9 @@ impl KernelSpec {
             } => Box::new(HotSpot::new(rows, cols, iterations, seed)?),
             KernelSpec::Shallow { rows, cols, steps } => {
                 Box::new(ShallowWater::new(rows, cols, steps)?)
+            }
+            KernelSpec::Pathological { n, after, mode } => {
+                Box::new(Pathological::new(n, after, mode)?)
             }
         })
     }
@@ -77,6 +92,7 @@ impl KernelSpec {
             KernelSpec::LavaMd { .. } => "lavamd",
             KernelSpec::HotSpot { .. } => "hotspot",
             KernelSpec::Shallow { .. } => "clamr",
+            KernelSpec::Pathological { .. } => "pathological",
         }
     }
 
@@ -87,6 +103,7 @@ impl KernelSpec {
             KernelSpec::LavaMd { grid, .. } => format!("{grid}"),
             KernelSpec::HotSpot { rows, cols, .. } => format!("{rows}x{cols}"),
             KernelSpec::Shallow { rows, cols, .. } => format!("{rows}x{cols}"),
+            KernelSpec::Pathological { n, .. } => format!("{n}"),
         }
     }
 }
@@ -109,6 +126,10 @@ pub struct Campaign {
     pub classifier: LocalityClassifier,
     /// Worker threads (0 ⇒ one per available core).
     pub workers: usize,
+    /// Per-injection watchdog deadline: an injection still running after
+    /// this long is recorded as [`crate::outcome::InjectionOutcome::Hang`]
+    /// and its worker replaced. `None` disables the watchdog.
+    pub deadline: Option<Duration>,
 }
 
 impl Campaign {
@@ -123,6 +144,7 @@ impl Campaign {
             tolerance: ToleranceFilter::paper_default(),
             classifier: LocalityClassifier::default(),
             workers: 0,
+            deadline: None,
         }
     }
 
@@ -135,6 +157,12 @@ impl Campaign {
     /// Sets the worker-thread count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Arms the per-injection hang watchdog with `deadline`.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -155,41 +183,82 @@ mod tests {
 
     #[test]
     fn specs_build_their_kernels() {
-        assert_eq!(KernelSpec::Dgemm { n: 32 }.build(1).unwrap().name(), "dgemm");
         assert_eq!(
-            KernelSpec::LavaMd { grid: 2, particles: 4 }
-                .build(1)
-                .unwrap()
-                .name(),
+            KernelSpec::Dgemm { n: 32 }.build(1).unwrap().name(),
+            "dgemm"
+        );
+        assert_eq!(
+            KernelSpec::LavaMd {
+                grid: 2,
+                particles: 4
+            }
+            .build(1)
+            .unwrap()
+            .name(),
             "lavamd"
         );
         assert_eq!(
-            KernelSpec::HotSpot { rows: 8, cols: 8, iterations: 2 }
-                .build(1)
-                .unwrap()
-                .name(),
+            KernelSpec::HotSpot {
+                rows: 8,
+                cols: 8,
+                iterations: 2
+            }
+            .build(1)
+            .unwrap()
+            .name(),
             "hotspot"
         );
         assert_eq!(
-            KernelSpec::Shallow { rows: 16, cols: 16, steps: 2 }
-                .build(1)
-                .unwrap()
-                .name(),
+            KernelSpec::Shallow {
+                rows: 16,
+                cols: 16,
+                steps: 2
+            }
+            .build(1)
+            .unwrap()
+            .name(),
             "shallow"
+        );
+        assert_eq!(
+            KernelSpec::Pathological {
+                n: 8,
+                after: 1,
+                mode: Failure::Hang
+            }
+            .build(1)
+            .unwrap()
+            .name(),
+            "pathological"
         );
     }
 
     #[test]
     fn bad_specs_propagate_errors() {
         assert!(KernelSpec::Dgemm { n: 17 }.build(1).is_err());
-        assert!(KernelSpec::LavaMd { grid: 0, particles: 4 }.build(1).is_err());
+        assert!(KernelSpec::LavaMd {
+            grid: 0,
+            particles: 4
+        }
+        .build(1)
+        .is_err());
+        assert!(KernelSpec::Pathological {
+            n: 8,
+            after: 0,
+            mode: Failure::Panic
+        }
+        .build(1)
+        .is_err());
     }
 
     #[test]
     fn labels_match_paper_axes() {
         assert_eq!(KernelSpec::Dgemm { n: 1024 }.input_label(), "1024x1024");
         assert_eq!(
-            KernelSpec::LavaMd { grid: 13, particles: 100 }.input_label(),
+            KernelSpec::LavaMd {
+                grid: 13,
+                particles: 100
+            }
+            .input_label(),
             "13"
         );
     }
@@ -204,7 +273,10 @@ mod tests {
         );
         assert_eq!(c.tolerance.threshold_pct(), 2.0);
         assert!(c.effective_workers() >= 1);
+        assert_eq!(c.deadline, None, "watchdog is opt-in");
         let c = c.with_workers(3);
         assert_eq!(c.effective_workers(), 3);
+        let c = c.with_deadline(Duration::from_millis(250));
+        assert_eq!(c.deadline, Some(Duration::from_millis(250)));
     }
 }

@@ -76,11 +76,8 @@ impl HardeningAnalysis {
     /// Sites ranked by critical-SDC contribution, highest first — the
     /// hardening priority list.
     pub fn ranked_sites(&self) -> Vec<(&str, &SiteImpact)> {
-        let mut v: Vec<(&str, &SiteImpact)> = self
-            .per_site
-            .iter()
-            .map(|(k, v)| (k.as_str(), v))
-            .collect();
+        let mut v: Vec<(&str, &SiteImpact)> =
+            self.per_site.iter().map(|(k, v)| (k.as_str(), v)).collect();
         v.sort_by(|a, b| b.1.critical.cmp(&a.1.critical).then(a.0.cmp(b.0)));
         v
     }
@@ -108,9 +105,7 @@ impl HardeningAnalysis {
         let mut chosen = Vec::new();
         let mut removed = 0usize;
         for (name, impact) in self.ranked_sites() {
-            if self.total_critical == 0
-                || removed as f64 / self.total_critical as f64 >= target
-            {
+            if self.total_critical == 0 || removed as f64 / self.total_critical as f64 >= target {
                 break;
             }
             if impact.critical == 0 {
@@ -218,7 +213,10 @@ mod tests {
         let sites = a.sites_for_reduction(0.5);
         if sites.len() > 1 {
             let fewer = &sites[..sites.len() - 1];
-            assert!(a.fit_reduction(fewer) < 0.5, "dropping one site must miss the target");
+            assert!(
+                a.fit_reduction(fewer) < 0.5,
+                "dropping one site must miss the target"
+            );
         }
     }
 

@@ -19,10 +19,17 @@
 //!   (Figs. 2, 4, 6 and 8),
 //! * CAROL-style event logs and CSV export mirroring the public
 //!   `HPCA2017-log-data` repository.
+//!
+//! The runner is hardened for long campaigns: a per-injection hang
+//! watchdog ([`Campaign::with_deadline`]), panic capture that surfaces
+//! as a typed error, streaming JSONL checkpoints with
+//! [`Campaign::resume`] (see [`checkpoint`]), and run [`telemetry`]
+//! (throughput, latency histogram, progress reporting).
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod hardening;
 pub mod log;
@@ -32,10 +39,12 @@ pub mod presets;
 pub mod runner;
 pub mod summary;
 pub mod sweep;
+pub mod telemetry;
 
 pub use config::{Campaign, KernelSpec};
 pub use hardening::HardeningAnalysis;
 pub use outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
-pub use runner::CampaignResult;
+pub use runner::{CampaignResult, RunOptions};
 pub use summary::CampaignSummary;
 pub use sweep::{Sweep, SweepResult};
+pub use telemetry::TelemetrySnapshot;

@@ -128,10 +128,7 @@ fn parse_event(line: &str, line_no: usize, index: usize) -> Result<InjectionReco
     let site = (*f.get("site").ok_or_else(|| err("missing site".into()))?).to_owned();
     let at_tile = match f.get("tile") {
         Some(&"-") | None => None,
-        Some(t) => Some(
-            t.parse()
-                .map_err(|_| err(format!("bad tile index {t}")))?,
-        ),
+        Some(t) => Some(t.parse().map_err(|_| err(format!("bad tile index {t}")))?),
     };
     let delivered = matches!(f.get("delivered"), Some(&"1"));
 
@@ -150,10 +147,7 @@ fn parse_event(line: &str, line_no: usize, index: usize) -> Result<InjectionReco
                 match f.get(key).copied() {
                     None | Some("-") => Ok(None),
                     Some("inf") => Ok(Some(f64::INFINITY)),
-                    Some(v) => v
-                        .parse()
-                        .map(Some)
-                        .map_err(|_| err(format!("bad {key}"))),
+                    Some(v) => v.parse().map(Some).map_err(|_| err(format!("bad {key}"))),
                 }
             };
             let class = |key: &str| -> Result<SpatialClass, ParseError> {
@@ -234,8 +228,7 @@ mod tests {
             if let InjectionOutcome::Sdc(d) = &r.outcome {
                 assert!(d.criticality.incorrect_elements > 0);
                 assert!(
-                    d.criticality.filtered_incorrect_elements
-                        <= d.criticality.incorrect_elements
+                    d.criticality.filtered_incorrect_elements <= d.criticality.incorrect_elements
                 );
             }
         }
@@ -264,8 +257,7 @@ mod tests {
     fn rejects_malformed_logs() {
         assert!(parse_log("").is_err());
         assert!(parse_log("not a header\n").is_err());
-        let bad_event =
-            "#HEADER kernel:x device:y input:z injections:1 sigma:1.0\n#SDC nonsense\n";
+        let bad_event = "#HEADER kernel:x device:y input:z injections:1 sigma:1.0\n#SDC nonsense\n";
         let e = parse_log(bad_event).unwrap_err();
         assert_eq!(e.line, 2);
     }

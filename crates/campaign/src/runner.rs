@@ -1,7 +1,39 @@
-//! The campaign runner: golden run, cross sections, parallel injection.
+//! The campaign runner: golden run, cross sections, parallel injection —
+//! hardened with a hang watchdog, panic capture, streaming checkpoints
+//! and run telemetry.
+//!
+//! ## Execution model
+//!
+//! Worker threads claim injection indices from a shared cursor and send
+//! finished [`InjectionRecord`]s over a bounded channel to the collector
+//! (the calling thread), which appends them to the optional JSONL
+//! checkpoint, feeds the [`Telemetry`] accumulator, and prints the
+//! periodic progress line. Injection `i` always uses its own seeded RNG
+//! stream, so records are identical for any worker count — which is what
+//! lets [`Campaign::resume`] replay a killed campaign's checkpoint and
+//! finish with a bit-identical summary.
+//!
+//! ## Failure containment
+//!
+//! * A panic inside an injection is caught ([`std::panic::catch_unwind`])
+//!   and surfaces as [`AccelError::WorkerPanic`] instead of aborting.
+//! * The first worker error wins and stops further dispatch; later
+//!   errors are dropped rather than overwriting it.
+//! * With [`Campaign::with_deadline`] armed, an injection still running
+//!   past the deadline is recorded as [`InjectionOutcome::Hang`]
+//!   (site `"watchdog"`), its worker is abandoned, and a replacement
+//!   worker keeps the campaign going. An abandoned worker that
+//!   eventually wakes up discards its stale result via a generation
+//!   check, so the synthesized record is never duplicated.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,9 +46,31 @@ use radcrit_core::report::ErrorReport;
 use radcrit_faults::sampler::{FaultSampler, InjectionPlan};
 use radcrit_kernels::Workload;
 
+use crate::checkpoint::CheckpointWriter;
 use crate::config::Campaign;
 use crate::outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
 use crate::summary::CampaignSummary;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+
+/// The site name of hang records synthesized by the watchdog.
+pub const WATCHDOG_SITE: &str = "watchdog";
+
+/// Per-invocation knobs of [`Campaign::run_with`] — how a run executes,
+/// as opposed to the scientific configuration living on [`Campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Stream finished records to this JSONL checkpoint file.
+    pub checkpoint: Option<PathBuf>,
+    /// Replay completed indices from an existing checkpoint before
+    /// running (no-op when the file does not exist yet).
+    pub resume: bool,
+    /// Print a progress line to stderr at this interval.
+    pub progress: Option<Duration>,
+    /// Stop after producing this many new records, leaving the campaign
+    /// resumable — primarily a deterministic stand-in for "killed
+    /// mid-run" in tests and a way to slice very long campaigns.
+    pub budget: Option<usize>,
+}
 
 /// Everything a finished campaign produced.
 #[derive(Debug)]
@@ -29,8 +83,11 @@ pub struct CampaignResult {
     pub sigma_total: f64,
     /// Raw output length in elements.
     pub output_len: usize,
-    /// One record per injection, in index order.
+    /// One record per injection, in index order (fewer than
+    /// `campaign.injections` when a budget cut the run short).
     pub records: Vec<InjectionRecord>,
+    /// How the run went: throughput, latency, watchdog activity.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl CampaignResult {
@@ -39,6 +96,45 @@ impl CampaignResult {
     pub fn summary(&self) -> CampaignSummary {
         CampaignSummary::from_result(self)
     }
+
+    /// Whether every injection of the campaign has a record.
+    pub fn is_complete(&self) -> bool {
+        self.records.len() == self.campaign.injections
+    }
+}
+
+/// State shared between the collector and the worker threads.
+struct Shared {
+    campaign: Campaign,
+    sampler: FaultSampler,
+    golden: Vec<f64>,
+    /// Indices still to run (already filtered against the checkpoint).
+    pending: Vec<usize>,
+    /// Cursor into `pending`.
+    next: AtomicUsize,
+    /// Set on the first error; workers stop claiming new indices.
+    stop: AtomicBool,
+}
+
+/// One worker's watchdog slot. The generation counter arbitrates between
+/// a worker finishing late and the watchdog having already given up on
+/// it: whoever still holds the generation owns the injection's record.
+struct Slot {
+    generation: u64,
+    /// The injection being executed and when it started.
+    current: Option<(usize, Instant)>,
+    retired: bool,
+}
+
+enum Event {
+    Done {
+        record: InjectionRecord,
+        latency: Duration,
+    },
+    Failed {
+        error: AccelError,
+    },
+    Exited,
 }
 
 impl Campaign {
@@ -51,8 +147,37 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Propagates kernel construction and execution errors.
+    /// Propagates kernel construction and execution errors; a panicking
+    /// injection returns [`AccelError::WorkerPanic`].
     pub fn run(&self) -> Result<CampaignResult, AccelError> {
+        self.run_with(&RunOptions::default())
+    }
+
+    /// Resumes a campaign from the JSONL checkpoint at `path`: completed
+    /// indices are replayed from the file, the rest are run, and new
+    /// records are appended to the same file. A missing file starts a
+    /// fresh checkpointed run, so calling this in a retry loop is safe.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Corrupt`] when the checkpoint belongs to a
+    /// different campaign or is damaged beyond its final line; plus
+    /// everything [`Campaign::run`] can return.
+    pub fn resume<P: AsRef<Path>>(&self, path: P) -> Result<CampaignResult, AccelError> {
+        self.run_with(&RunOptions {
+            checkpoint: Some(path.as_ref().to_owned()),
+            resume: true,
+            ..RunOptions::default()
+        })
+    }
+
+    /// [`Campaign::run`] with explicit [`RunOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Campaign::run`], plus [`AccelError::Corrupt`] for checkpoint
+    /// I/O and validation failures.
+    pub fn run_with(&self, options: &RunOptions) -> Result<CampaignResult, AccelError> {
         let engine = Engine::new(self.device.clone());
 
         // Golden execution: output, profile, cross sections.
@@ -62,52 +187,148 @@ impl Campaign {
         let sigma_total = sampler.table().total();
         let golden_output = golden.output;
 
-        let next = AtomicUsize::new(0);
-        let failures: Mutex<Option<AccelError>> = Mutex::new(None);
-        let records: Mutex<Vec<InjectionRecord>> = Mutex::new(Vec::with_capacity(self.injections));
+        // Checkpoint: replay what a previous run already finished.
+        let mut writer = None;
+        let mut records: Vec<InjectionRecord> = Vec::new();
+        if let Some(path) = &options.checkpoint {
+            if options.resume {
+                let (w, replayed) = CheckpointWriter::resume(path, self)?;
+                writer = Some(w);
+                records = replayed;
+            } else {
+                writer = Some(CheckpointWriter::create(path, self)?);
+            }
+        }
+        let done: HashSet<usize> = records.iter().map(|r| r.index).collect();
+        let mut pending: Vec<usize> = (0..self.injections).filter(|i| !done.contains(i)).collect();
+        let target = options
+            .budget
+            .map_or(pending.len(), |b| b.min(pending.len()));
+        pending.truncate(target);
 
-        let workers = self.effective_workers().min(self.injections.max(1));
-        crossbeam::scope(|scope| {
+        let mut telemetry = Telemetry::new();
+        telemetry.note_replayed(records.len());
+
+        let workers = self.effective_workers().min(target.max(1));
+        let shared = Arc::new(Shared {
+            campaign: self.clone(),
+            sampler,
+            golden: golden_output.clone(),
+            pending,
+            next: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        });
+
+        // The collector keeps its own sender alive so the watchdog can
+        // hand it to replacement workers; termination is tracked via the
+        // `active` count rather than channel disconnection.
+        let (tx, rx) = mpsc::sync_channel::<Event>(workers * 2 + 4);
+        let mut slots: Vec<Arc<Mutex<Slot>>> = Vec::new();
+        let mut active = 0usize;
+        if target > 0 {
             for _ in 0..workers {
-                scope.spawn(|_| {
-                    let mut kernel = match self.kernel.build(self.seed) {
-                        Ok(k) => k,
-                        Err(e) => {
-                            *failures.lock().expect("poisoned") = Some(e);
-                            return;
-                        }
-                    };
-                    let engine = Engine::new(self.device.clone());
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= self.injections {
-                            break;
-                        }
-                        match self.run_one(
-                            i,
-                            &engine,
-                            kernel.as_mut(),
-                            &sampler,
-                            &golden_output,
-                        ) {
-                            Ok(record) => local.push(record),
-                            Err(e) => {
-                                *failures.lock().expect("poisoned") = Some(e);
-                                return;
-                            }
+                slots.push(spawn_worker(&shared, &tx));
+                active += 1;
+            }
+        }
+
+        // The collector tick bounds both watchdog reaction time and
+        // progress-line cadence.
+        let mut tick = Duration::from_millis(200);
+        if let Some(deadline) = self.deadline {
+            tick = tick.min(deadline / 4);
+        }
+        if let Some(progress) = options.progress {
+            tick = tick.min(progress);
+        }
+        let tick = tick.max(Duration::from_millis(5));
+
+        let mut produced = 0usize;
+        let mut first_error: Option<AccelError> = None;
+        let mut last_progress = Instant::now();
+
+        while active > 0 && produced < target {
+            match rx.recv_timeout(tick) {
+                Ok(Event::Done { record, latency }) => {
+                    telemetry.record(&record.outcome, latency, false);
+                    if let Some(w) = writer.as_mut() {
+                        if let Err(e) = w.append(&record) {
+                            shared.stop.store(true, Ordering::SeqCst);
+                            return Err(e);
                         }
                     }
-                    records.lock().expect("poisoned").extend(local);
-                });
+                    records.push(record);
+                    produced += 1;
+                }
+                Ok(Event::Failed { error }) => {
+                    // First error wins; later ones are victims of the
+                    // same shutdown, not the cause.
+                    if first_error.is_none() {
+                        first_error = Some(error);
+                    }
+                    shared.stop.store(true, Ordering::SeqCst);
+                }
+                Ok(Event::Exited) => active -= 1,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
             }
-        })
-        .expect("campaign worker panicked");
 
-        if let Some(e) = failures.into_inner().expect("poisoned") {
+            if let Some(deadline) = self.deadline {
+                let mut hung_indices = Vec::new();
+                for slot in &slots {
+                    let mut s = slot.lock().expect("slot lock");
+                    if let Some((index, started)) = s.current {
+                        if started.elapsed() >= deadline {
+                            s.generation += 1;
+                            s.current = None;
+                            s.retired = true;
+                            hung_indices.push(index);
+                        }
+                    }
+                }
+                for index in hung_indices {
+                    active -= 1;
+                    let record = InjectionRecord {
+                        index,
+                        site: WATCHDOG_SITE.into(),
+                        at_tile: None,
+                        delivered: true,
+                        outcome: InjectionOutcome::Hang,
+                    };
+                    telemetry.record(&record.outcome, deadline, true);
+                    if let Some(w) = writer.as_mut() {
+                        if let Err(e) = w.append(&record) {
+                            shared.stop.store(true, Ordering::SeqCst);
+                            return Err(e);
+                        }
+                    }
+                    records.push(record);
+                    produced += 1;
+                    if produced < target && !shared.stop.load(Ordering::SeqCst) {
+                        // Keep the pool at strength: the hung worker is
+                        // abandoned, not joined.
+                        slots.push(spawn_worker(&shared, &tx));
+                        active += 1;
+                    }
+                }
+                slots.retain(|s| !s.lock().expect("slot lock").retired);
+            }
+
+            if let Some(interval) = options.progress {
+                if last_progress.elapsed() >= interval {
+                    eprintln!("{}", telemetry.snapshot().progress_line(target));
+                    last_progress = Instant::now();
+                }
+            }
+        }
+        shared.stop.store(true, Ordering::SeqCst);
+
+        if let Some(e) = first_error {
             return Err(e);
         }
-        let mut records = records.into_inner().expect("poisoned");
+        if options.progress.is_some() {
+            eprintln!("{}", telemetry.snapshot().progress_line(target));
+        }
         records.sort_by_key(|r| r.index);
 
         Ok(CampaignResult {
@@ -116,6 +337,7 @@ impl Campaign {
             sigma_total,
             output_len: golden_output.len(),
             records,
+            telemetry: telemetry.snapshot(),
         })
     }
 
@@ -175,6 +397,111 @@ impl Campaign {
     }
 }
 
+fn spawn_worker(shared: &Arc<Shared>, tx: &SyncSender<Event>) -> Arc<Mutex<Slot>> {
+    let slot = Arc::new(Mutex::new(Slot {
+        generation: 0,
+        current: None,
+        retired: false,
+    }));
+    let shared = Arc::clone(shared);
+    let slot_for_worker = Arc::clone(&slot);
+    let tx = tx.clone();
+    thread::spawn(move || worker_loop(shared, slot_for_worker, tx));
+    slot
+}
+
+fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event>) {
+    let mut kernel = match shared.campaign.kernel.build(shared.campaign.seed) {
+        Ok(k) => k,
+        Err(e) => {
+            shared.stop.store(true, Ordering::SeqCst);
+            let _ = tx.send(Event::Failed { error: e });
+            let _ = tx.send(Event::Exited);
+            return;
+        }
+    };
+    let engine = Engine::new(shared.campaign.device.clone());
+
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let cursor = shared.next.fetch_add(1, Ordering::SeqCst);
+        let Some(&index) = shared.pending.get(cursor) else {
+            break;
+        };
+
+        let my_generation = {
+            let mut s = slot.lock().expect("slot lock");
+            if s.retired {
+                return;
+            }
+            s.current = Some((index, Instant::now()));
+            s.generation
+        };
+
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.campaign.run_one(
+                index,
+                &engine,
+                kernel.as_mut(),
+                &shared.sampler,
+                &shared.golden,
+            )
+        }));
+        let latency = started.elapsed();
+
+        // Never send while holding the slot lock: the collector both
+        // drains the channel and takes this lock in its watchdog scan.
+        let still_owner = {
+            let mut s = slot.lock().expect("slot lock");
+            if s.generation == my_generation {
+                s.current = None;
+                true
+            } else {
+                false
+            }
+        };
+        if !still_owner {
+            // The watchdog recorded this injection as a hang and moved
+            // on; our late result would be a duplicate.
+            return;
+        }
+
+        match outcome {
+            Ok(Ok(record)) => {
+                if tx.send(Event::Done { record, latency }).is_err() {
+                    return;
+                }
+            }
+            Ok(Err(error)) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                let _ = tx.send(Event::Failed { error });
+                break;
+            }
+            Err(payload) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                let _ = tx.send(Event::Failed {
+                    error: AccelError::WorkerPanic(panic_message(payload)),
+                });
+                break;
+            }
+        }
+    }
+    let _ = tx.send(Event::Exited);
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
 /// Compares outputs element-wise, mapping each mismatch to the kernel's
 /// *logical* coordinate space (e.g. LavaMD's box grid), which is what the
 /// paper's spatial-locality metric operates on.
@@ -212,6 +539,10 @@ mod tests {
         }
         assert_eq!(result.output_len, 32 * 32);
         assert!(result.sigma_total > 0.0);
+        assert!(result.is_complete());
+        assert_eq!(result.telemetry.completed, 40);
+        assert_eq!(result.telemetry.replayed, 0);
+        assert_eq!(result.telemetry.latency.count(), 40);
     }
 
     #[test]
@@ -235,7 +566,10 @@ mod tests {
         let tags: std::collections::HashSet<_> =
             result.records.iter().map(|r| r.outcome.tag()).collect();
         assert!(tags.contains("SDC"), "tags: {tags:?}");
-        assert!(tags.contains("CRASH") || tags.contains("HANG"), "tags: {tags:?}");
+        assert!(
+            tags.contains("CRASH") || tags.contains("HANG"),
+            "tags: {tags:?}"
+        );
         assert!(tags.contains("MASKED"), "tags: {tags:?}");
     }
 
@@ -243,7 +577,10 @@ mod tests {
     fn logical_coordinates_used_for_lavamd() {
         let c = Campaign::new(
             DeviceConfig::xeon_phi_3120a(),
-            KernelSpec::LavaMd { grid: 3, particles: 6 },
+            KernelSpec::LavaMd {
+                grid: 3,
+                particles: 6,
+            },
             60,
             3,
         )
@@ -257,6 +594,33 @@ mod tests {
                     "SDC must have mismatches"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn a_deadline_does_not_disturb_a_healthy_campaign() {
+        let base = small_campaign(DeviceConfig::kepler_k40());
+        let plain = base.clone().run().unwrap();
+        let watched = base.with_deadline(Duration::from_secs(60)).run().unwrap();
+        assert_eq!(plain.records, watched.records);
+        assert_eq!(watched.telemetry.watchdog_hangs, 0);
+    }
+
+    #[test]
+    fn budget_produces_a_resumable_partial_result() {
+        let c = small_campaign(DeviceConfig::kepler_k40());
+        let partial = c
+            .run_with(&RunOptions {
+                budget: Some(10),
+                ..RunOptions::default()
+            })
+            .unwrap();
+        assert_eq!(partial.records.len(), 10);
+        assert!(!partial.is_complete());
+        let full = c.run().unwrap();
+        // The partial run's records are a subset of the full run's.
+        for r in &partial.records {
+            assert_eq!(r, &full.records[r.index]);
         }
     }
 }

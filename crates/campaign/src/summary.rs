@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::outcome::InjectionOutcome;
 use crate::runner::CampaignResult;
+use crate::telemetry::TelemetrySnapshot;
 
 /// One scatter point of Figs. 2/4/6/8: a faulty execution's number of
 /// incorrect elements versus its mean relative error.
@@ -97,9 +98,8 @@ impl CampaignSummary {
         // paper's relative FIT: (events_cat / injections) × σ_total ∝
         // events_cat / fluence.
         let injections = result.records.len().max(1) as f64;
-        let to_fit = |count: usize| {
-            FitRate::from_raw(count as f64 / injections * result.sigma_total)
-        };
+        let to_fit =
+            |count: usize| FitRate::from_raw(count as f64 / injections * result.sigma_total);
         let fit_all = all_counts
             .iter()
             .map(|(&class, &n)| (class, to_fit(n)))
@@ -199,6 +199,49 @@ impl CampaignSummary {
     }
 }
 
+/// A human-readable report of one run: the summary's outcome counts
+/// joined with the run's telemetry (wall time, throughput, latency,
+/// watchdog activity).
+///
+/// Telemetry is deliberately *not* part of [`CampaignSummary`] — wall
+/// clocks differ between runs, and the summary must stay bit-identical
+/// between a resumed and an uninterrupted campaign. Pairing them happens
+/// only at presentation time, here.
+pub fn render_run(summary: &CampaignSummary, telemetry: &TelemetrySnapshot) -> String {
+    let mut out = format!(
+        "{} x {} on {}: {} injections -> {} masked, {} SDC ({} critical), {} crash, {} hang\n",
+        summary.kernel,
+        summary.input,
+        summary.device,
+        summary.injections,
+        summary.masked,
+        summary.sdc,
+        summary.critical_sdc,
+        summary.crash,
+        summary.hang,
+    );
+    out.push_str(&format!(
+        "run: {} new + {} replayed in {:.1?} ({:.1} inj/s)",
+        telemetry.completed,
+        telemetry.replayed,
+        telemetry.elapsed,
+        telemetry.throughput(),
+    ));
+    if let (Some(p50), Some(p90)) = (
+        telemetry.latency.quantile(0.5),
+        telemetry.latency.quantile(0.9),
+    ) {
+        out.push_str(&format!(" | latency p50<{p50:.1?} p90<{p90:.1?}"));
+    }
+    if telemetry.watchdog_hangs > 0 {
+        out.push_str(&format!(
+            " | {} hang(s) cut off by the watchdog",
+            telemetry.watchdog_hangs
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +302,15 @@ mod tests {
         let s = r.summary();
         assert!(s.fraction_mre_at_most(1.0) <= s.fraction_mre_at_most(100.0));
         assert!(s.fraction_mre_at_most(f64::INFINITY) <= 1.0);
+    }
+
+    #[test]
+    fn render_run_joins_summary_and_telemetry() {
+        let r = result();
+        let text = render_run(&r.summary(), &r.telemetry);
+        assert!(text.contains("dgemm x 32x32"), "{text}");
+        assert!(text.contains("200 injections"), "{text}");
+        assert!(text.contains("inj/s"), "{text}");
+        assert!(text.contains("200 new + 0 replayed"), "{text}");
     }
 }

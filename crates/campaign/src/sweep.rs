@@ -10,7 +10,9 @@
 use radcrit_accel::error::AccelError;
 
 use crate::presets::Preset;
+use crate::runner::RunOptions;
 use crate::summary::CampaignSummary;
+use crate::telemetry::TelemetrySnapshot;
 
 /// A list of campaigns to run as one experiment.
 #[derive(Debug, Clone)]
@@ -36,11 +38,45 @@ impl Sweep {
     ///
     /// Propagates the first campaign failure.
     pub fn run(&self) -> Result<SweepResult, AccelError> {
-        let mut summaries = Vec::with_capacity(self.presets.len());
-        for p in &self.presets {
-            summaries.push(p.campaign(self.seed).run()?.summary());
+        self.run_with(&RunOptions::default())
+    }
+
+    /// [`Sweep::run`] with explicit per-campaign [`RunOptions`].
+    ///
+    /// A `checkpoint` path is interpreted as a *directory*: each preset
+    /// checkpoints to its own `NN-kernel-input.jsonl` file inside it, so
+    /// a killed sweep resumes campaign-by-campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first campaign failure, and
+    /// [`AccelError::Corrupt`] when the checkpoint directory cannot be
+    /// created.
+    pub fn run_with(&self, options: &RunOptions) -> Result<SweepResult, AccelError> {
+        if let Some(dir) = &options.checkpoint {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                AccelError::Corrupt(format!("checkpoint directory {}: {e}", dir.display()))
+            })?;
         }
-        Ok(SweepResult { summaries })
+        let mut summaries = Vec::with_capacity(self.presets.len());
+        let mut telemetry = Vec::with_capacity(self.presets.len());
+        for (i, p) in self.presets.iter().enumerate() {
+            let mut opts = options.clone();
+            opts.checkpoint = options.checkpoint.as_ref().map(|dir| {
+                dir.join(format!(
+                    "{i:02}-{}-{}.jsonl",
+                    p.kernel.name(),
+                    p.kernel.input_label()
+                ))
+            });
+            let result = p.campaign(self.seed).run_with(&opts)?;
+            telemetry.push(result.telemetry.clone());
+            summaries.push(result.summary());
+        }
+        Ok(SweepResult {
+            summaries,
+            telemetry,
+        })
     }
 }
 
@@ -48,6 +84,7 @@ impl Sweep {
 #[derive(Debug, Clone)]
 pub struct SweepResult {
     summaries: Vec<CampaignSummary>,
+    telemetry: Vec<TelemetrySnapshot>,
 }
 
 impl SweepResult {
@@ -56,14 +93,37 @@ impl SweepResult {
         &self.summaries
     }
 
+    /// Run telemetry per campaign, in preset order.
+    pub fn telemetry(&self) -> &[TelemetrySnapshot] {
+        &self.telemetry
+    }
+
+    /// Total injections per second across the sweep's campaigns
+    /// (replayed checkpoint records excluded).
+    pub fn aggregate_throughput(&self) -> f64 {
+        let completed: usize = self.telemetry.iter().map(|t| t.completed).sum();
+        let secs: f64 = self.telemetry.iter().map(|t| t.elapsed.as_secs_f64()).sum();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            completed as f64 / secs
+        }
+    }
+
     /// Summaries restricted to one kernel name.
     pub fn for_kernel(&self, kernel: &str) -> Vec<&CampaignSummary> {
-        self.summaries.iter().filter(|s| s.kernel == kernel).collect()
+        self.summaries
+            .iter()
+            .filter(|s| s.kernel == kernel)
+            .collect()
     }
 
     /// Summaries restricted to one device name.
     pub fn for_device(&self, device: &str) -> Vec<&CampaignSummary> {
-        self.summaries.iter().filter(|s| s.device == device).collect()
+        self.summaries
+            .iter()
+            .filter(|s| s.device == device)
+            .collect()
     }
 
     /// FIT growth over a subset: last total over first total, or `None`
@@ -116,7 +176,11 @@ mod tests {
             },
             Preset {
                 device,
-                kernel: KernelSpec::HotSpot { rows: 16, cols: 16, iterations: 4 },
+                kernel: KernelSpec::HotSpot {
+                    rows: 16,
+                    cols: 16,
+                    iterations: 4,
+                },
                 injections: 30,
             },
         ];
@@ -139,6 +203,34 @@ mod tests {
         assert_eq!(r.for_kernel("hotspot").len(), 1);
         assert_eq!(r.for_device("K40").len(), 3);
         assert_eq!(r.for_device("Xeon Phi").len(), 0);
+    }
+
+    #[test]
+    fn sweep_collects_telemetry_per_campaign() {
+        let r = tiny_sweep().run().unwrap();
+        assert_eq!(r.telemetry().len(), 3);
+        assert!(r.telemetry().iter().all(|t| t.completed > 0));
+        assert!(r.aggregate_throughput() > 0.0);
+    }
+
+    #[test]
+    fn sweep_checkpoints_into_a_directory_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("radcrit-sweep-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let sweep = tiny_sweep();
+        let opts = RunOptions {
+            checkpoint: Some(dir.clone()),
+            resume: true,
+            ..RunOptions::default()
+        };
+        let first = sweep.run_with(&opts).unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3);
+        // A second pass replays every record from the checkpoints.
+        let second = sweep.run_with(&opts).unwrap();
+        assert_eq!(first.summaries(), second.summaries());
+        assert!(second.telemetry().iter().all(|t| t.completed == 0));
+        assert!(second.telemetry().iter().all(|t| t.replayed > 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

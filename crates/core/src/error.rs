@@ -45,7 +45,10 @@ impl fmt::Display for CoreError {
                 write!(f, "fluence must be strictly positive, got {v}")
             }
             CoreError::InvalidThreshold(v) => {
-                write!(f, "tolerance threshold must be a non-negative number, got {v}")
+                write!(
+                    f,
+                    "tolerance threshold must be a non-negative number, got {v}"
+                )
             }
         }
     }

@@ -135,7 +135,10 @@ mod tests {
         let golden = [1.0, 1.0, 1.0];
         let observed = [1.0001, 1.5, 1.0];
         let r = compare_slices(&golden, &observed, OutputShape::d1(3)).unwrap();
-        assert_eq!(ToleranceFilter::keep_all().apply(&r).incorrect_elements(), 2);
+        assert_eq!(
+            ToleranceFilter::keep_all().apply(&r).incorrect_elements(),
+            2
+        );
     }
 
     #[test]

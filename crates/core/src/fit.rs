@@ -156,10 +156,7 @@ impl FitBreakdown {
 
     /// Builds a break-down from per-class event counts and the campaign
     /// fluence, using the sea-level natural flux.
-    pub fn from_counts(
-        counts: &BTreeMap<SpatialClass, usize>,
-        fluence: Fluence,
-    ) -> Self {
+    pub fn from_counts(counts: &BTreeMap<SpatialClass, usize>, fluence: Fluence) -> Self {
         let by_class = counts
             .iter()
             .map(|(&class, &n)| (class, FitRate::from_events_sea_level(n, fluence)))

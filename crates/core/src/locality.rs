@@ -80,6 +80,24 @@ impl std::fmt::Display for SpatialClass {
     }
 }
 
+impl std::str::FromStr for SpatialClass {
+    type Err = String;
+
+    /// Parses the [`std::fmt::Display`] form back into the class (used by
+    /// the campaign log and checkpoint readers).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "none" => SpatialClass::None,
+            "single" => SpatialClass::Single,
+            "line" => SpatialClass::Line,
+            "square" => SpatialClass::Square,
+            "cubic" => SpatialClass::Cubic,
+            "random" => SpatialClass::Random,
+            other => return Err(format!("unknown spatial class {other:?}")),
+        })
+    }
+}
+
 /// Classifies the corrupted coordinates of an [`ErrorReport`] into a
 /// [`SpatialClass`].
 ///
@@ -195,6 +213,21 @@ mod tests {
 
     fn classify(coords: &[[usize; 3]]) -> SpatialClass {
         LocalityClassifier::default().classify_coords(coords)
+    }
+
+    #[test]
+    fn display_and_from_str_round_trip() {
+        for class in [
+            SpatialClass::None,
+            SpatialClass::Single,
+            SpatialClass::Line,
+            SpatialClass::Square,
+            SpatialClass::Cubic,
+            SpatialClass::Random,
+        ] {
+            assert_eq!(class.to_string().parse::<SpatialClass>(), Ok(class));
+        }
+        assert!("triangular".parse::<SpatialClass>().is_err());
     }
 
     #[test]

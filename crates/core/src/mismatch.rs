@@ -123,12 +123,36 @@ mod tests {
     fn zero_expected_nonzero_read_is_infinite() {
         let m = Mismatch::new([0, 0, 0], 0.25, 0.0);
         assert!(m.relative_error().is_infinite());
+        // The infinity is positive and exceeds every finite tolerance —
+        // a corrupted zero is always critical, never NaN-shaped.
+        assert_eq!(m.relative_error(), f64::INFINITY);
+        assert!(!m.relative_error().is_nan());
+        assert!(m.exceeds(f64::MAX));
     }
 
     #[test]
     fn zero_expected_zero_read_is_zero() {
         let m = Mismatch::new([0, 0, 0], 0.0, 0.0);
         assert_eq!(m.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn negative_zero_is_the_same_zero() {
+        // A strike flipping the sign bit of 0.0 produces -0.0; the
+        // difference is exactly 0.0, so the relative error must be too
+        // (never 0/0 = NaN).
+        let m = Mismatch::new([0, 0, 0], -0.0, 0.0);
+        assert_eq!(m.relative_error(), 0.0);
+        let m = Mismatch::new([0, 0, 0], 0.25, -0.0);
+        assert_eq!(m.relative_error(), f64::INFINITY);
+    }
+
+    #[test]
+    fn tiny_subnormal_expected_stays_finite() {
+        // Near-zero (but nonzero) golden values divide through normally;
+        // the guard only triggers at exactly zero.
+        let m = Mismatch::new([0, 0, 0], 0.0, f64::MIN_POSITIVE);
+        assert!((m.relative_error() - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -174,6 +198,17 @@ mod tests {
         fn cap_never_exceeded(read in -1e9f64..1e9, expected in 0.1f64..1e9, cap in 0.0f64..1e5) {
             let m = Mismatch::new([0, 0, 0], read, expected);
             prop_assert!(m.relative_error_capped(cap) <= cap);
+        }
+
+        #[test]
+        fn zero_expected_never_yields_nan(read in -1e12f64..1e12) {
+            // Regression guard for the division-by-zero audit: a zero
+            // golden value must map to 0 or +inf, never NaN, so the
+            // tolerance filter always classifies it deterministically.
+            let m = Mismatch::new([0, 0, 0], read, 0.0);
+            let re = m.relative_error();
+            prop_assert!(!re.is_nan());
+            prop_assert!(re == 0.0 || re == f64::INFINITY);
         }
     }
 }

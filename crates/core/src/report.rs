@@ -241,7 +241,10 @@ mod tests {
         let golden = vec![1.0; 4];
         let observed = vec![1.5, 1.001, 1.0, 1.0]; // 50 % and 0.1 %
         let r = report_from(&golden, &observed, shape);
-        let c = r.criticality(&ToleranceFilter::paper_default(), &LocalityClassifier::default());
+        let c = r.criticality(
+            &ToleranceFilter::paper_default(),
+            &LocalityClassifier::default(),
+        );
         assert_eq!(c.incorrect_elements, 2);
         assert_eq!(c.filtered_incorrect_elements, 1);
         assert!(c.is_critical());
@@ -255,7 +258,10 @@ mod tests {
         let golden = vec![1.0; 2];
         let observed = vec![1.001, 1.002];
         let r = report_from(&golden, &observed, shape);
-        let c = r.criticality(&ToleranceFilter::paper_default(), &LocalityClassifier::default());
+        let c = r.criticality(
+            &ToleranceFilter::paper_default(),
+            &LocalityClassifier::default(),
+        );
         assert_eq!(c.incorrect_elements, 2);
         assert!(!c.is_critical());
         assert_eq!(c.filtered_mean_relative_error, None);

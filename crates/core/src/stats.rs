@@ -60,7 +60,10 @@ impl Summary {
 ///
 /// Panics if `q` is outside `[0, 1]` or NaN.
 pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     if values.is_empty() {
         return None;
     }

@@ -163,8 +163,9 @@ pub fn altitude_acceleration(altitude_m: f64) -> f64 {
 /// inputs the result is a relative MTBF — only ratios are meaningful,
 /// matching the paper's reporting.
 pub fn fleet_mtbf_hours(fit: radcrit_core::fit::FitRate, devices: usize, altitude_m: f64) -> f64 {
-    let rate_per_hour =
-        fit.value() / radcrit_core::fit::FIT_HOURS * devices as f64 * altitude_acceleration(altitude_m);
+    let rate_per_hour = fit.value() / radcrit_core::fit::FIT_HOURS
+        * devices as f64
+        * altitude_acceleration(altitude_m);
     if rate_per_hour <= 0.0 {
         f64::INFINITY
     } else {

@@ -178,7 +178,14 @@ mod tests {
             DeviceKind::Custom,
         ] {
             let p = Protection::for_device(kind);
-            for v in [p.cache, p.register_file, p.fpu, p.control, p.scheduler, p.fatal] {
+            for v in [
+                p.cache,
+                p.register_file,
+                p.fpu,
+                p.control,
+                p.scheduler,
+                p.fatal,
+            ] {
                 assert!(v > 0.0);
             }
         }

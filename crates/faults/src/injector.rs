@@ -136,8 +136,7 @@ mod tests {
                 InjectionPlan::Strike(spec) => {
                     let name = spec.target.site_name();
                     assert!(
-                        ["l2", "l1", "register_file", "vector_register", "fpu"]
-                            .contains(&name),
+                        ["l2", "l1", "register_file", "vector_register", "fpu"].contains(&name),
                         "injector reached hidden site {name}"
                     );
                     assert!(spec.at_tile < 64);
@@ -172,10 +171,15 @@ mod tests {
         assert!(frac > 0.0 && frac < 1.0, "visible fraction {frac}");
         // The hidden remainder is exactly the scheduler/control/SFU/fatal
         // share.
-        let hidden: f64 = [Site::Sfu, Site::CoreControl, Site::Scheduler, Site::FatalLogic]
-            .iter()
-            .map(|&s| table.share(s))
-            .sum();
+        let hidden: f64 = [
+            Site::Sfu,
+            Site::CoreControl,
+            Site::Scheduler,
+            Site::FatalLogic,
+        ]
+        .iter()
+        .map(|&s| table.share(s))
+        .sum();
         assert!((frac + hidden - 1.0).abs() < 1e-9);
     }
 

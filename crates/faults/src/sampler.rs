@@ -98,10 +98,7 @@ impl FaultSampler {
                         1 => SchedulerEffect::RedirectTile,
                         _ => SchedulerEffect::GarbleTile,
                     };
-                    InjectionPlan::Strike(StrikeSpec::new(
-                        at_tile,
-                        StrikeTarget::Scheduler(effect),
-                    ))
+                    InjectionPlan::Strike(StrikeSpec::new(at_tile, StrikeTarget::Scheduler(effect)))
                 }
             }
             Site::CacheL2 => InjectionPlan::Strike(StrikeSpec::new(

@@ -147,10 +147,7 @@ impl SiteTable {
             exposure.l1 * sens * prot.cache * calib::L1_FACTOR,
         );
 
-        let rf = exposure.register_file
-            * sens
-            * prot.register_file
-            * (1.0 - cfg.ecc_coverage());
+        let rf = exposure.register_file * sens * prot.register_file * (1.0 - cfg.ecc_coverage());
         if cfg.vector_lanes_f64() > 1 {
             push(Site::VectorRegister, rf);
         } else {
@@ -158,11 +155,13 @@ impl SiteTable {
         }
 
         let units = cfg.units() as f64;
-        push(Site::Fpu, calib::FPU_AREA_PER_UNIT * units * sens * prot.fpu);
+        push(
+            Site::Fpu,
+            calib::FPU_AREA_PER_UNIT * units * sens * prot.fpu,
+        );
 
         if cfg.exposed_sfu() && profile.transcendental_ops > 0 {
-            let util =
-                (profile.transcendental_fraction() * calib::SFU_UTILIZATION_GAIN).min(1.0);
+            let util = (profile.transcendental_fraction() * calib::SFU_UTILIZATION_GAIN).min(1.0);
             push(Site::Sfu, calib::SFU_AREA_PER_UNIT * units * sens * util);
         }
 

@@ -297,7 +297,10 @@ mod tests {
         assert_eq!(diffs.len(), 1, "one corrupted element");
         let i = diffs[0];
         let rel = ((out.output[i] - golden[i]) / golden[i]).abs() * 100.0;
-        assert!(rel < 1.0, "low mantissa flip diluted by accumulation: {rel}%");
+        assert!(
+            rel < 1.0,
+            "low mantissa flip diluted by accumulation: {rel}%"
+        );
     }
 
     #[test]

@@ -206,10 +206,7 @@ impl TiledProgram for LavaMd {
     fn setup(&mut self, mem: &mut DeviceMemory) -> Result<(), AccelError> {
         self.rv_buf = Some(mem.alloc_init("rv", &self.rv));
         self.qv_buf = Some(mem.alloc_init("qv", &self.qv));
-        self.fv_buf = Some(mem.alloc(
-            "fv",
-            self.grid * self.grid * self.grid * self.particles * 4,
-        ));
+        self.fv_buf = Some(mem.alloc("fv", self.grid * self.grid * self.grid * self.particles * 4));
         Ok(())
     }
 
@@ -363,7 +360,10 @@ mod tests {
                 break;
             }
         }
-        assert!(exploded, "exp-argument corruption must explode for some pair");
+        assert!(
+            exploded,
+            "exp-argument corruption must explode for some pair"
+        );
     }
 
     #[test]

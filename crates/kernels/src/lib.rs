@@ -19,6 +19,10 @@
 //! Each kernel also implements [`Workload`], which adds the logical
 //! output geometry used by the spatial-locality metric and the Table I/II
 //! classification metadata.
+//!
+//! [`pathological::Pathological`] is a fifth, diagnostic workload that
+//! hangs or panics on demand; the campaign runner's watchdog and panic
+//! capture are exercised against it.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -27,6 +31,7 @@ pub mod dgemm;
 pub mod hotspot;
 pub mod input;
 pub mod lavamd;
+pub mod pathological;
 pub mod profile;
 pub mod shallow;
 

@@ -58,7 +58,11 @@ pub const MOMENTUM_MAX: f64 = 100.0;
 /// first NaN.
 #[inline]
 pub fn limit_state(h: f64, hu: f64, hv: f64) -> (f64, f64, f64) {
-    let h = if h.is_finite() { h.clamp(H_MIN, H_MAX) } else { H_MIN };
+    let h = if h.is_finite() {
+        h.clamp(H_MIN, H_MAX)
+    } else {
+        H_MIN
+    };
     let hu = if hu.is_finite() {
         hu.clamp(-MOMENTUM_MAX, MOMENTUM_MAX)
     } else {
@@ -326,9 +330,18 @@ impl TiledProgram for ShallowWater {
         // Both parity buffers start from the initial condition so skipped
         // (quiescent) regions hold identical data in either buffer.
         let bufs = Buffers {
-            h: [mem.alloc_init("h_a", &self.h0), mem.alloc_init("h_b", &self.h0)],
-            hu: [mem.alloc_init("hu_a", &zeros), mem.alloc_init("hu_b", &zeros)],
-            hv: [mem.alloc_init("hv_a", &zeros), mem.alloc_init("hv_b", &zeros)],
+            h: [
+                mem.alloc_init("h_a", &self.h0),
+                mem.alloc_init("h_b", &self.h0),
+            ],
+            hu: [
+                mem.alloc_init("hu_a", &zeros),
+                mem.alloc_init("hu_b", &zeros),
+            ],
+            hv: [
+                mem.alloc_init("hv_a", &zeros),
+                mem.alloc_init("hv_b", &zeros),
+            ],
         };
         self.bufs = Some(bufs);
         Ok(())
@@ -554,7 +567,7 @@ mod tests {
     }
 
     #[test]
-    fn limiter_is_identity_on_clean_states(){
+    fn limiter_is_identity_on_clean_states() {
         let (h, hu, hv) = limit_state(1.5, 0.3, -0.2);
         assert_eq!((h, hu, hv), (1.5, 0.3, -0.2));
     }

@@ -157,7 +157,10 @@ fn shallow_energy_is_non_increasing() {
     let mut prev = energy(1);
     for steps in [5usize, 10, 20, 40] {
         let e = energy(steps);
-        assert!(e <= prev + 1e-9, "energy grew: {prev} -> {e} at {steps} steps");
+        assert!(
+            e <= prev + 1e-9,
+            "energy grew: {prev} -> {e} at {steps} steps"
+        );
         prev = e;
     }
 }
@@ -192,8 +195,7 @@ fn shallow_wavefront_respects_schedule_bound() {
         .iter()
         .map(|&i| (i as f64 - center).abs())
         .fold(0.0, f64::max);
-    let bound = k.dam_radius() + (steps as f64 + 1.0) * (GRAVITY * H_HIGH).sqrt() * 0.1
-        + 2.0 * 8.0;
+    let bound = k.dam_radius() + (steps as f64 + 1.0) * (GRAVITY * H_HIGH).sqrt() * 0.1 + 2.0 * 8.0;
     assert!(
         max_reach <= bound,
         "wave reached {max_reach} rows, schedule allows {bound}"

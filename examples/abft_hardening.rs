@@ -83,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!(
                         "  strike on {:<14} -> {k} element(s) corrected, output {}",
                         spec.target.site_name(),
-                        if restored { "fully restored" } else { "NOT restored" }
+                        if restored {
+                            "fully restored"
+                        } else {
+                            "NOT restored"
+                        }
                     );
                 }
             }

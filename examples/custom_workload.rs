@@ -98,7 +98,11 @@ impl TiledProgram for Jacobi1d {
         for k in 0..TILE {
             let i = start + k;
             let left = if i == 0 { 0.0 } else { window[i - 1 - lo] };
-            let right = if i == self.n - 1 { 0.0 } else { window[i + 1 - lo] };
+            let right = if i == self.n - 1 {
+                0.0
+            } else {
+                window[i + 1 - lo]
+            };
             let sum = ctx.add(left, right);
             let total = ctx.add(rhs[k], sum);
             out[k] = ctx.mul(0.5, total);
@@ -157,7 +161,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if crit.is_critical() {
                     critical += 1;
                 }
-                *class_counts.entry(crit.locality.to_string()).or_insert(0usize) += 1;
+                *class_counts
+                    .entry(crit.locality.to_string())
+                    .or_insert(0usize) += 1;
             }
         }
     }

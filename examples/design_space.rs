@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .l2(CacheGeometry::new(1024 * 1024, 64, 8).expect("valid L2"))
                 .build()?,
         ),
-        ("register ECC (99% coverage)", base().ecc(true, 0.99).build()?),
+        (
+            "register ECC (99% coverage)",
+            base().ecc(true, 0.99).build()?,
+        ),
         (
             "big L2 + register ECC",
             base()
@@ -53,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<36} | {:>5} | {:>9} | {:>12} | {:>10}",
         "design", "SDCs", "L2 hit %", "mean elems", "block loc %"
     );
-    println!("{:-<36}-+-{:->5}-+-{:->9}-+-{:->12}-+-{:->10}", "", "", "", "", "");
+    println!(
+        "{:-<36}-+-{:->5}-+-{:->9}-+-{:->12}-+-{:->10}",
+        "", "", "", "", ""
+    );
     for (name, device) in designs {
         let result = Campaign::new(device, kernel, 250, 9).run()?;
         let hit = result.profile.l2_hit_rate() * 100.0;

@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fit_all = FitRate::from_raw(summary.fit_all_total());
         let fit_tol = FitRate::from_raw(summary.fit_filtered_total());
         let fit_abft = FitRate::from_raw(
-            summary.fit_filtered_total()
-                * radcrit::abft::residual_fraction(&summary.fit_filtered),
+            summary.fit_filtered_total() * radcrit::abft::residual_fraction(&summary.fit_filtered),
         );
 
         let mtbf = |fit: FitRate| fleet_mtbf_hours(fit, FLEET, 0.0);
@@ -51,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!(
-        "\n(relative to the K40 fleet counting every mismatch = 1.00x; larger is better)\n"
-    );
+    println!("\n(relative to the K40 fleet counting every mismatch = 1.00x; larger is better)\n");
 
     println!("altitude matters too — the same fleet relocated:");
     for (site, altitude) in [

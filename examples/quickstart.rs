@@ -9,10 +9,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use radcrit::accel::{config::DeviceConfig, engine::Engine};
-use radcrit::core::{
-    filter::ToleranceFilter, locality::LocalityClassifier, shape::OutputShape,
-};
 use radcrit::core::compare::compare_slices;
+use radcrit::core::{filter::ToleranceFilter, locality::LocalityClassifier, shape::OutputShape};
 use radcrit::faults::sampler::{FaultSampler, InjectionPlan};
 use radcrit::kernels::dgemm::Dgemm;
 
@@ -56,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     continue;
                 }
                 let crit = report.criticality(&tolerance, &classifier);
-                println!("\nattempt {attempt}: SDC from a {} strike!", spec.target.site_name());
+                println!(
+                    "\nattempt {attempt}: SDC from a {} strike!",
+                    spec.target.site_name()
+                );
                 println!("  incorrect elements : {}", crit.incorrect_elements);
                 println!(
                     "  mean relative error: {:.3e} %",
@@ -69,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 );
                 println!(
                     "  critical under imprecise computing? {}",
-                    if crit.is_critical() { "yes" } else { "no (tolerable)" }
+                    if crit.is_critical() {
+                        "yes"
+                    } else {
+                        "no (tolerable)"
+                    }
                 );
                 return Ok(());
             }

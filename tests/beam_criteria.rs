@@ -16,7 +16,13 @@ fn single_strike_criterion_holds_for_preset_kernels() {
     for (device, kernel) in [
         (presets::k40(), KernelSpec::Dgemm { n: 64 }),
         (presets::xeon_phi(), KernelSpec::Dgemm { n: 64 }),
-        (presets::k40(), KernelSpec::LavaMd { grid: 3, particles: 8 }),
+        (
+            presets::k40(),
+            KernelSpec::LavaMd {
+                grid: 3,
+                particles: 8,
+            },
+        ),
     ] {
         let engine = Engine::new(device.clone());
         let mut k = kernel.build(1).unwrap();
@@ -84,11 +90,20 @@ fn lavamd_occupancy_limits_k40_register_exposure() {
     let device = presets::k40();
     let engine = Engine::new(device.clone());
 
-    let mut lavamd = KernelSpec::LavaMd { grid: 5, particles: 16 }.build(1).unwrap();
+    let mut lavamd = KernelSpec::LavaMd {
+        grid: 5,
+        particles: 16,
+    }
+    .build(1)
+    .unwrap();
     let lavamd_profile = engine.golden(lavamd.as_mut()).unwrap().profile;
-    let mut hotspot = KernelSpec::HotSpot { rows: 64, cols: 64, iterations: 2 }
-        .build(1)
-        .unwrap();
+    let mut hotspot = KernelSpec::HotSpot {
+        rows: 64,
+        cols: 64,
+        iterations: 2,
+    }
+    .build(1)
+    .unwrap();
     let hotspot_profile = engine.golden(hotspot.as_mut()).unwrap().profile;
 
     assert!(

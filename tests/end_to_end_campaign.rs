@@ -15,7 +15,9 @@ fn dgemm_campaign_end_to_end_on_both_devices() {
         DeviceConfig::xeon_phi_3120a().scaled(8).unwrap(),
     ] {
         let name = device.kind().to_string();
-        let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 80).run().unwrap();
+        let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 80)
+            .run()
+            .unwrap();
         let s = result.summary();
         assert_eq!(s.injections, 80, "{name}");
         assert_eq!(s.masked + s.sdc + s.crash + s.hang, 80, "{name}");
@@ -32,9 +34,20 @@ fn every_kernel_runs_in_a_campaign() {
     let device = DeviceConfig::xeon_phi_3120a().scaled(8).unwrap();
     let kernels = [
         KernelSpec::Dgemm { n: 32 },
-        KernelSpec::LavaMd { grid: 3, particles: 6 },
-        KernelSpec::HotSpot { rows: 16, cols: 16, iterations: 6 },
-        KernelSpec::Shallow { rows: 24, cols: 24, steps: 10 },
+        KernelSpec::LavaMd {
+            grid: 3,
+            particles: 6,
+        },
+        KernelSpec::HotSpot {
+            rows: 16,
+            cols: 16,
+            iterations: 6,
+        },
+        KernelSpec::Shallow {
+            rows: 24,
+            cols: 24,
+            steps: 10,
+        },
     ];
     for kernel in kernels {
         let result = campaign(device.clone(), kernel, 40).run().unwrap();
@@ -45,7 +58,9 @@ fn every_kernel_runs_in_a_campaign() {
 #[test]
 fn sdc_details_are_internally_consistent() {
     let device = DeviceConfig::kepler_k40().scaled(8).unwrap();
-    let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 150).run().unwrap();
+    let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 150)
+        .run()
+        .unwrap();
     for r in &result.records {
         if let InjectionOutcome::Sdc(d) = &r.outcome {
             let c = &d.criticality;
@@ -68,7 +83,9 @@ fn sdc_details_are_internally_consistent() {
 #[test]
 fn log_and_csv_cover_all_records() {
     let device = DeviceConfig::kepler_k40().scaled(8).unwrap();
-    let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 50).run().unwrap();
+    let result = campaign(device, KernelSpec::Dgemm { n: 32 }, 50)
+        .run()
+        .unwrap();
 
     let mut log_buf = Vec::new();
     log::write_log(&result, &mut log_buf).unwrap();

@@ -35,7 +35,13 @@ fn classify(golden: &[f64], observed: &[f64]) -> (usize, SpatialClass) {
 
 #[test]
 fn fpu_strike_is_a_single_error() {
-    let strike = StrikeSpec::new(2, StrikeTarget::Fpu { mask: 1 << 62, op_index: 17 });
+    let strike = StrikeSpec::new(
+        2,
+        StrikeTarget::Fpu {
+            mask: 1 << 62,
+            op_index: 17,
+        },
+    );
     let (golden, observed) = run_dgemm(DeviceConfig::kepler_k40(), strike, 1);
     let (count, class) = classify(&golden, &observed);
     assert_eq!(count, 1);
@@ -69,7 +75,11 @@ fn phi_unit_garble_is_a_large_block() {
 fn vector_strike_hits_consecutive_elements() {
     let strike = StrikeSpec::new(
         1,
-        StrikeTarget::VectorRegister { mask: 1 << 61, lanes: 8, op_index: 0 },
+        StrikeTarget::VectorRegister {
+            mask: 1 << 61,
+            lanes: 8,
+            op_index: 0,
+        },
     );
     let (golden, observed) = run_dgemm(DeviceConfig::xeon_phi_3120a(), strike, 4);
     let report = compare_slices(&golden, &observed, OutputShape::d2(N, N)).unwrap();
@@ -103,7 +113,10 @@ fn lavamd_l2_strike_spreads_over_neighbouring_boxes() {
             break;
         }
     }
-    assert!(found_multibox, "some input strike must spread over several boxes");
+    assert!(
+        found_multibox,
+        "some input strike must spread over several boxes"
+    );
 }
 
 #[test]
@@ -111,7 +124,10 @@ fn masked_strikes_leave_output_untouched() {
     // An FPU strike with an op index beyond the tile's work never lands.
     let strike = StrikeSpec::new(
         0,
-        StrikeTarget::Fpu { mask: 1 << 60, op_index: u64::MAX / 2 },
+        StrikeTarget::Fpu {
+            mask: 1 << 60,
+            op_index: u64::MAX / 2,
+        },
     );
     let (golden, observed) = run_dgemm(DeviceConfig::kepler_k40(), strike, 5);
     assert_eq!(golden, observed);

@@ -1,0 +1,86 @@
+//! `any::<T>()` support for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for a primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct Primitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Default for Primitive<T> {
+    fn default() -> Self {
+        Primitive {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+macro_rules! arbitrary_prim {
+    ($($t:ty => |$rng:ident| $gen:expr;)+) => {$(
+        impl Strategy for Primitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = Primitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                Primitive::default()
+            }
+        }
+    )+};
+}
+
+arbitrary_prim! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+    f64 => |rng| rng.unit_f64() * 2e9 - 1e9;
+    f32 => |rng| (rng.unit_f64() * 2e9 - 1e9) as f32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_hits_both_values() {
+        let mut rng = TestRng::for_test("bools");
+        let s = any::<bool>();
+        let mut t = 0;
+        for _ in 0..100 {
+            if s.generate(&mut rng) {
+                t += 1;
+            }
+        }
+        assert!(t > 20 && t < 80, "{t}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Sampling strategies over explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+/// Picks uniformly among `options`; must be non-empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].clone()
+    }
+}

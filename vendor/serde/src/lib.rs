@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so existing `use serde::{Deserialize,
+//! Serialize}` imports and `#[derive(...)]` attributes compile without
+//! registry access. No serialization machinery is provided — the
+//! workspace's on-disk formats (campaign logs, CSV, JSONL checkpoints)
+//! are hand-written.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
