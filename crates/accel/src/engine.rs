@@ -7,7 +7,12 @@
 //! (the paper computes golden outputs "on the very same device used for
 //! experiments" for the same reason, §IV-D).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use rand::Rng;
+
+use radcrit_obs::MetricsRegistry;
 
 use crate::cache::CacheHierarchy;
 use crate::config::DeviceConfig;
@@ -34,6 +39,31 @@ pub struct RunOutcome {
     pub profile: ExecutionProfile,
     /// Whether the strike corrupted any machine state.
     pub strike_delivered: bool,
+    /// How each strike was resolved against live machine state, in
+    /// delivery order (empty for golden runs).
+    pub resolutions: Vec<StrikeResolution>,
+}
+
+/// How one strike was resolved against live machine state — the piece of
+/// fault provenance only the engine knows, because victim selection
+/// consumes the injection's RNG stream at delivery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrikeResolution {
+    /// The dispatch position at which the strike landed.
+    pub at_tile: usize,
+    /// The struck structure's site name (see
+    /// [`StrikeTarget::site_name`]).
+    pub site: &'static str,
+    /// Whether the strike found live state to corrupt.
+    pub delivered: bool,
+    /// The dispatch position whose state was corrupted, when the target
+    /// resolves to a specific tile (register-file strikes pick a pending
+    /// victim in the wave; pipeline strikes hit the executing tile).
+    pub victim_tile: Option<usize>,
+    /// The execution unit involved, for unit-scoped targets.
+    pub unit: Option<usize>,
+    /// The destination a scheduler redirect re-dispatched the victim to.
+    pub redirect_dest: Option<usize>,
 }
 
 /// The simulation engine for one device configuration.
@@ -49,12 +79,22 @@ pub struct RunOutcome {
 #[derive(Debug, Clone)]
 pub struct Engine {
     cfg: DeviceConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Engine {
     /// Creates an engine for `cfg`.
     pub fn new(cfg: DeviceConfig) -> Self {
-        Engine { cfg }
+        Engine { cfg, metrics: None }
+    }
+
+    /// Attaches a metrics registry: subsequent runs record per-phase
+    /// wall-time histograms (`radcrit_engine_phase_us{phase=…}`), run
+    /// counts and dispatch-plan geometry. Without a registry the timing
+    /// instrumentation is skipped entirely.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The device configuration this engine simulates.
@@ -115,6 +155,32 @@ impl Engine {
         self.run_internal(program, std::slice::from_ref(strike), rng, None)
     }
 
+    /// Like [`Engine::run`], but also collects a per-tile
+    /// [`ExecutionTrace`]. The trace is what joins a strike to the tiles
+    /// that touched struck state afterwards (fault provenance); tracing
+    /// never consults the RNG, so a traced run resolves the strike — and
+    /// produces the output — exactly as the untraced run would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::StrikeOutOfRange`] if the strike instant is
+    /// past the last tile, and propagates program errors.
+    pub fn run_traced<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+    ) -> Result<(RunOutcome, ExecutionTrace), AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut trace = ExecutionTrace::new();
+        let outcome =
+            self.run_internal(program, std::slice::from_ref(strike), rng, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
     /// Runs `program` under *several* strikes in one execution — the
     /// regime the paper's experimental design explicitly avoids (§IV-D
     /// keeps observed error rates below 10⁻³/execution so at most one
@@ -163,13 +229,22 @@ impl Engine {
             }
         }
 
+        let mut phase_start = self.metrics.as_ref().map(|_| Instant::now());
+
         let mut mem = DeviceMemory::new();
         program.setup(&mut mem)?;
         let mut caches = CacheHierarchy::new(&self.cfg);
         let plan = DispatchPlan::new(&self.cfg, tiles, launch_tiles, threads_per_tile, local_mem);
 
+        if let Some(m) = self.metrics.as_deref() {
+            m.counter_add("radcrit_engine_runs_total", &[], 1);
+            plan.observe(m);
+        }
+        self.phase_done("setup", &mut phase_start);
+
         let mut totals = MachineCounters::default();
         let mut strike_delivered = false;
+        let mut resolutions: Vec<StrikeResolution> = Vec::new();
 
         // Pending per-position effects resolved from the strikes. A
         // single-strike run (the normal case) keeps these collections at
@@ -184,7 +259,7 @@ impl Engine {
         for pos in 0..tiles {
             for s in strikes {
                 if s.at_tile == pos {
-                    strike_delivered |= self.deliver_strike(
+                    let resolution = self.deliver_strike(
                         s,
                         pos,
                         &plan,
@@ -195,6 +270,8 @@ impl Engine {
                         &mut unit_garbles,
                         rng,
                     );
+                    strike_delivered |= resolution.delivered;
+                    resolutions.push(resolution);
                 }
             }
 
@@ -244,6 +321,8 @@ impl Engine {
             l2_resident_samples += caches.l2_resident_lines() as f64;
         }
 
+        self.phase_done("tiles", &mut phase_start);
+
         // End of kernel: flush the hierarchy; dirty corrupted lines write
         // their corruption back to DRAM where the host reads the output.
         let wbs = caches.flush();
@@ -289,11 +368,23 @@ impl Engine {
             ) * self.cfg.units() as f64,
         };
 
+        self.phase_done("flush", &mut phase_start);
+
         Ok(RunOutcome {
             output,
             profile,
             strike_delivered,
+            resolutions,
         })
+    }
+
+    /// Records the elapsed phase time and restarts the clock; a no-op
+    /// without an attached metrics registry.
+    fn phase_done(&self, phase: &str, start: &mut Option<Instant>) {
+        if let (Some(m), Some(s)) = (self.metrics.as_deref(), start.as_mut()) {
+            m.observe_duration("radcrit_engine_phase_us", &[("phase", phase)], s.elapsed());
+            *s = Instant::now();
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -308,12 +399,16 @@ impl Engine {
         redirects: &mut Vec<(usize, usize)>,
         unit_garbles: &mut Vec<usize>,
         rng: &mut R,
-    ) -> bool {
-        match strike.target {
+    ) -> StrikeResolution {
+        let mut victim_tile = None;
+        let mut unit = None;
+        let mut redirect_dest = None;
+        let delivered = match strike.target {
             StrikeTarget::L2 { mask } => caches.strike_l2(rng, mask).is_some(),
             StrikeTarget::L1 { mask } => {
-                let unit = plan.unit_of(pos);
-                caches.strike_l1(unit, rng, mask).is_some()
+                let u = plan.unit_of(pos);
+                unit = Some(u);
+                caches.strike_l1(u, rng, mask).is_some()
             }
             StrikeTarget::RegisterFile { mask, op_index } => {
                 let victims = plan.pending_in_wave(pos);
@@ -323,6 +418,7 @@ impl Engine {
                 f.logic_lanes = 1;
                 f.logic_mask = mask;
                 armed_faults.push((victim, f));
+                victim_tile = Some(victim);
                 true
             }
             StrikeTarget::VectorRegister {
@@ -337,6 +433,7 @@ impl Engine {
                 f.logic_lanes = u64::from(lanes.max(1));
                 f.logic_mask = mask;
                 armed_faults.push((victim, f));
+                victim_tile = Some(victim);
                 true
             }
             StrikeTarget::Fpu { mask, op_index } => {
@@ -345,6 +442,8 @@ impl Engine {
                 f.logic_lanes = 1;
                 f.logic_mask = mask;
                 armed_faults.push((pos, f));
+                victim_tile = Some(pos);
+                unit = Some(plan.unit_of(pos));
                 true
             }
             StrikeTarget::Sfu { scale, op_index } => {
@@ -352,6 +451,8 @@ impl Engine {
                 f.sfu_at = op_index;
                 f.sfu_scale = scale;
                 armed_faults.push((pos, f));
+                victim_tile = Some(pos);
+                unit = Some(plan.unit_of(pos));
                 true
             }
             StrikeTarget::CoreControl { elems, store_index } => {
@@ -359,10 +460,13 @@ impl Engine {
                 f.store_at = store_index;
                 f.store_len = u64::from(elems.max(1));
                 armed_faults.push((pos, f));
+                victim_tile = Some(pos);
+                unit = Some(plan.unit_of(pos));
                 true
             }
             StrikeTarget::UnitGarble => {
                 unit_garbles.push(pos);
+                unit = Some(plan.unit_of(pos));
                 true
             }
             StrikeTarget::Scheduler(effect) => {
@@ -371,6 +475,7 @@ impl Engine {
                     SchedulerEffect::RedirectTile => {
                         let dest = rng.gen_range(0..plan.tiles());
                         redirects.push((pos, dest));
+                        redirect_dest = Some(dest);
                     }
                     SchedulerEffect::GarbleTile => {
                         let mut f = TileFault::none();
@@ -378,8 +483,17 @@ impl Engine {
                         armed_faults.push((pos, f));
                     }
                 }
+                victim_tile = Some(pos);
                 true
             }
+        };
+        StrikeResolution {
+            at_tile: pos,
+            site: strike.target.site_name(),
+            delivered,
+            victim_tile,
+            unit,
+            redirect_dest,
         }
     }
 }
@@ -711,6 +825,106 @@ mod tests {
         let out = engine.run_multi(&mut p, &[], &mut rng).unwrap();
         assert_eq!(out.output, expected(64));
         assert!(!out.strike_delivered);
+    }
+
+    #[test]
+    fn resolutions_report_strike_victims() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = StrikeSpec::new(
+            3,
+            StrikeTarget::Fpu {
+                mask: 1 << 63,
+                op_index: 2,
+            },
+        );
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        assert_eq!(out.resolutions.len(), 1);
+        let r = out.resolutions[0];
+        assert_eq!(r.at_tile, 3);
+        assert_eq!(r.site, "fpu");
+        assert!(r.delivered);
+        assert_eq!(r.victim_tile, Some(3));
+        assert_eq!(r.redirect_dest, None);
+        assert!(engine.golden(&mut p).unwrap().resolutions.is_empty());
+    }
+
+    #[test]
+    fn redirect_resolution_names_the_destination() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let s = StrikeSpec::new(1, StrikeTarget::Scheduler(SchedulerEffect::RedirectTile));
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        let r = out.resolutions[0];
+        assert_eq!(r.site, "scheduler");
+        let dest = r.redirect_dest.expect("redirect resolves a destination");
+        assert!(dest < 8);
+    }
+
+    #[test]
+    fn register_strike_resolution_matches_corrupted_region() {
+        // The resolution's victim tile is the engine's own account of
+        // where the RNG sent the strike; the output corruption must land
+        // in exactly that tile's region.
+        let engine = Engine::new(DeviceConfig::xeon_phi_3120a());
+        let mut p = Affine::new(64);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = StrikeSpec::new(
+            7,
+            StrikeTarget::VectorRegister {
+                mask: 1 << 63,
+                lanes: 4,
+                op_index: 0,
+            },
+        );
+        let out = engine.run(&mut p, &s, &mut rng).unwrap();
+        let victim = out.resolutions[0].victim_tile.unwrap();
+        let exp = expected(64);
+        let diffs: Vec<usize> = (0..64).filter(|&i| out.output[i] != exp[i]).collect();
+        assert!(
+            diffs.iter().all(|&i| i / 8 == victim),
+            "{diffs:?} vs {victim}"
+        );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_output_and_rng_stream() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let s = StrikeSpec::new(
+            2,
+            StrikeTarget::RegisterFile {
+                mask: 1 << 60,
+                op_index: 1,
+            },
+        );
+        let mut rng_a = SmallRng::seed_from_u64(42);
+        let plain = engine.run(&mut p, &s, &mut rng_a).unwrap();
+        let mut rng_b = SmallRng::seed_from_u64(42);
+        let (traced, trace) = engine.run_traced(&mut p, &s, &mut rng_b).unwrap();
+        assert_eq!(plain.output, traced.output);
+        assert_eq!(plain.resolutions, traced.resolutions);
+        assert_eq!(trace.tiles().len(), 8);
+    }
+
+    #[test]
+    fn metrics_record_phases_and_plan_geometry() {
+        let metrics = std::sync::Arc::new(MetricsRegistry::new());
+        let engine = Engine::new(DeviceConfig::kepler_k40()).with_metrics(metrics.clone());
+        let mut p = Affine::new(64);
+        engine.golden(&mut p).unwrap();
+        engine.golden(&mut p).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("radcrit_engine_runs_total", &[]), Some(2));
+        assert_eq!(snap.gauge("radcrit_plan_tiles", &[]), Some(8.0));
+        for phase in ["setup", "tiles", "flush"] {
+            let h = snap
+                .histogram("radcrit_engine_phase_us", &[("phase", phase)])
+                .unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert_eq!(h.count(), 2);
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod trace;
 
 pub use cache::{CacheGeometry, CacheHierarchy};
 pub use config::{DeviceConfig, DeviceKind, ResidencyPolicy, SchedulerKind};
-pub use engine::{Engine, RunOutcome};
+pub use engine::{Engine, RunOutcome, StrikeResolution};
 pub use error::AccelError;
 pub use memory::{BufferId, DeviceMemory};
 pub use profile::ExecutionProfile;

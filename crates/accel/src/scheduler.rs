@@ -152,6 +152,16 @@ impl DispatchPlan {
         pos..wave_end
     }
 
+    /// Records the plan's geometry as gauges: tiles, wave width, wave
+    /// count and unit count. Called by the engine once per run when a
+    /// metrics registry is attached.
+    pub fn observe(&self, metrics: &radcrit_obs::MetricsRegistry) {
+        metrics.gauge_set("radcrit_plan_tiles", &[], self.tiles as f64);
+        metrics.gauge_set("radcrit_plan_wave_size", &[], self.wave_size as f64);
+        metrics.gauge_set("radcrit_plan_waves", &[], self.waves() as f64);
+        metrics.gauge_set("radcrit_plan_units", &[], self.units as f64);
+    }
+
     /// The dispatch positions garbled when the task/scheduler state of
     /// `pos`'s unit is corrupted at the instant `pos` starts: every
     /// not-yet-executed position of the same unit within the same

@@ -122,6 +122,45 @@ impl StrikeTarget {
             StrikeTarget::Scheduler(_) => "scheduler",
         }
     }
+
+    /// The lowest flipped bit position of the strike's XOR mask, for
+    /// targets that flip bits (`None` for control-path corruptions and
+    /// the SFU's scale corruption).
+    pub fn bit_index(&self) -> Option<u32> {
+        let mask = match self {
+            StrikeTarget::L2 { mask }
+            | StrikeTarget::L1 { mask }
+            | StrikeTarget::RegisterFile { mask, .. }
+            | StrikeTarget::VectorRegister { mask, .. }
+            | StrikeTarget::Fpu { mask, .. } => *mask,
+            StrikeTarget::Sfu { .. }
+            | StrikeTarget::CoreControl { .. }
+            | StrikeTarget::UnitGarble
+            | StrikeTarget::Scheduler(_) => return None,
+        };
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros())
+        }
+    }
+
+    /// The index of the first corrupted operation (or store, for
+    /// [`StrikeTarget::CoreControl`]) within the victim tile's work, for
+    /// targets that corrupt in-flight operations.
+    pub fn op_index(&self) -> Option<u64> {
+        match self {
+            StrikeTarget::RegisterFile { op_index, .. }
+            | StrikeTarget::VectorRegister { op_index, .. }
+            | StrikeTarget::Fpu { op_index, .. }
+            | StrikeTarget::Sfu { op_index, .. } => Some(*op_index),
+            StrikeTarget::CoreControl { store_index, .. } => Some(*store_index),
+            StrikeTarget::L2 { .. }
+            | StrikeTarget::L1 { .. }
+            | StrikeTarget::UnitGarble
+            | StrikeTarget::Scheduler(_) => None,
+        }
+    }
 }
 
 /// One neutron strike: the dispatch position at which it lands and the
@@ -181,6 +220,29 @@ mod tests {
         ];
         let names: std::collections::HashSet<_> = targets.iter().map(|t| t.site_name()).collect();
         assert_eq!(names.len(), targets.len());
+    }
+
+    #[test]
+    fn bit_and_op_helpers_cover_the_variants() {
+        let fpu = StrikeTarget::Fpu {
+            mask: 1 << 52,
+            op_index: 7,
+        };
+        assert_eq!(fpu.bit_index(), Some(52));
+        assert_eq!(fpu.op_index(), Some(7));
+        let l2 = StrikeTarget::L2 { mask: 0b1100 };
+        assert_eq!(l2.bit_index(), Some(2), "lowest flipped bit");
+        assert_eq!(l2.op_index(), None);
+        let cc = StrikeTarget::CoreControl {
+            elems: 3,
+            store_index: 11,
+        };
+        assert_eq!(cc.bit_index(), None);
+        assert_eq!(cc.op_index(), Some(11));
+        let sched = StrikeTarget::Scheduler(SchedulerEffect::SkipTile);
+        assert_eq!(sched.bit_index(), None);
+        assert_eq!(sched.op_index(), None);
+        assert_eq!(StrikeTarget::L1 { mask: 0 }.bit_index(), None);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!                  [--workers W] [--csv FILE] [--log FILE] [--hardening]
 //!                  [--deadline-ms MS] [--checkpoint FILE] [--resume]
 //!                  [--progress SECS]
+//!                  [--metrics-out FILE] [--events-out FILE] [--events-sample N]
+//! radcrit-campaign obs-report EVENTS_FILE
 //! ```
 //!
 //! Prints the campaign summary (outcome counts, FIT break-downs, §III
@@ -15,10 +17,19 @@
 //! parties can re-filter. `--deadline-ms` arms the per-injection hang
 //! watchdog, `--checkpoint`/`--resume` stream records to a JSONL file
 //! that survives kills, and `--progress` prints a periodic status line.
+//!
+//! Observability: `--events-out` streams structured JSONL events
+//! (lifecycle spans, strikes, resolutions, diffs, and one `provenance`
+//! record per injection) in injection-index order; `--events-sample N`
+//! restricts the detail events to every Nth injection; `--metrics-out`
+//! writes an end-of-run metrics snapshot as JSON, plus a Prometheus text
+//! rendering beside it (`.prom` extension). The `obs-report` subcommand
+//! aggregates an event stream's provenance records into a per-site
+//! outcome / spatial-class / relative-error table.
 
 use std::fs::File;
 use std::io::BufWriter;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::time::Duration;
 
@@ -28,6 +39,7 @@ use radcrit_campaign::summary::render_run;
 use radcrit_campaign::{Campaign, HardeningAnalysis, KernelSpec, RunOptions};
 use radcrit_core::filter::ToleranceFilter;
 use radcrit_core::locality::SpatialClass;
+use radcrit_obs::ProvenanceBreakdown;
 
 #[derive(Debug, Default)]
 struct Args {
@@ -52,6 +64,9 @@ struct Args {
     checkpoint: Option<PathBuf>,
     resume: bool,
     progress: Option<f64>,
+    metrics_out: Option<PathBuf>,
+    events_out: Option<PathBuf>,
+    events_sample: u64,
 }
 
 fn usage() -> ! {
@@ -62,9 +77,42 @@ fn usage() -> ! {
          \x20      [--injections 200] [--seed 2017] [--tolerance 2.0]\n\
          \x20      [--workers 0] [--csv out.csv] [--log out.log] [--hardening]\n\
          \x20      [--deadline-ms 120000] [--checkpoint run.jsonl] [--resume]\n\
-         \x20      [--progress 5]"
+         \x20      [--progress 5]\n\
+         \x20      [--metrics-out metrics.json] [--events-out events.jsonl]\n\
+         \x20      [--events-sample 1]\n\
+         \x20      radcrit-campaign obs-report events.jsonl"
     );
     exit(2)
+}
+
+/// `obs-report EVENTS_FILE`: aggregate an event stream's provenance
+/// records into the per-site breakdown table.
+fn obs_report(args: &[String]) -> ! {
+    let [path] = args else {
+        eprintln!("usage: radcrit-campaign obs-report EVENTS_FILE");
+        exit(2)
+    };
+    match ProvenanceBreakdown::from_events_path(Path::new(path)) {
+        Ok(b) if b.sites().is_empty() => {
+            eprintln!("no provenance events found in {path}");
+            exit(1)
+        }
+        Ok(b) => {
+            print!("{}", b.render());
+            let totals = b
+                .class_totals()
+                .iter()
+                .map(|(class, n)| format!("{class}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            println!("spatial-class totals: {totals}");
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("obs-report: {e}");
+            exit(1)
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -114,6 +162,9 @@ fn parse_args() -> Args {
             "--checkpoint" => a.checkpoint = Some(PathBuf::from(val(&mut it))),
             "--resume" => a.resume = true,
             "--progress" => a.progress = Some(val(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--metrics-out" => a.metrics_out = Some(PathBuf::from(val(&mut it))),
+            "--events-out" => a.events_out = Some(PathBuf::from(val(&mut it))),
+            "--events-sample" => a.events_sample = val(&mut it).parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -125,6 +176,10 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("obs-report") {
+        obs_report(&argv[1..]);
+    }
     let args = parse_args();
 
     let device = match args.device.as_deref() {
@@ -197,6 +252,9 @@ fn main() {
         resume: args.resume,
         progress: args.progress.map(Duration::from_secs_f64),
         budget: None,
+        metrics_out: args.metrics_out.clone(),
+        events_out: args.events_out.clone(),
+        events_sample: args.events_sample,
     };
 
     let result = campaign.run_with(&options).unwrap_or_else(|e| {
@@ -264,5 +322,19 @@ fn main() {
         });
         write_csv(&result, BufWriter::new(f)).expect("csv write");
         eprintln!("csv written to {path}");
+    }
+    if let Some(path) = &args.metrics_out {
+        eprintln!(
+            "metrics written to {} (Prometheus text: {})",
+            path.display(),
+            path.with_extension("prom").display()
+        );
+    }
+    if let Some(path) = &args.events_out {
+        eprintln!(
+            "events written to {} (aggregate with: radcrit-campaign obs-report {})",
+            path.display(),
+            path.display()
+        );
     }
 }

@@ -22,6 +22,10 @@
 //! [`radcrit_core::mismatch::Mismatch::relative_error`]) that keeps the
 //! codec lossless. A truncated final line (the kill race) is tolerated
 //! on read; any other malformed line is [`AccelError::Corrupt`].
+//!
+//! The codec itself lives in [`radcrit_obs::json`], shared with the
+//! event-stream and metrics writers; this module only defines the
+//! checkpoint line formats on top of it.
 
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
@@ -32,6 +36,10 @@ use std::str::FromStr;
 use radcrit_accel::error::AccelError;
 use radcrit_core::locality::SpatialClass;
 use radcrit_core::report::CriticalityReport;
+use radcrit_obs::json::{
+    as_obj, escape, fmt_f64, fmt_opt_f64, get, get_bool, get_f64, get_opt_f64, get_opt_usize,
+    get_str, get_usize, parse_line, Json,
+};
 
 use crate::config::Campaign;
 use crate::outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
@@ -42,32 +50,6 @@ pub const FORMAT_VERSION: u32 = 1;
 // ---------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn fmt_f64(v: f64) -> String {
-    // {:?} is the shortest representation that round-trips through
-    // str::parse::<f64>, including "inf", "-inf" and "NaN".
-    format!("{v:?}")
-}
-
-fn fmt_opt_f64(v: Option<f64>) -> String {
-    v.map_or_else(|| "null".into(), fmt_f64)
-}
 
 /// The header line identifying the campaign a checkpoint belongs to.
 pub fn header_line(campaign: &Campaign) -> String {
@@ -113,233 +95,8 @@ pub fn record_line(r: &InjectionRecord) -> String {
 }
 
 // ---------------------------------------------------------------------
-// Decoding — a minimal JSON(-ish) reader for the lines we emit
+// Decoding — on top of the shared radcrit_obs::json reader
 // ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    /// Numbers are kept as their source text for lossless f64 parsing.
-    Num(String),
-    Str(String),
-    Obj(Vec<(String, Json)>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Parser {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
-            Some(_) => self.parse_token(),
-            None => Err("unexpected end of line".into()),
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                .map_err(|_| "invalid utf-8".to_string())?;
-            let mut chars = rest.char_indices();
-            match chars.next() {
-                None => return Err("unterminated string".into()),
-                Some((_, '"')) => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some((_, '\\')) => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| "bad \\u code point".to_string())?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err("bad escape".into()),
-                    }
-                    self.pos += 1;
-                }
-                Some((i, c)) => {
-                    out.push(c);
-                    self.pos += i + c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_token(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b == b',' || b == b'}' || b == b':' || b.is_ascii_whitespace() {
-                break;
-            }
-            self.pos += 1;
-        }
-        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid utf-8".to_string())?;
-        match tok {
-            "" => Err(format!("empty token at byte {start}")),
-            "null" => Ok(Json::Null),
-            "true" => Ok(Json::Bool(true)),
-            "false" => Ok(Json::Bool(false)),
-            _ => Ok(Json::Num(tok.to_owned())),
-        }
-    }
-}
-
-fn parse_line(line: &str) -> Result<Json, String> {
-    let mut p = Parser::new(line);
-    let v = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing field {key:?}"))
-}
-
-fn as_obj(v: &Json) -> Result<&[(String, Json)], String> {
-    match v {
-        Json::Obj(fields) => Ok(fields),
-        _ => Err("expected an object".into()),
-    }
-}
-
-fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
-    match get(obj, key)? {
-        Json::Str(s) => Ok(s),
-        _ => Err(format!("field {key:?} is not a string")),
-    }
-}
-
-fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
-    match get(obj, key)? {
-        Json::Bool(b) => Ok(*b),
-        _ => Err(format!("field {key:?} is not a bool")),
-    }
-}
-
-fn get_usize(obj: &[(String, Json)], key: &str) -> Result<usize, String> {
-    match get(obj, key)? {
-        Json::Num(n) => n
-            .parse()
-            .map_err(|_| format!("field {key:?} is not an integer")),
-        _ => Err(format!("field {key:?} is not a number")),
-    }
-}
-
-fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
-    match get(obj, key)? {
-        Json::Num(n) => n
-            .parse()
-            .map_err(|_| format!("field {key:?} is not a float")),
-        _ => Err(format!("field {key:?} is not a number")),
-    }
-}
-
-fn get_opt_f64(obj: &[(String, Json)], key: &str) -> Result<Option<f64>, String> {
-    match get(obj, key)? {
-        Json::Null => Ok(None),
-        Json::Num(n) => n
-            .parse()
-            .map(Some)
-            .map_err(|_| format!("field {key:?} is not a float")),
-        _ => Err(format!("field {key:?} is not a number or null")),
-    }
-}
-
-fn get_opt_usize(obj: &[(String, Json)], key: &str) -> Result<Option<usize>, String> {
-    match get(obj, key)? {
-        Json::Null => Ok(None),
-        Json::Num(n) => n
-            .parse()
-            .map(Some)
-            .map_err(|_| format!("field {key:?} is not an integer")),
-        _ => Err(format!("field {key:?} is not a number or null")),
-    }
-}
 
 fn get_class(obj: &[(String, Json)], key: &str) -> Result<SpatialClass, String> {
     SpatialClass::from_str(get_str(obj, key)?)

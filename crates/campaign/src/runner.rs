@@ -25,6 +25,24 @@
 //!   worker keeps the campaign going. An abandoned worker that
 //!   eventually wakes up discards its stale result via a generation
 //!   check, so the synthesized record is never duplicated.
+//!
+//! ## Observability
+//!
+//! With [`RunOptions::events_out`] set, every injection contributes a
+//! block of structured events — lifecycle spans, the sampled strike, its
+//! resolution against live machine state, the output diff, and a closing
+//! `provenance` record joining all three. Events carry only *logical*
+//! data (indices, sites, bits, classes — never wall-clock), and the
+//! [`radcrit_obs::EventWriter`] reorders worker-completion-order blocks
+//! back into injection-index order, so a fixed-seed campaign writes a
+//! byte-identical stream regardless of worker count. On resume, indices
+//! already present in the stream are skipped and checkpoint-replayed
+//! indices missing from it get a synthetic `replay` marker — the stream
+//! never duplicates and never loses an index across kill/resume cycles.
+//! Wall-clock quantities (per-phase engine timings, injection latency,
+//! outcome counters) go to the [`radcrit_obs::MetricsRegistry`] instead
+//! and are written to [`RunOptions::metrics_out`] as JSON plus a
+//! Prometheus text rendering.
 
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -38,13 +56,19 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use radcrit_accel::engine::Engine;
+use radcrit_accel::engine::{Engine, StrikeResolution};
 use radcrit_accel::error::AccelError;
 use radcrit_accel::profile::ExecutionProfile;
+use radcrit_accel::trace::ExecutionTrace;
+use radcrit_core::locality::SpatialClass;
 use radcrit_core::mismatch::Mismatch;
 use radcrit_core::report::ErrorReport;
 use radcrit_faults::sampler::{FaultSampler, InjectionPlan};
 use radcrit_kernels::Workload;
+use radcrit_obs::{
+    Event as ObsEvent, EventBuffer, EventWriter, FieldValue, MetricsRegistry, ProvenanceRecord,
+    Span,
+};
 
 use crate::checkpoint::CheckpointWriter;
 use crate::config::Campaign;
@@ -70,6 +94,18 @@ pub struct RunOptions {
     /// resumable — primarily a deterministic stand-in for "killed
     /// mid-run" in tests and a way to slice very long campaigns.
     pub budget: Option<usize>,
+    /// Write a one-line JSON metrics snapshot here at end of run, plus a
+    /// Prometheus text rendering at the same path with its extension
+    /// replaced by `.prom`.
+    pub metrics_out: Option<PathBuf>,
+    /// Stream structured JSONL events here, in injection-index order.
+    pub events_out: Option<PathBuf>,
+    /// Detail-event sampling stride: lifecycle detail events (spans,
+    /// strike, resolution, diff) are collected for injections whose
+    /// index is a multiple of this stride; `0` and `1` both mean every
+    /// injection. The `provenance` event is emitted for every injection
+    /// regardless, so the stream always covers all indices.
+    pub events_sample: u64,
 }
 
 /// Everything a finished campaign produced.
@@ -114,6 +150,10 @@ struct Shared {
     next: AtomicUsize,
     /// Set on the first error; workers stop claiming new indices.
     stop: AtomicBool,
+    /// Metrics registry shared with worker engines, when enabled.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Detail-event sampling stride; `None` disables event collection.
+    events_sample: Option<u64>,
 }
 
 /// One worker's watchdog slot. The generation counter arbitrates between
@@ -130,11 +170,21 @@ enum Event {
     Done {
         record: InjectionRecord,
         latency: Duration,
+        /// The injection's structured events (empty when disabled).
+        events: Vec<ObsEvent>,
     },
     Failed {
         error: AccelError,
     },
     Exited,
+}
+
+/// Per-injection observability context handed down to
+/// [`Campaign::run_one`]: the event sink plus whether this injection is
+/// on the detail-sampling stride.
+struct ObsCtx<'a> {
+    buf: &'a mut EventBuffer,
+    detail: bool,
 }
 
 impl Campaign {
@@ -178,7 +228,14 @@ impl Campaign {
     /// As [`Campaign::run`], plus [`AccelError::Corrupt`] for checkpoint
     /// I/O and validation failures.
     pub fn run_with(&self, options: &RunOptions) -> Result<CampaignResult, AccelError> {
-        let engine = Engine::new(self.device.clone());
+        let metrics = options
+            .metrics_out
+            .as_ref()
+            .map(|_| Arc::new(MetricsRegistry::new()));
+        let mut engine = Engine::new(self.device.clone());
+        if let Some(m) = &metrics {
+            engine = engine.with_metrics(Arc::clone(m));
+        }
 
         // Golden execution: output, profile, cross sections.
         let mut golden_kernel = self.kernel.build(self.seed)?;
@@ -206,8 +263,44 @@ impl Campaign {
             .map_or(pending.len(), |b| b.min(pending.len()));
         pending.truncate(target);
 
+        // Event stream: fresh runs start with a `run_begin` header;
+        // resumed runs reopen the file, truncate a torn tail, and learn
+        // which injection indices the stream already covers.
+        let mut events: Option<(EventWriter, PathBuf)> = None;
+        let mut events_have: HashSet<u64> = HashSet::new();
+        if let Some(path) = &options.events_out {
+            let sample = options.events_sample.max(1);
+            if options.resume {
+                let (w, have) = EventWriter::resume(path, self.injections as u64, sample)
+                    .map_err(|e| events_corrupt(path, e))?;
+                events_have = have;
+                events = Some((w, path.clone()));
+            } else {
+                let mut w = EventWriter::create(path, self.injections as u64, sample)
+                    .map_err(|e| events_corrupt(path, e))?;
+                w.emit_top(&run_begin_event(self, golden_kernel.as_ref()))
+                    .map_err(|e| events_corrupt(path, e))?;
+                events = Some((w, path.clone()));
+            }
+        }
+        // Checkpoint-replayed indices whose events never reached the
+        // stream (the checkpoint flushes per record, the event writer
+        // buffers — a kill can separate them) get a synthetic `replay`
+        // marker so the stream still covers every finished index.
+        if let Some((w, path)) = events.as_mut() {
+            for r in &records {
+                if !events_have.contains(&(r.index as u64)) {
+                    w.submit(r.index as u64, &[replay_event(r)])
+                        .map_err(|e| events_corrupt(path, e))?;
+                }
+            }
+        }
+
         let mut telemetry = Telemetry::new();
         telemetry.note_replayed(records.len());
+        if let Some(m) = &metrics {
+            m.counter_add("radcrit_campaign_replayed_total", &[], records.len() as u64);
+        }
 
         let workers = self.effective_workers().min(target.max(1));
         let shared = Arc::new(Shared {
@@ -217,6 +310,11 @@ impl Campaign {
             pending,
             next: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            metrics: metrics.clone(),
+            events_sample: options
+                .events_out
+                .as_ref()
+                .map(|_| options.events_sample.max(1)),
         });
 
         // The collector keeps its own sender alive so the watchdog can
@@ -249,12 +347,35 @@ impl Campaign {
 
         while active > 0 && produced < target {
             match rx.recv_timeout(tick) {
-                Ok(Event::Done { record, latency }) => {
+                Ok(Event::Done {
+                    record,
+                    latency,
+                    events: block,
+                }) => {
                     telemetry.record(&record.outcome, latency, false);
+                    if let Some(m) = &metrics {
+                        m.counter_add(
+                            "radcrit_campaign_outcomes_total",
+                            &[("outcome", record.outcome.tag())],
+                            1,
+                        );
+                        m.observe_duration("radcrit_injection_latency", &[], latency);
+                    }
                     if let Some(w) = writer.as_mut() {
                         if let Err(e) = w.append(&record) {
                             shared.stop.store(true, Ordering::SeqCst);
                             return Err(e);
+                        }
+                    }
+                    if let Some((w, path)) = events.as_mut() {
+                        // Indices the stream already covers (events ahead
+                        // of the checkpoint after a kill) are skipped —
+                        // never duplicated.
+                        if !events_have.contains(&(record.index as u64)) {
+                            if let Err(e) = w.submit(record.index as u64, &block) {
+                                shared.stop.store(true, Ordering::SeqCst);
+                                return Err(events_corrupt(path, e));
+                            }
                         }
                     }
                     records.push(record);
@@ -296,10 +417,31 @@ impl Campaign {
                         outcome: InjectionOutcome::Hang,
                     };
                     telemetry.record(&record.outcome, deadline, true);
+                    if let Some(m) = &metrics {
+                        m.counter_add(
+                            "radcrit_campaign_outcomes_total",
+                            &[("outcome", record.outcome.tag())],
+                            1,
+                        );
+                        m.counter_add("radcrit_campaign_watchdog_hangs_total", &[], 1);
+                        m.observe_duration("radcrit_injection_latency", &[], deadline);
+                    }
                     if let Some(w) = writer.as_mut() {
                         if let Err(e) = w.append(&record) {
                             shared.stop.store(true, Ordering::SeqCst);
                             return Err(e);
+                        }
+                    }
+                    if let Some((w, path)) = events.as_mut() {
+                        // The hung worker never submitted a block (its
+                        // generation was retired), so the watchdog owns
+                        // this index's provenance.
+                        if !events_have.contains(&(index as u64)) {
+                            let prov = watchdog_provenance(index);
+                            if let Err(e) = w.submit(index as u64, &[prov.to_event()]) {
+                                shared.stop.store(true, Ordering::SeqCst);
+                                return Err(events_corrupt(path, e));
+                            }
                         }
                     }
                     records.push(record);
@@ -331,6 +473,23 @@ impl Campaign {
         }
         records.sort_by_key(|r| r.index);
 
+        if let Some((w, path)) = events.as_mut() {
+            // Flush gapped blocks first (a budget stop leaves holes), so
+            // run_end is the stream's final line.
+            w.finish().map_err(|e| events_corrupt(path, e))?;
+            w.emit_top(&run_end_event(&telemetry))
+                .map_err(|e| events_corrupt(path, e))?;
+            w.finish().map_err(|e| events_corrupt(path, e))?;
+        }
+        if let (Some(m), Some(path)) = (&metrics, &options.metrics_out) {
+            let snap = m.snapshot();
+            std::fs::write(path, format!("{}\n", snap.to_json()))
+                .map_err(|e| AccelError::Corrupt(format!("metrics {}: {e}", path.display())))?;
+            let prom = path.with_extension("prom");
+            std::fs::write(&prom, snap.to_prometheus())
+                .map_err(|e| AccelError::Corrupt(format!("metrics {}: {e}", prom.display())))?;
+        }
+
         Ok(CampaignResult {
             campaign: self.clone(),
             profile: golden.profile,
@@ -348,6 +507,7 @@ impl Campaign {
         kernel: &mut (dyn Workload + Send),
         sampler: &FaultSampler,
         golden: &[f64],
+        obs: &mut ObsCtx<'_>,
     ) -> Result<InjectionRecord, AccelError> {
         // A per-injection RNG stream: reproducible independent of worker
         // scheduling.
@@ -357,43 +517,148 @@ impl Campaign {
             .wrapping_add(index as u64);
         let mut rng = StdRng::seed_from_u64(stream);
 
-        let plan = sampler.sample(&mut rng);
-        match plan {
-            InjectionPlan::Crash => Ok(InjectionRecord {
-                index,
-                site: "fatal".into(),
-                at_tile: None,
-                delivered: true,
-                outcome: InjectionOutcome::Crash,
-            }),
-            InjectionPlan::Hang => Ok(InjectionRecord {
-                index,
-                site: "fatal".into(),
-                at_tile: None,
-                delivered: true,
-                outcome: InjectionOutcome::Hang,
-            }),
-            InjectionPlan::Strike(spec) => {
-                let run = engine.run(kernel, &spec, &mut rng)?;
-                let report = compare_with_logical_coords(golden, &run.output, kernel);
-                let outcome = if report.is_sdc() {
-                    let criticality = report.criticality(&self.tolerance, &self.classifier);
-                    InjectionOutcome::Sdc(SdcDetail {
-                        criticality,
-                        output_len: golden.len(),
-                    })
+        let span = obs.detail.then(|| Span::enter(obs.buf, "injection"));
+        let result = self.run_one_inner(index, engine, kernel, sampler, golden, obs, &mut rng);
+        if let Some(span) = span {
+            span.exit(obs.buf);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_inner(
+        &self,
+        index: usize,
+        engine: &Engine,
+        kernel: &mut (dyn Workload + Send),
+        sampler: &FaultSampler,
+        golden: &[f64],
+        obs: &mut ObsCtx<'_>,
+        rng: &mut StdRng,
+    ) -> Result<InjectionRecord, AccelError> {
+        let plan = sampler.sample(rng);
+        let (record, prov) = match plan {
+            InjectionPlan::Crash | InjectionPlan::Hang => {
+                let outcome = if matches!(plan, InjectionPlan::Crash) {
+                    InjectionOutcome::Crash
                 } else {
-                    InjectionOutcome::Masked
+                    InjectionOutcome::Hang
                 };
-                Ok(InjectionRecord {
+                if obs.detail {
+                    obs.buf.emit("fatal").str("mode", outcome.tag());
+                }
+                let prov = ProvenanceRecord {
+                    index: index as u64,
+                    site: "fatal".to_owned(),
+                    at_tile: None,
+                    victim_tile: None,
+                    unit: None,
+                    bit: None,
+                    delivered: true,
+                    touched_tiles: Vec::new(),
+                    outcome: outcome.tag().to_owned(),
+                    mismatches: 0,
+                    class: SpatialClass::None,
+                    mre: None,
+                };
+                let record = InjectionRecord {
+                    index,
+                    site: "fatal".into(),
+                    at_tile: None,
+                    delivered: true,
+                    outcome,
+                };
+                (record, prov)
+            }
+            InjectionPlan::Strike(spec) => {
+                if obs.detail {
+                    obs.buf
+                        .emit("strike")
+                        .str("site", spec.target.site_name())
+                        .u64("at", spec.at_tile as u64)
+                        .opt_u64("bit", spec.target.bit_index().map(u64::from))
+                        .opt_u64("op", spec.target.op_index());
+                }
+                // The traced run consumes the RNG stream identically to
+                // the untraced one, so records match either way; the
+                // trace is only pulled when provenance needs it.
+                let (run, trace) = if obs.buf.is_enabled() {
+                    let (run, trace) = engine.run_traced(kernel, &spec, rng)?;
+                    (run, Some(trace))
+                } else {
+                    (engine.run(kernel, &spec, rng)?, None)
+                };
+                let resolution = run.resolutions.first().copied();
+                if obs.detail {
+                    if let Some(r) = resolution {
+                        obs.buf
+                            .emit("resolution")
+                            .bool("delivered", r.delivered)
+                            .opt_u64("victim", r.victim_tile.map(|v| v as u64))
+                            .opt_u64("unit", r.unit.map(|u| u as u64))
+                            .opt_u64("redirect", r.redirect_dest.map(|d| d as u64));
+                    }
+                }
+
+                let report = compare_with_logical_coords(golden, &run.output, kernel);
+                let mismatches = report.incorrect_elements() as u64;
+                let (outcome, class, mre) = if report.is_sdc() {
+                    let criticality = report.criticality(&self.tolerance, &self.classifier);
+                    let class = criticality.locality;
+                    let mre = criticality.mean_relative_error;
+                    (
+                        InjectionOutcome::Sdc(SdcDetail {
+                            criticality,
+                            output_len: golden.len(),
+                        }),
+                        class,
+                        mre,
+                    )
+                } else {
+                    (InjectionOutcome::Masked, SpatialClass::None, None)
+                };
+                if obs.detail {
+                    let b = obs
+                        .buf
+                        .emit("diff")
+                        .u64("mismatches", mismatches)
+                        .str("class", &class.to_string());
+                    match mre {
+                        Some(v) => b.f64("mre", v),
+                        None => b,
+                    };
+                }
+
+                let touched_tiles = match (&resolution, &trace) {
+                    (Some(r), Some(t)) => touched_tiles(r, t),
+                    _ => Vec::new(),
+                };
+                let prov = ProvenanceRecord {
+                    index: index as u64,
+                    site: spec.target.site_name().to_owned(),
+                    at_tile: Some(spec.at_tile as u64),
+                    victim_tile: resolution.and_then(|r| r.victim_tile).map(|v| v as u64),
+                    unit: resolution.and_then(|r| r.unit).map(|u| u as u64),
+                    bit: spec.target.bit_index().map(u64::from),
+                    delivered: run.strike_delivered,
+                    touched_tiles,
+                    outcome: outcome.tag().to_owned(),
+                    mismatches,
+                    class,
+                    mre,
+                };
+                let record = InjectionRecord {
                     index,
                     site: spec.target.site_name().to_owned(),
                     at_tile: Some(spec.at_tile),
                     delivered: run.strike_delivered,
                     outcome,
-                })
+                };
+                (record, prov)
             }
-        }
+        };
+        obs.buf.push(prov.to_event());
+        Ok(record)
     }
 }
 
@@ -420,7 +685,10 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
             return;
         }
     };
-    let engine = Engine::new(shared.campaign.device.clone());
+    let mut engine = Engine::new(shared.campaign.device.clone());
+    if let Some(m) = &shared.metrics {
+        engine = engine.with_metrics(Arc::clone(m));
+    }
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -440,6 +708,14 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
             s.generation
         };
 
+        let mut buf = match shared.events_sample {
+            Some(_) => EventBuffer::for_injection(index as u64),
+            None => EventBuffer::disabled(),
+        };
+        let detail = shared
+            .events_sample
+            .is_some_and(|s| (index as u64).is_multiple_of(s));
+
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             shared.campaign.run_one(
@@ -448,9 +724,14 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
                 kernel.as_mut(),
                 &shared.sampler,
                 &shared.golden,
+                &mut ObsCtx {
+                    buf: &mut buf,
+                    detail,
+                },
             )
         }));
         let latency = started.elapsed();
+        let events = buf.take();
 
         // Never send while holding the slot lock: the collector both
         // drains the channel and takes this lock in its watchdog scan.
@@ -471,7 +752,14 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
 
         match outcome {
             Ok(Ok(record)) => {
-                if tx.send(Event::Done { record, latency }).is_err() {
+                if tx
+                    .send(Event::Done {
+                        record,
+                        latency,
+                        events,
+                    })
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -490,6 +778,122 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
         }
     }
     let _ = tx.send(Event::Exited);
+}
+
+fn events_corrupt(path: &Path, e: impl std::fmt::Display) -> AccelError {
+    AccelError::Corrupt(format!("event stream {}: {e}", path.display()))
+}
+
+/// The stream's header: campaign identity plus the kernel's geometry
+/// (via [`Workload::obs_fields`]).
+fn run_begin_event(campaign: &Campaign, kernel: &(dyn Workload + Send)) -> ObsEvent {
+    let mut fields = vec![
+        (
+            "device".to_owned(),
+            FieldValue::Str(campaign.device.kind().to_string()),
+        ),
+        (
+            "injections".to_owned(),
+            FieldValue::U64(campaign.injections as u64),
+        ),
+        ("seed".to_owned(), FieldValue::U64(campaign.seed)),
+    ];
+    fields.extend(kernel.obs_fields());
+    ObsEvent {
+        kind: "run_begin".to_owned(),
+        index: None,
+        fields,
+    }
+}
+
+/// Synthetic marker for an index replayed from the checkpoint whose
+/// original events were lost with the killed run's write buffer.
+fn replay_event(r: &InjectionRecord) -> ObsEvent {
+    ObsEvent {
+        kind: "replay".to_owned(),
+        index: Some(r.index as u64),
+        fields: vec![
+            ("site".to_owned(), FieldValue::Str(r.site.clone())),
+            (
+                "outcome".to_owned(),
+                FieldValue::Str(r.outcome.tag().to_owned()),
+            ),
+            ("delivered".to_owned(), FieldValue::Bool(r.delivered)),
+        ],
+    }
+}
+
+/// The stream's trailer: this run's outcome counts (logical data only —
+/// deterministic for a fixed seed and worker-independent).
+fn run_end_event(telemetry: &Telemetry) -> ObsEvent {
+    let s = telemetry.snapshot();
+    ObsEvent {
+        kind: "run_end".to_owned(),
+        index: None,
+        fields: vec![
+            ("produced".to_owned(), FieldValue::U64(s.completed as u64)),
+            ("masked".to_owned(), FieldValue::U64(s.masked as u64)),
+            ("sdc".to_owned(), FieldValue::U64(s.sdc as u64)),
+            ("crash".to_owned(), FieldValue::U64(s.crash as u64)),
+            ("hang".to_owned(), FieldValue::U64(s.hang as u64)),
+        ],
+    }
+}
+
+/// Provenance of a watchdog-synthesized hang: no strike details exist
+/// because the injection never finished.
+fn watchdog_provenance(index: usize) -> ProvenanceRecord {
+    ProvenanceRecord {
+        index: index as u64,
+        site: WATCHDOG_SITE.to_owned(),
+        at_tile: None,
+        victim_tile: None,
+        unit: None,
+        bit: None,
+        delivered: true,
+        touched_tiles: Vec::new(),
+        outcome: InjectionOutcome::Hang.tag().to_owned(),
+        mismatches: 0,
+        class: SpatialClass::None,
+        mre: None,
+    }
+}
+
+/// Cap on the `touched` tile list of a provenance event, bounding event
+/// line size on large L2-visibility fan-outs.
+const TOUCHED_TILES_CAP: usize = 64;
+
+/// Joins a strike resolution to the tiles that touched struck state
+/// afterwards, using the execution trace: shared-L2 corruption is
+/// visible to every later tile with L2 traffic, L1 lines and unit
+/// dispatch state only to later tiles on the struck unit, and register
+/// or pipeline strikes only to their victim tile.
+fn touched_tiles(res: &StrikeResolution, trace: &ExecutionTrace) -> Vec<u64> {
+    if !res.delivered {
+        return Vec::new();
+    }
+    let mut tiles: Vec<u64> = match res.site {
+        "l2" => trace
+            .tiles()
+            .iter()
+            .filter(|t| t.pos >= res.at_tile && t.l2_hits + t.l2_misses > 0)
+            .map(|t| t.pos as u64)
+            .collect(),
+        "l1" | "unit_garble" => trace
+            .tiles()
+            .iter()
+            .filter(|t| t.pos >= res.at_tile && Some(t.unit) == res.unit)
+            .map(|t| t.pos as u64)
+            .collect(),
+        "scheduler" => {
+            let mut v: Vec<u64> = res.victim_tile.into_iter().map(|t| t as u64).collect();
+            v.extend(res.redirect_dest.map(|d| d as u64));
+            v
+        }
+        _ => res.victim_tile.into_iter().map(|t| t as u64).collect(),
+    };
+    tiles.truncate(TOUCHED_TILES_CAP);
+    tiles
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

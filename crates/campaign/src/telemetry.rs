@@ -14,77 +14,15 @@ use crate::outcome::InjectionOutcome;
 
 /// Power-of-two bucketed histogram of per-injection wall times.
 ///
-/// Bucket `b` counts latencies in `[2^b, 2^(b+1))` microseconds; the
-/// range `[1 µs, ~17 min)` covers everything a campaign can produce
-/// (watchdog deadlines cap the upper end).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    counts: [u64; Self::BUCKETS],
-    total: u64,
-}
-
-impl LatencyHistogram {
-    const BUCKETS: usize = 30;
-
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: [0; Self::BUCKETS],
-            total: 0,
-        }
-    }
-
-    fn bucket_of(latency: Duration) -> usize {
-        let micros = latency.as_micros().max(1);
-        (u128::BITS - 1 - micros.leading_zeros()) // floor(log2(micros))
-            .min(Self::BUCKETS as u32 - 1) as usize
-    }
-
-    /// Records one latency observation.
-    pub fn record(&mut self, latency: Duration) {
-        self.counts[Self::bucket_of(latency)] += 1;
-        self.total += 1;
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// An upper bound on the `q`-quantile latency (`0.0 ≤ q ≤ 1.0`), as
-    /// the upper edge of the bucket the quantile falls in. `None` when
-    /// the histogram is empty.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        if self.total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (b, &n) in self.counts.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return Some(Duration::from_micros(1u64 << (b + 1)));
-            }
-        }
-        None
-    }
-
-    /// The non-empty buckets as `(bucket lower edge, count)` pairs.
-    pub fn nonzero_buckets(&self) -> Vec<(Duration, u64)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &n)| n > 0)
-            .map(|(b, &n)| (Duration::from_micros(1u64 << b), n))
-            .collect()
-    }
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// Since the observability layer landed this is the shared
+/// [`radcrit_obs::Log2Histogram`]: bucket `b` still counts latencies in
+/// `[2^b, 2^(b+1))` microseconds, but sub-microsecond and
+/// beyond-last-bucket observations are now tracked explicitly
+/// ([`Log2Histogram::underflow`](radcrit_obs::Log2Histogram::underflow) /
+/// [`overflow`](radcrit_obs::Log2Histogram::overflow)) instead of being
+/// silently clamped, and the histogram exports to the metrics snapshot's
+/// JSON and Prometheus formats.
+pub use radcrit_obs::Log2Histogram as LatencyHistogram;
 
 /// Mutable telemetry accumulator owned by the campaign's collector loop.
 #[derive(Debug)]
@@ -265,6 +203,20 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(Duration::from_nanos(10));
         assert_eq!(h.nonzero_buckets()[0].0, Duration::from_micros(1));
+        // ... and are counted explicitly rather than silently clamped.
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn beyond_range_latencies_are_counted_as_overflow() {
+        let mut h = LatencyHistogram::new();
+        // 2^30 µs ≈ 17.9 min is the top edge; an hour-long injection
+        // overflows but is still counted (clamped into the last bucket).
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.quantile(1.0), Some(Duration::from_micros(1 << 30)));
     }
 
     #[test]

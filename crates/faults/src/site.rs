@@ -79,6 +79,21 @@ impl std::fmt::Display for Site {
     }
 }
 
+impl std::str::FromStr for Site {
+    type Err = String;
+
+    /// Parses the [`Site::name`] form back into the site. The strings are
+    /// a stable external ID: they appear in campaign records, event
+    /// streams and provenance reports, and parsing is the exact inverse
+    /// of [`std::fmt::Display`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Site::ALL
+            .into_iter()
+            .find(|site| site.name() == s)
+            .ok_or_else(|| format!("unknown fault site {s:?}"))
+    }
+}
+
 /// Per-site cross sections (in byte-equivalents, see
 /// [`calib`]) for one `(device, program)` pair.
 ///
@@ -257,6 +272,18 @@ mod tests {
             l2_avg_resident_bytes: l2_bytes,
             l1_avg_resident_bytes: l2_bytes / 10.0,
         }
+    }
+
+    #[test]
+    fn site_names_round_trip_through_display_and_from_str() {
+        for site in Site::ALL {
+            let name = site.to_string();
+            assert_eq!(name, site.name());
+            assert_eq!(name.parse::<Site>().unwrap(), site, "{name}");
+        }
+        assert!("l3".parse::<Site>().is_err());
+        assert!("".parse::<Site>().is_err());
+        assert!("L2".parse::<Site>().is_err(), "IDs are case-sensitive");
     }
 
     #[test]

@@ -60,4 +60,32 @@ pub trait Workload: TiledProgram {
     fn total_threads(&self) -> usize {
         self.tile_count() * self.threads_per_tile()
     }
+
+    /// The workload's identity as structured event fields, for the
+    /// observability layer's campaign header events: kernel name, input
+    /// label, logical output dimensions, tile geometry and thread count.
+    fn obs_fields(&self) -> Vec<(String, radcrit_obs::FieldValue)> {
+        use radcrit_obs::FieldValue;
+        let dims = self.logical_shape().dims();
+        vec![
+            ("kernel".to_owned(), FieldValue::Str(self.name().to_owned())),
+            ("input".to_owned(), FieldValue::Str(self.input_label())),
+            (
+                "dims".to_owned(),
+                FieldValue::Arr(dims.iter().map(|&d| d as u64).collect()),
+            ),
+            (
+                "tiles".to_owned(),
+                FieldValue::U64(self.tile_count() as u64),
+            ),
+            (
+                "threads_per_tile".to_owned(),
+                FieldValue::U64(self.threads_per_tile() as u64),
+            ),
+            (
+                "threads".to_owned(),
+                FieldValue::U64(self.total_threads() as u64),
+            ),
+        ]
+    }
 }

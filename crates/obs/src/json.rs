@@ -1,0 +1,399 @@
+//! A minimal line-oriented JSON codec shared by the radcrit on-disk
+//! formats (campaign checkpoints, event streams, metrics snapshots).
+//!
+//! Floats are written with Rust's shortest round-trip formatting
+//! ([`fmt_f64`]), so `inf`, `-inf` and `NaN` appear verbatim — a
+//! deliberate deviation from strict JSON (infinite mean relative errors
+//! are real data in this workspace) that keeps every codec lossless.
+//! The reader ([`parse_line`]) accepts exactly what the writers emit:
+//! objects, arrays, strings, numbers-as-source-text, booleans and null.
+
+/// A parsed JSON value. Numbers keep their source text so `f64`s parse
+/// losslessly and integers never round-trip through a float.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source text for lossless parsing.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array of values.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(_) => self.parse_token(),
+            None => Err("unexpected end of line".into()),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            let value = self.parse_value()?;
+            items.push(value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| "invalid utf-8".to_string())?;
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad \\u code point".to_string())?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some((i, c)) => {
+                    out.push(c);
+                    self.pos += i + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_token(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b',' || b == b'}' || b == b']' || b == b':' || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf-8".to_string())?;
+        match tok {
+            "" => Err(format!("empty token at byte {start}")),
+            "null" => Ok(Json::Null),
+            "true" => Ok(Json::Bool(true)),
+            "false" => Ok(Json::Bool(false)),
+            _ => Ok(Json::Num(tok.to_owned())),
+        }
+    }
+}
+
+/// Parses one line as a single JSON value; trailing garbage is an error.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error.
+pub fn parse_line(line: &str) -> Result<Json, String> {
+    let mut p = Parser::new(line);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Escapes a string for embedding between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` with the shortest representation that round-trips
+/// through `str::parse::<f64>`, including `inf`, `-inf` and `NaN`.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// [`fmt_f64`], with `None` rendered as `null`.
+pub fn fmt_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), fmt_f64)
+}
+
+// ---------------------------------------------------------------------
+// Accessors over parsed objects
+// ---------------------------------------------------------------------
+
+/// Looks up `key` in an object's fields.
+///
+/// # Errors
+///
+/// When the field is absent.
+pub fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Views a value as an object's field list.
+///
+/// # Errors
+///
+/// When the value is not an object.
+pub fn as_obj(v: &Json) -> Result<&[(String, Json)], String> {
+    match v {
+        Json::Obj(fields) => Ok(fields),
+        _ => Err("expected an object".into()),
+    }
+}
+
+/// Reads a string field.
+///
+/// # Errors
+///
+/// When the field is absent or not a string.
+pub fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, String> {
+    match get(obj, key)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(format!("field {key:?} is not a string")),
+    }
+}
+
+/// Reads a boolean field.
+///
+/// # Errors
+///
+/// When the field is absent or not a boolean.
+pub fn get_bool(obj: &[(String, Json)], key: &str) -> Result<bool, String> {
+    match get(obj, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("field {key:?} is not a bool")),
+    }
+}
+
+/// Reads an unsigned integer field.
+///
+/// # Errors
+///
+/// When the field is absent or not an integer.
+pub fn get_usize(obj: &[(String, Json)], key: &str) -> Result<usize, String> {
+    match get(obj, key)? {
+        Json::Num(n) => n
+            .parse()
+            .map_err(|_| format!("field {key:?} is not an integer")),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
+/// Reads an `f64` field (shortest round-trip source text).
+///
+/// # Errors
+///
+/// When the field is absent or not a number.
+pub fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => n
+            .parse()
+            .map_err(|_| format!("field {key:?} is not a float")),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
+/// Reads a nullable `f64` field.
+///
+/// # Errors
+///
+/// When the field is absent or neither a number nor `null`.
+pub fn get_opt_f64(obj: &[(String, Json)], key: &str) -> Result<Option<f64>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        Json::Num(n) => n
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("field {key:?} is not a float")),
+        _ => Err(format!("field {key:?} is not a number or null")),
+    }
+}
+
+/// Reads a nullable unsigned integer field.
+///
+/// # Errors
+///
+/// When the field is absent or neither an integer nor `null`.
+pub fn get_opt_usize(obj: &[(String, Json)], key: &str) -> Result<Option<usize>, String> {
+    match get(obj, key)? {
+        Json::Null => Ok(None),
+        Json::Num(n) => n
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("field {key:?} is not an integer")),
+        _ => Err(format!("field {key:?} is not a number or null")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_objects_strings_numbers() {
+        let v = parse_line(r#"{"a":1,"b":"x","c":true,"d":null,"e":-2.5}"#).unwrap();
+        let obj = as_obj(&v).unwrap();
+        assert_eq!(get_usize(obj, "a").unwrap(), 1);
+        assert_eq!(get_str(obj, "b").unwrap(), "x");
+        assert!(get_bool(obj, "c").unwrap());
+        assert_eq!(get(obj, "d").unwrap(), &Json::Null);
+        assert_eq!(get_f64(obj, "e").unwrap(), -2.5);
+    }
+
+    #[test]
+    fn parses_arrays() {
+        let v = parse_line(r#"{"t":[1,2,3],"empty":[]}"#).unwrap();
+        let obj = as_obj(&v).unwrap();
+        match get(obj, "t").unwrap() {
+            Json::Arr(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(get(obj, "empty").unwrap(), &Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn floats_round_trip_including_inf_and_nan() {
+        for v in [
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.000_000_000_000_000_2,
+        ] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "{s}");
+        }
+        assert!(fmt_f64(f64::NAN).parse::<f64>().unwrap().is_nan());
+    }
+
+    #[test]
+    fn escaped_strings_round_trip() {
+        let s = "a \"quoted\"\\\nsite\t\u{1}";
+        let line = format!("{{\"s\":\"{}\"}}", escape(s));
+        let v = parse_line(&line).unwrap();
+        assert_eq!(get_str(as_obj(&v).unwrap(), "s").unwrap(), s);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_line(r#"{"a":1} extra"#).is_err());
+        assert!(parse_line("").is_err());
+        assert!(parse_line(r#"{"a":"#).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # radcrit-obs
+//!
+//! The observability layer of the radcrit stack: everything the pipeline
+//! needs to explain *why* an injection produced its outcome and *how* a
+//! run is going operationally, without perturbing the science.
+//!
+//! Three ideas, three modules:
+//!
+//! * [`metrics`] — a lightweight registry of counters, gauges and
+//!   [`hist::Log2Histogram`]s with JSON and Prometheus-text snapshot
+//!   export. Operational data (latencies, throughput, phase timings) is
+//!   allowed to vary run to run and lives here, never in the event
+//!   stream.
+//! * [`event`] + [`writer`] — a structured span/event API
+//!   ([`event::Span::enter`] with key/value fields, zero-cost when
+//!   disabled) emitting a JSONL stream that covers the full injection
+//!   lifecycle: dispatch → site selection → bit flip → tile execution →
+//!   output diff → spatial classification. Events carry only *logical*
+//!   data (indices, sites, bits, classes — no wall-clock), so a
+//!   fixed-seed campaign emits a byte-identical stream on every run; the
+//!   [`writer::EventWriter`] sequences per-injection blocks by index and
+//!   skips already-emitted indices on resume.
+//! * [`provenance`] — the joined fault-provenance record: strike (site,
+//!   tile, bit) + execution (victim/touched tiles) + result (mismatch
+//!   count, [`radcrit_core::locality::SpatialClass`], mean relative
+//!   error), and the per-site breakdown that answers "which fault sites
+//!   cause `Square` corruption" directly.
+//!
+//! [`json`] is the shared minimal JSON codec (also used by the campaign
+//! checkpoint format): floats use Rust's shortest round-trip formatting,
+//! so `inf`/`NaN` appear verbatim — a deliberate deviation from strict
+//! JSON that keeps infinite relative errors lossless.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod event;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod provenance;
+pub mod writer;
+
+pub use event::{Event, EventBuffer, FieldValue, Span};
+pub use hist::Log2Histogram;
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use provenance::{ProvenanceBreakdown, ProvenanceRecord};
+pub use writer::EventWriter;

@@ -1,0 +1,414 @@
+//! A lightweight metrics registry: counters, gauges and log2 histograms
+//! with labels, exported as JSON or Prometheus text.
+//!
+//! The registry is `Sync` (internally locked) and designed for coarse
+//! update granularity: hot loops should accumulate locally and flush
+//! once per unit of work (the engine flushes once per run, the campaign
+//! collector once per record), so the lock is never contended in an
+//! inner loop. All exports iterate a `BTreeMap`, so snapshot text is
+//! deterministic given the same observations.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::hist::Log2Histogram;
+use crate::json::{escape, fmt_f64};
+
+/// A metric key: base name plus rendered label set.
+///
+/// Labels are rendered at update time into their exposition form
+/// (`{k="v",…}`), which makes the key cheap to order and compare.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `radcrit_injections_total`.
+    pub name: String,
+    /// Rendered label set, e.g. `{outcome="sdc"}`; empty for no labels.
+    pub labels: String,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let rendered = if labels.is_empty() {
+            String::new()
+        } else {
+            let inner = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{{{inner}}}")
+        };
+        MetricKey {
+            name: name.to_owned(),
+            labels: rendered,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.name, self.labels)
+    }
+}
+
+/// One metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonically increasing counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Log2 histogram of microsecond durations (boxed: a histogram is an
+    /// order of magnitude larger than the scalar variants).
+    Histogram(Box<Log2Histogram>),
+}
+
+/// A thread-safe registry of named metrics.
+///
+/// # Examples
+///
+/// ```
+/// use radcrit_obs::MetricsRegistry;
+///
+/// let m = MetricsRegistry::new();
+/// m.counter_add("radcrit_injections_total", &[("outcome", "sdc")], 1);
+/// m.gauge_set("radcrit_sigma_total", &[], 0.5);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counter("radcrit_injections_total", &[("outcome", "sdc")]), Some(1));
+/// assert!(snap.to_prometheus().contains("radcrit_injections_total{outcome=\"sdc\"} 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to a counter, creating it at zero first.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let mut map = self.inner.lock().expect("metrics lock");
+        match map
+            .entry(MetricKey::new(name, labels))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += v,
+            other => *other = Metric::Counter(v),
+        }
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let mut map = self.inner.lock().expect("metrics lock");
+        map.insert(MetricKey::new(name, labels), Metric::Gauge(v));
+    }
+
+    /// Records one duration into a histogram, creating it first.
+    pub fn observe_duration(&self, name: &str, labels: &[(&str, &str)], d: Duration) {
+        let mut map = self.inner.lock().expect("metrics lock");
+        match map
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.record(d),
+            other => {
+                let mut h = Log2Histogram::new();
+                h.record(d);
+                *other = Metric::Histogram(Box::new(h));
+            }
+        }
+    }
+
+    /// Merges a locally accumulated histogram into a registry histogram —
+    /// the flush half of the accumulate-locally pattern.
+    pub fn merge_histogram(&self, name: &str, labels: &[(&str, &str)], h: &Log2Histogram) {
+        let mut map = self.inner.lock().expect("metrics lock");
+        match map
+            .entry(MetricKey::new(name, labels))
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(existing) => existing.merge(h),
+            other => *other = Metric::Histogram(Box::new(h.clone())),
+        }
+    }
+
+    /// Freezes the current state into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self.inner.lock().expect("metrics lock").clone(),
+        }
+    }
+}
+
+/// An immutable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<MetricKey, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Number of metrics in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads a counter value back (tests, report rendering).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.entries.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge value back.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.entries.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Reads a histogram back.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Log2Histogram> {
+        match self.entries.get(&MetricKey::new(name, labels)) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(key, metric)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &Metric)> {
+        self.entries.iter()
+    }
+
+    /// Renders the snapshot as a single JSON object (one line).
+    ///
+    /// Counters and gauges map key → value; histograms expand into
+    /// `{count, sum_us, underflow, overflow, buckets: [[lo_us, n], …]}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (key, metric) in &self.entries {
+            let k = escape(&key.to_string());
+            match metric {
+                Metric::Counter(c) => counters.push(format!("\"{k}\":{c}")),
+                Metric::Gauge(g) => gauges.push(format!("\"{k}\":{}", fmt_f64(*g))),
+                Metric::Histogram(h) => {
+                    let buckets = h
+                        .nonzero_buckets()
+                        .iter()
+                        .map(|(lo, n)| format!("[{},{n}]", lo.as_micros()))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    histograms.push(format!(
+                        "\"{k}\":{{\"count\":{},\"sum_us\":{},\"underflow\":{},\
+                         \"overflow\":{},\"buckets\":[{buckets}]}}",
+                        h.count(),
+                        h.sum_micros(),
+                        h.underflow(),
+                        h.overflow(),
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"radcrit_metrics\":1,\"counters\":{{{}}},\"gauges\":{{{}}},\
+             \"histograms\":{{{}}}}}",
+            counters.join(","),
+            gauges.join(","),
+            histograms.join(","),
+        )
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Histograms emit `_bucket{le=…}` (cumulative, µs), `_sum` (µs) and
+    /// `_count` series; the explicit underflow/overflow counts are
+    /// exported as companion `_underflow`/`_overflow` counters.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed: Option<(String, &'static str)> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+            if last_typed
+                .as_ref()
+                .is_none_or(|(n, k)| n != name || *k != kind)
+            {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_typed = Some((name.to_owned(), kind));
+            }
+        };
+        for (key, metric) in &self.entries {
+            match metric {
+                Metric::Counter(c) => {
+                    type_line(&mut out, &key.name, "counter");
+                    out.push_str(&format!("{}{} {c}\n", key.name, key.labels));
+                }
+                Metric::Gauge(g) => {
+                    type_line(&mut out, &key.name, "gauge");
+                    out.push_str(&format!("{}{} {}\n", key.name, key.labels, prom_f64(*g)));
+                }
+                Metric::Histogram(h) => {
+                    type_line(&mut out, &key.name, "histogram");
+                    for (le, cum) in h.cumulative_buckets() {
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            key.name,
+                            merge_labels(&key.labels, &format!("le=\"{le}\""))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        key.name,
+                        merge_labels(&key.labels, "le=\"+Inf\""),
+                        h.count()
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        key.name,
+                        key.labels,
+                        h.sum_micros()
+                    ));
+                    out.push_str(&format!("{}_count{} {}\n", key.name, key.labels, h.count()));
+                    out.push_str(&format!(
+                        "{}_underflow{} {}\n",
+                        key.name,
+                        key.labels,
+                        h.underflow()
+                    ));
+                    out.push_str(&format!(
+                        "{}_overflow{} {}\n",
+                        key.name,
+                        key.labels,
+                        h.overflow()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Merges an extra label into an already-rendered label set.
+fn merge_labels(rendered: &str, extra: &str) -> String {
+    if rendered.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &rendered[..rendered.len() - 1])
+    }
+}
+
+/// Prometheus float rendering: `+Inf`, `-Inf`, `NaN` spellings.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        fmt_f64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = MetricsRegistry::new();
+        m.counter_add("x_total", &[("site", "fpu")], 2);
+        m.counter_add("x_total", &[("site", "fpu")], 3);
+        m.counter_add("x_total", &[("site", "l2")], 1);
+        let s = m.snapshot();
+        assert_eq!(s.counter("x_total", &[("site", "fpu")]), Some(5));
+        assert_eq!(s.counter("x_total", &[("site", "l2")]), Some(1));
+        assert_eq!(s.counter("x_total", &[]), None);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = MetricsRegistry::new();
+        m.gauge_set("g", &[], 1.0);
+        m.gauge_set("g", &[], 2.5);
+        assert_eq!(m.snapshot().gauge("g", &[]), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_observation_and_merge() {
+        let m = MetricsRegistry::new();
+        m.observe_duration("lat_us", &[], Duration::from_micros(10));
+        let mut local = Log2Histogram::new();
+        local.record(Duration::from_micros(100));
+        local.record(Duration::from_nanos(1));
+        m.merge_histogram("lat_us", &[], &local);
+        let s = m.snapshot();
+        let h = s.histogram("lat_us", &[]).unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.underflow(), 1);
+    }
+
+    #[test]
+    fn prometheus_text_is_line_formatted() {
+        let m = MetricsRegistry::new();
+        m.counter_add("radcrit_runs_total", &[], 4);
+        m.gauge_set("radcrit_sigma", &[], f64::INFINITY);
+        m.observe_duration(
+            "radcrit_lat_us",
+            &[("phase", "tiles")],
+            Duration::from_micros(3),
+        );
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE radcrit_runs_total counter\n"));
+        assert!(text.contains("radcrit_runs_total 4\n"));
+        assert!(text.contains("radcrit_sigma +Inf\n"));
+        assert!(text.contains("radcrit_lat_us_bucket{phase=\"tiles\",le=\"4\"} 1\n"));
+        assert!(text.contains("radcrit_lat_us_bucket{phase=\"tiles\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("radcrit_lat_us_count{phase=\"tiles\"} 1\n"));
+        // Every line is `name{labels} value` or a `# TYPE` comment.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE ") || line.split(' ').count() == 2,
+                "bad exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_parses_back() {
+        let m = MetricsRegistry::new();
+        m.counter_add("c_total", &[("k", "v")], 7);
+        m.gauge_set("g", &[], 1.25);
+        m.observe_duration("h_us", &[], Duration::from_micros(9));
+        let json = m.snapshot().to_json();
+        let v = crate::json::parse_line(&json).unwrap();
+        let obj = crate::json::as_obj(&v).unwrap();
+        assert_eq!(crate::json::get_usize(obj, "radcrit_metrics").unwrap(), 1);
+        let counters = crate::json::as_obj(crate::json::get(obj, "counters").unwrap()).unwrap();
+        assert_eq!(
+            crate::json::get_usize(counters, "c_total{k=\"v\"}").unwrap(),
+            7
+        );
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_order() {
+        let m = MetricsRegistry::new();
+        m.counter_add("b_total", &[], 1);
+        m.counter_add("a_total", &[], 1);
+        let text = m.snapshot().to_prometheus();
+        let a = text.find("a_total").unwrap();
+        let b = text.find("b_total").unwrap();
+        assert!(a < b, "BTreeMap ordering must sort names");
+    }
+}

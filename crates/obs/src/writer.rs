@@ -1,0 +1,267 @@
+//! Index-sequenced JSONL event stream writer.
+//!
+//! The campaign collector receives per-injection results in worker
+//! completion order, which varies with thread count and load. The
+//! [`EventWriter`] restores determinism: each injection's events are
+//! submitted as one block keyed by injection index, blocks are buffered
+//! until the next expected index arrives, and the file is written in
+//! strict index order — so a fixed-seed campaign produces a
+//! byte-identical stream no matter how many workers ran it.
+//!
+//! On resume the writer re-reads the existing stream, tolerates a torn
+//! final line (truncating it away), and reports which injection indices
+//! were already emitted so the campaign can skip them — no duplicated
+//! and no missing indices across kill/resume cycles.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::event::{parse_event_line, Event};
+
+/// Writes an event stream to disk in injection-index order.
+#[derive(Debug)]
+pub struct EventWriter {
+    out: BufWriter<File>,
+    /// Indices still awaited, in emission order.
+    expected: VecDeque<u64>,
+    /// Blocks that arrived ahead of the expected front.
+    buffered: BTreeMap<u64, Vec<String>>,
+    /// Detail-event sampling stride (1 = every injection).
+    sample: u64,
+}
+
+impl EventWriter {
+    /// Creates a fresh stream expecting injections `0..total`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    pub fn create(path: &Path, total: u64, sample: u64) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(EventWriter {
+            out: BufWriter::new(file),
+            expected: (0..total).collect(),
+            buffered: BTreeMap::new(),
+            sample: sample.max(1),
+        })
+    }
+
+    /// Reopens an existing stream for append, returning the writer and
+    /// the set of injection indices already present in the file.
+    ///
+    /// A torn final line (interrupted write) is truncated away; the
+    /// campaign re-submits that injection's block. Missing files are
+    /// treated as empty.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error reading or truncating the file.
+    pub fn resume(path: &Path, total: u64, sample: u64) -> std::io::Result<(Self, HashSet<u64>)> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut have = HashSet::new();
+        let mut valid_len = 0usize;
+        for line in text.split_inclusive('\n') {
+            let Some(body) = line.strip_suffix('\n') else {
+                break; // torn final line: no newline — drop it
+            };
+            match parse_event_line(body) {
+                Ok(event) => {
+                    if let Some(i) = event.index {
+                        have.insert(i);
+                    }
+                    valid_len += line.len();
+                }
+                Err(_) => break, // torn mid-file write; drop the tail
+            }
+        }
+        // No truncate: the valid prefix is kept, only a torn tail is cut.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(path)?;
+        file.set_len(valid_len as u64)?;
+        file.seek(SeekFrom::Start(valid_len as u64))?;
+        let out = BufWriter::new(file);
+        let expected = (0..total).filter(|i| !have.contains(i)).collect();
+        Ok((
+            EventWriter {
+                out,
+                expected,
+                buffered: BTreeMap::new(),
+                sample: sample.max(1),
+            },
+            have,
+        ))
+    }
+
+    /// Whether detail events should be collected for this injection
+    /// (index falls on the sampling stride).
+    pub fn sampled(&self, index: u64) -> bool {
+        index.is_multiple_of(self.sample)
+    }
+
+    /// Writes a campaign-level event (no index sequencing) immediately.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the line.
+    pub fn emit_top(&mut self, event: &Event) -> std::io::Result<()> {
+        self.out.write_all(event.line().as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    /// Submits one injection's event block; flushes every block that is
+    /// now contiguous with the expected-index front.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing flushed blocks.
+    pub fn submit(&mut self, index: u64, events: &[Event]) -> std::io::Result<()> {
+        self.buffered
+            .insert(index, events.iter().map(Event::line).collect());
+        while let Some(&front) = self.expected.front() {
+            let Some(lines) = self.buffered.remove(&front) else {
+                break;
+            };
+            self.expected.pop_front();
+            for line in lines {
+                self.out.write_all(line.as_bytes())?;
+                self.out.write_all(b"\n")?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes any out-of-order remainder (in index order) and syncs the
+    /// stream. Called once at end of run; a budget-stopped campaign
+    /// legitimately leaves gaps, and this writes what it has.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or flushing.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        for (_, lines) in std::mem::take(&mut self.buffered) {
+            for line in lines {
+                self.out.write_all(line.as_bytes())?;
+                self.out.write_all(b"\n")?;
+            }
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventBuffer;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "radcrit_obs_writer_{tag}_{}_{}.jsonl",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn block(i: u64, site: &str) -> Vec<Event> {
+        let mut buf = EventBuffer::for_injection(i);
+        buf.emit("strike").str("site", site);
+        buf.emit("outcome").str("tag", "MASKED");
+        buf.take()
+    }
+
+    #[test]
+    fn out_of_order_blocks_come_out_in_index_order() {
+        let path = temp_path("order");
+        let mut w = EventWriter::create(&path, 3, 1).unwrap();
+        w.submit(2, &block(2, "l2")).unwrap();
+        w.submit(0, &block(0, "fpu")).unwrap();
+        w.submit(1, &block(1, "sfu")).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let indices: Vec<u64> = text
+            .lines()
+            .map(|l| parse_event_line(l).unwrap().index.unwrap())
+            .collect();
+        assert_eq!(indices, [0, 0, 1, 1, 2, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn finish_flushes_gapped_remainder() {
+        let path = temp_path("gap");
+        let mut w = EventWriter::create(&path, 4, 1).unwrap();
+        // Index 0 never arrives (budget stop); 3 and 1 did.
+        w.submit(3, &block(3, "l1")).unwrap();
+        w.submit(1, &block(1, "fpu")).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let indices: Vec<u64> = text
+            .lines()
+            .map(|l| parse_event_line(l).unwrap().index.unwrap())
+            .collect();
+        assert_eq!(indices, [1, 1, 3, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_reports_emitted_indices_and_truncates_torn_tail() {
+        let path = temp_path("resume");
+        let mut w = EventWriter::create(&path, 4, 1).unwrap();
+        w.emit_top(&EventBuffer::enabled().emit_into("run_begin"))
+            .unwrap();
+        w.submit(0, &block(0, "fpu")).unwrap();
+        w.submit(1, &block(1, "l2")).unwrap();
+        w.finish().unwrap();
+        drop(w);
+        // Simulate a kill mid-write: append a torn, newline-less line.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"e\":\"strike\",\"i\":2,\"si").unwrap();
+        }
+        let (mut w, have) = EventWriter::resume(&path, 4, 1).unwrap();
+        assert_eq!(have, HashSet::from([0, 1]));
+        w.submit(3, &block(3, "sfu")).unwrap();
+        w.submit(2, &block(2, "l1")).unwrap();
+        w.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut seen = Vec::new();
+        for line in text.lines() {
+            let e = parse_event_line(line).unwrap(); // no torn garbage left
+            if let Some(i) = e.index {
+                seen.push(i);
+            }
+        }
+        assert_eq!(seen, [0, 0, 1, 1, 2, 2, 3, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampling_stride() {
+        let path = temp_path("sample");
+        let w = EventWriter::create(&path, 10, 4).unwrap();
+        let sampled: Vec<u64> = (0..10).filter(|&i| w.sampled(i)).collect();
+        assert_eq!(sampled, [0, 4, 8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    impl EventBuffer {
+        /// Test helper: build one event directly.
+        fn emit_into(mut self, kind: &str) -> Event {
+            self.emit(kind);
+            self.take().remove(0)
+        }
+    }
+}

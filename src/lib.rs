@@ -14,7 +14,9 @@
 //! * [`kernels`] — DGEMM, LavaMD, HotSpot and the CLAMR-equivalent
 //!   shallow-water AMR solver;
 //! * [`abft`] — checksum-hardened DGEMM (Huang–Abraham ABFT);
-//! * [`campaign`] — beam-campaign orchestration, logs and statistics.
+//! * [`campaign`] — beam-campaign orchestration, logs and statistics;
+//! * [`obs`] — observability: metrics registry, structured event stream
+//!   and fault-provenance records.
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -25,3 +27,4 @@ pub use radcrit_campaign as campaign;
 pub use radcrit_core as core;
 pub use radcrit_faults as faults;
 pub use radcrit_kernels as kernels;
+pub use radcrit_obs as obs;
