@@ -31,6 +31,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod golden;
 pub mod hardening;
 pub mod log;
 pub mod outcome;
@@ -42,6 +43,7 @@ pub mod sweep;
 pub mod telemetry;
 
 pub use config::{Campaign, KernelSpec};
+pub use golden::{GoldenCache, GoldenCacheStats};
 pub use hardening::HardeningAnalysis;
 pub use outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
 pub use runner::{CampaignResult, RunOptions};

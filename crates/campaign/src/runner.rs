@@ -72,6 +72,7 @@ use radcrit_obs::{
 
 use crate::checkpoint::CheckpointWriter;
 use crate::config::Campaign;
+use crate::golden::{GoldenCache, GoldenEntry, GoldenKey};
 use crate::outcome::{InjectionOutcome, InjectionRecord, SdcDetail};
 use crate::summary::CampaignSummary;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
@@ -106,6 +107,20 @@ pub struct RunOptions {
     /// injection. The `provenance` event is emitted for every injection
     /// regardless, so the stream always covers all indices.
     pub events_sample: u64,
+    /// Share golden executions across runs through this cache: a hit
+    /// skips the golden phase entirely (the most expensive part of a
+    /// short campaign), a miss computes and publishes it. Hit/miss
+    /// counts surface as `radcrit_golden_cache_{hits,misses}_total`
+    /// when metrics are enabled. See [`crate::golden`].
+    pub golden_cache: Option<Arc<GoldenCache>>,
+    /// Cooperative cancellation: once this flag turns `true` the run
+    /// stops dispatching new injections and returns a resumable partial
+    /// [`CampaignResult`], exactly like budget exhaustion.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Record run metrics into this shared external registry (e.g. a
+    /// daemon-wide one) instead of a fresh private registry. Implies
+    /// metrics collection even without [`RunOptions::metrics_out`].
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// Everything a finished campaign produced.
@@ -228,21 +243,51 @@ impl Campaign {
     /// As [`Campaign::run`], plus [`AccelError::Corrupt`] for checkpoint
     /// I/O and validation failures.
     pub fn run_with(&self, options: &RunOptions) -> Result<CampaignResult, AccelError> {
-        let metrics = options
-            .metrics_out
-            .as_ref()
-            .map(|_| Arc::new(MetricsRegistry::new()));
+        let metrics = options.metrics.clone().or_else(|| {
+            options
+                .metrics_out
+                .as_ref()
+                .map(|_| Arc::new(MetricsRegistry::new()))
+        });
         let mut engine = Engine::new(self.device.clone());
         if let Some(m) = &metrics {
             engine = engine.with_metrics(Arc::clone(m));
         }
 
-        // Golden execution: output, profile, cross sections.
+        // Golden execution: output, profile, cross sections. With a
+        // shared cache attached, runs agreeing on (kernel, device,
+        // seed) reuse one golden execution instead of recomputing it.
         let mut golden_kernel = self.kernel.build(self.seed)?;
-        let golden = engine.golden(golden_kernel.as_mut())?;
-        let sampler = FaultSampler::new(&self.device, &golden.profile);
+        let (golden_output, golden_profile) = match &options.golden_cache {
+            Some(cache) => {
+                let key = GoldenKey::for_campaign(self);
+                if let Some(hit) = cache.get(&key) {
+                    if let Some(m) = &metrics {
+                        m.counter_add("radcrit_golden_cache_hits_total", &[], 1);
+                    }
+                    (hit.output.clone(), hit.profile.clone())
+                } else {
+                    if let Some(m) = &metrics {
+                        m.counter_add("radcrit_golden_cache_misses_total", &[], 1);
+                    }
+                    let golden = engine.golden(golden_kernel.as_mut())?;
+                    let entry = cache.insert(
+                        key,
+                        GoldenEntry {
+                            output: golden.output,
+                            profile: golden.profile,
+                        },
+                    );
+                    (entry.output.clone(), entry.profile.clone())
+                }
+            }
+            None => {
+                let golden = engine.golden(golden_kernel.as_mut())?;
+                (golden.output, golden.profile)
+            }
+        };
+        let sampler = FaultSampler::new(&self.device, &golden_profile);
         let sigma_total = sampler.table().total();
-        let golden_output = golden.output;
 
         // Checkpoint: replay what a previous run already finished.
         let mut writer = None;
@@ -346,6 +391,14 @@ impl Campaign {
         let mut last_progress = Instant::now();
 
         while active > 0 && produced < target {
+            if let Some(cancel) = &options.cancel {
+                if cancel.load(Ordering::SeqCst) {
+                    // Stop dispatching; what was not collected is not
+                    // checkpointed either, so a later resume replays it.
+                    shared.stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
             match rx.recv_timeout(tick) {
                 Ok(Event::Done {
                     record,
@@ -492,7 +545,7 @@ impl Campaign {
 
         Ok(CampaignResult {
             campaign: self.clone(),
-            profile: golden.profile,
+            profile: golden_profile,
             sigma_total,
             output_len: golden_output.len(),
             records,

@@ -197,6 +197,73 @@ impl CampaignSummary {
         self.fit_all
             .fraction_of(&[SpatialClass::Cubic, SpatialClass::Square])
     }
+
+    /// Renders the summary as one canonical JSON line (no trailing
+    /// newline).
+    ///
+    /// The encoding is fully deterministic — fixed field order, sorted
+    /// maps, [`radcrit_obs::json::fmt_f64`] float formatting — so two
+    /// summaries are equal iff their rendered bytes are equal. This is
+    /// the wire format of the campaign service's `result.json` and of
+    /// the CLI's `--summary-out`, and the bit-for-bit identity check
+    /// between the two paths compares exactly these bytes.
+    pub fn to_json(&self) -> String {
+        use radcrit_obs::json::{escape, fmt_f64};
+
+        let fit = |b: &FitBreakdown| {
+            let fields: Vec<String> = b
+                .iter()
+                .map(|(class, rate)| {
+                    format!(
+                        "\"{}\":{}",
+                        escape(&class.to_string()),
+                        fmt_f64(rate.value())
+                    )
+                })
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        };
+        let scatter: Vec<String> = self
+            .scatter
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"incorrect_elements\":{},\"mean_relative_error\":{}}}",
+                    p.incorrect_elements,
+                    fmt_f64(p.mean_relative_error)
+                )
+            })
+            .collect();
+        let by_site: Vec<String> = self
+            .sdc_by_site
+            .iter()
+            .map(|(site, n)| format!("\"{}\":{n}", escape(site)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"radcrit_summary\":1",
+                ",\"kernel\":\"{}\",\"input\":\"{}\",\"device\":\"{}\"",
+                ",\"injections\":{},\"masked\":{},\"sdc\":{},\"critical_sdc\":{}",
+                ",\"crash\":{},\"hang\":{},\"sigma_total\":{}",
+                ",\"fit_all\":{},\"fit_filtered\":{}",
+                ",\"scatter\":[{}],\"sdc_by_site\":{{{}}}}}"
+            ),
+            escape(&self.kernel),
+            escape(&self.input),
+            escape(&self.device),
+            self.injections,
+            self.masked,
+            self.sdc,
+            self.critical_sdc,
+            self.crash,
+            self.hang,
+            fmt_f64(self.sigma_total),
+            fit(&self.fit_all),
+            fit(&self.fit_filtered),
+            scatter.join(","),
+            by_site.join(",")
+        )
+    }
 }
 
 /// A human-readable report of one run: the summary's outcome counts
@@ -302,6 +369,29 @@ mod tests {
         let s = r.summary();
         assert!(s.fraction_mre_at_most(1.0) <= s.fraction_mre_at_most(100.0));
         assert!(s.fraction_mre_at_most(f64::INFINITY) <= 1.0);
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_parseable() {
+        use radcrit_obs::json;
+
+        let s = result().summary();
+        let line = s.to_json();
+        assert_eq!(line, result().summary().to_json(), "stable across runs");
+        assert!(!line.contains('\n'));
+
+        let parsed = json::parse_line(&line).unwrap();
+        let top = json::as_obj(&parsed).unwrap();
+        assert_eq!(json::get_usize(top, "radcrit_summary"), Ok(1));
+        assert_eq!(json::get_str(top, "kernel"), Ok("dgemm"));
+        assert_eq!(json::get_usize(top, "injections"), Ok(200));
+        assert_eq!(
+            json::get_usize(top, "masked").unwrap()
+                + json::get_usize(top, "sdc").unwrap()
+                + json::get_usize(top, "crash").unwrap()
+                + json::get_usize(top, "hang").unwrap(),
+            200
+        );
     }
 
     #[test]

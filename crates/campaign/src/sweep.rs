@@ -7,8 +7,11 @@
 //! each campaign already parallelizes internally) and exposes those
 //! trends directly.
 
+use std::sync::Arc;
+
 use radcrit_accel::error::AccelError;
 
+use crate::golden::{GoldenCache, GoldenCacheStats};
 use crate::presets::Preset;
 use crate::runner::RunOptions;
 use crate::summary::CampaignSummary;
@@ -47,6 +50,12 @@ impl Sweep {
     /// checkpoints to its own `NN-kernel-input.jsonl` file inside it, so
     /// a killed sweep resumes campaign-by-campaign.
     ///
+    /// Golden executions are memoized across the sweep's campaigns: a
+    /// [`GoldenCache`] (the caller's via [`RunOptions::golden_cache`], or
+    /// a sweep-private one) lets presets sharing (kernel, input, device,
+    /// scale, seed) reuse one golden run, and the cache's hit/miss delta
+    /// for this invocation lands in [`SweepResult::golden_cache`].
+    ///
     /// # Errors
     ///
     /// Propagates the first campaign failure, and
@@ -58,10 +67,16 @@ impl Sweep {
                 AccelError::Corrupt(format!("checkpoint directory {}: {e}", dir.display()))
             })?;
         }
+        let cache = options
+            .golden_cache
+            .clone()
+            .unwrap_or_else(GoldenCache::shared_default);
+        let stats_before = cache.stats();
         let mut summaries = Vec::with_capacity(self.presets.len());
         let mut telemetry = Vec::with_capacity(self.presets.len());
         for (i, p) in self.presets.iter().enumerate() {
             let mut opts = options.clone();
+            opts.golden_cache = Some(Arc::clone(&cache));
             opts.checkpoint = options.checkpoint.as_ref().map(|dir| {
                 dir.join(format!(
                     "{i:02}-{}-{}.jsonl",
@@ -76,6 +91,7 @@ impl Sweep {
         Ok(SweepResult {
             summaries,
             telemetry,
+            golden_cache: cache.stats().since(&stats_before),
         })
     }
 }
@@ -85,6 +101,7 @@ impl Sweep {
 pub struct SweepResult {
     summaries: Vec<CampaignSummary>,
     telemetry: Vec<TelemetrySnapshot>,
+    golden_cache: GoldenCacheStats,
 }
 
 impl SweepResult {
@@ -96,6 +113,13 @@ impl SweepResult {
     /// Run telemetry per campaign, in preset order.
     pub fn telemetry(&self) -> &[TelemetrySnapshot] {
         &self.telemetry
+    }
+
+    /// How this sweep used the golden cache: hits are golden executions
+    /// the sweep skipped because an earlier campaign (or another job on
+    /// a shared cache) already computed them.
+    pub fn golden_cache(&self) -> &GoldenCacheStats {
+        &self.golden_cache
     }
 
     /// Total injections per second across the sweep's campaigns
@@ -231,6 +255,38 @@ mod tests {
         assert!(second.telemetry().iter().all(|t| t.completed == 0));
         assert!(second.telemetry().iter().all(|t| t.replayed > 0));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_memoizes_shared_golden_runs_without_changing_science() {
+        // Two presets share (kernel, input, device, seed): the second
+        // must hit the sweep's golden cache, and the memoized summaries
+        // must match campaigns run without any cache.
+        let device = DeviceConfig::kepler_k40().scaled(8).unwrap();
+        let shared = Preset {
+            device: device.clone(),
+            kernel: KernelSpec::Dgemm { n: 32 },
+            injections: 20,
+        };
+        let other = Preset {
+            device,
+            kernel: KernelSpec::Dgemm { n: 64 },
+            injections: 10,
+        };
+        let sweep = Sweep::new(vec![shared.clone(), other, shared], 5);
+        let r = sweep.run().unwrap();
+        let stats = r.golden_cache();
+        assert!(stats.hits >= 1, "duplicated preset must hit: {stats:?}");
+        assert_eq!(stats.misses, 2, "two distinct golden runs: {stats:?}");
+
+        for (i, p) in sweep.presets().iter().enumerate() {
+            let direct = p.campaign(5).run().unwrap().summary();
+            assert_eq!(
+                &direct,
+                &r.summaries()[i],
+                "memoization must not change preset {i}"
+            );
+        }
     }
 
     #[test]

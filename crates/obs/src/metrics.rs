@@ -142,6 +142,35 @@ impl MetricsRegistry {
             entries: self.inner.lock().expect("metrics lock").clone(),
         }
     }
+
+    /// Folds a whole snapshot into this registry: counters add,
+    /// histograms merge, gauges take the snapshot's value (last write
+    /// wins, as everywhere else). This is how a long-running service
+    /// aggregates per-job registries into one daemon-wide registry
+    /// without sharing locks across job lifetimes.
+    pub fn merge_snapshot(&self, snapshot: &MetricsSnapshot) {
+        let mut map = self.inner.lock().expect("metrics lock");
+        for (key, metric) in &snapshot.entries {
+            match metric {
+                Metric::Counter(v) => match map.entry(key.clone()).or_insert(Metric::Counter(0)) {
+                    Metric::Counter(c) => *c += v,
+                    other => *other = Metric::Counter(*v),
+                },
+                Metric::Gauge(g) => {
+                    map.insert(key.clone(), Metric::Gauge(*g));
+                }
+                Metric::Histogram(h) => {
+                    match map
+                        .entry(key.clone())
+                        .or_insert_with(|| Metric::Histogram(Box::default()))
+                    {
+                        Metric::Histogram(existing) => existing.merge(h),
+                        other => *other = Metric::Histogram(h.clone()),
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// An immutable point-in-time copy of a [`MetricsRegistry`].
@@ -399,6 +428,29 @@ mod tests {
             crate::json::get_usize(counters, "c_total{k=\"v\"}").unwrap(),
             7
         );
+    }
+
+    #[test]
+    fn merge_snapshot_folds_per_job_registries() {
+        let job_a = MetricsRegistry::new();
+        job_a.counter_add("jobs_total", &[], 1);
+        job_a.counter_add("outcomes_total", &[("outcome", "sdc")], 3);
+        job_a.gauge_set("last_sigma", &[], 1.0);
+        job_a.observe_duration("lat_us", &[], Duration::from_micros(10));
+
+        let job_b = MetricsRegistry::new();
+        job_b.counter_add("jobs_total", &[], 1);
+        job_b.gauge_set("last_sigma", &[], 2.0);
+        job_b.observe_duration("lat_us", &[], Duration::from_micros(100));
+
+        let daemon = MetricsRegistry::new();
+        daemon.merge_snapshot(&job_a.snapshot());
+        daemon.merge_snapshot(&job_b.snapshot());
+        let s = daemon.snapshot();
+        assert_eq!(s.counter("jobs_total", &[]), Some(2), "counters add");
+        assert_eq!(s.counter("outcomes_total", &[("outcome", "sdc")]), Some(3));
+        assert_eq!(s.gauge("last_sigma", &[]), Some(2.0), "last write wins");
+        assert_eq!(s.histogram("lat_us", &[]).unwrap().count(), 2);
     }
 
     #[test]

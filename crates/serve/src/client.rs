@@ -1,0 +1,219 @@
+//! A std-only client for the campaign daemon.
+//!
+//! Thin wrapper over one-connection-per-exchange HTTP: every method
+//! opens a fresh [`TcpStream`], writes one request, reads one response.
+//! Non-2xx responses surface as [`ServeError::Http`] carrying the status
+//! and the server's JSON error body.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use radcrit_obs::json;
+
+use crate::error::ServeError;
+use crate::http::{read_response, Response};
+use crate::spec::JobSpec;
+
+/// One job's state as reported by `GET /jobs/:id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// The wire state: `submitted`, `running`, `done`, `failed`,
+    /// `cancelled` (or transitional `cancelling` from a cancel call).
+    pub state: String,
+    /// The failure message, when `state == "failed"`.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// Whether the job will never run again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state.as_str(), "done" | "failed" | "cancelled")
+    }
+}
+
+/// Client handle for one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// Creates a client for the daemon at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client { addr: addr.into() }
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ServeError> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| ServeError::Io(format!("connect {}: {e}", self.addr)))?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n",
+            self.addr,
+            body.len(),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        read_response(&mut stream)
+    }
+
+    /// Like [`Client::request`] but rejects non-2xx statuses.
+    fn expect_ok(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ServeError> {
+        let response = self.request(method, path, body)?;
+        if (200..300).contains(&response.status) {
+            Ok(response)
+        } else {
+            Err(ServeError::Http {
+                status: response.status,
+                body: response.body,
+            })
+        }
+    }
+
+    /// Submits `spec`; returns the allocated job id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 400 (invalid spec), 429 (queue full) or
+    /// 503 (draining); [`ServeError::Io`] on connection problems.
+    pub fn submit(&self, spec: &JobSpec) -> Result<String, ServeError> {
+        let response = self.expect_ok("POST", "/jobs", Some(&spec.to_json()))?;
+        let v = json::parse_line(&response.body).map_err(ServeError::Protocol)?;
+        let obj = json::as_obj(&v).map_err(ServeError::Protocol)?;
+        json::get_str(obj, "job")
+            .map(str::to_owned)
+            .map_err(ServeError::Protocol)
+    }
+
+    /// Fetches the job's current state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 for unknown jobs.
+    pub fn status(&self, id: &str) -> Result<JobStatus, ServeError> {
+        let response = self.expect_ok("GET", &format!("/jobs/{id}"), None)?;
+        let v = json::parse_line(&response.body).map_err(ServeError::Protocol)?;
+        let obj = json::as_obj(&v).map_err(ServeError::Protocol)?;
+        Ok(JobStatus {
+            state: json::get_str(obj, "status")
+                .map_err(ServeError::Protocol)?
+                .to_owned(),
+            error: json::get_str(obj, "error").ok().map(str::to_owned),
+        })
+    }
+
+    /// Polls until the job reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Interrupted`] when `timeout` elapses first; any
+    /// status-call error otherwise.
+    pub fn wait(
+        &self,
+        id: &str,
+        poll: Duration,
+        timeout: Duration,
+    ) -> Result<JobStatus, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.is_terminal() {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::Interrupted(format!(
+                    "job {id} still {} after {:.1}s",
+                    status.state,
+                    timeout.as_secs_f64()
+                )));
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// Fetches the finished job's canonical summary JSON (one line).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 409 while the job is not done, 404 for
+    /// unknown jobs.
+    pub fn result(&self, id: &str) -> Result<String, ServeError> {
+        Ok(self
+            .expect_ok("GET", &format!("/jobs/{id}/result"), None)?
+            .body)
+    }
+
+    /// Streams the job's event log (chunked JSONL, returned assembled).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 when no events exist yet.
+    pub fn events(&self, id: &str) -> Result<String, ServeError> {
+        Ok(self
+            .expect_ok("GET", &format!("/jobs/{id}/events"), None)?
+            .body)
+    }
+
+    /// Cancels a queued or running job; returns the resulting wire state
+    /// (`cancelled` immediately for queued jobs, `cancelling` for
+    /// running ones).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 for unknown jobs.
+    pub fn cancel(&self, id: &str) -> Result<String, ServeError> {
+        let response = self.expect_ok("POST", &format!("/jobs/{id}/cancel"), None)?;
+        let v = json::parse_line(&response.body).map_err(ServeError::Protocol)?;
+        let obj = json::as_obj(&v).map_err(ServeError::Protocol)?;
+        json::get_str(obj, "status")
+            .map(str::to_owned)
+            .map_err(ServeError::Protocol)
+    }
+
+    /// Fetches the Prometheus metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn metrics(&self) -> Result<String, ServeError> {
+        Ok(self.expect_ok("GET", "/metrics", None)?.body)
+    }
+
+    /// Liveness probe; returns the `/healthz` JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn healthz(&self) -> Result<String, ServeError> {
+        Ok(self.expect_ok("GET", "/healthz", None)?.body)
+    }
+
+    /// Asks the daemon to drain: no new jobs, finish what is queued,
+    /// then exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn shutdown(&self) -> Result<(), ServeError> {
+        self.expect_ok("POST", "/shutdown", None).map(|_| ())
+    }
+}

@@ -1,0 +1,44 @@
+//! The service's error type.
+
+use std::fmt;
+
+/// Everything that can go wrong in the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A malformed job spec, daemon configuration or request.
+    Config(String),
+    /// An I/O failure (sockets, journal, job artifacts).
+    Io(String),
+    /// A server-side HTTP error response with its status code.
+    Http {
+        /// The HTTP status code of the response.
+        status: u16,
+        /// The response body text.
+        body: String,
+    },
+    /// A violated wire-protocol expectation (bad framing, bad JSON).
+    Protocol(String),
+    /// The operation was interrupted (daemon shut down, job cancelled).
+    Interrupted(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(m) => write!(f, "configuration error: {m}"),
+            ServeError::Io(m) => write!(f, "i/o error: {m}"),
+            ServeError::Http { status, body } => write!(f, "HTTP {status}: {body}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Interrupted(m) => write!(f, "interrupted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}

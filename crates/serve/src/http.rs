@@ -1,0 +1,289 @@
+//! A hand-rolled, std-only HTTP/1.1 subset.
+//!
+//! Just enough protocol for the campaign service: request line, headers
+//! and `Content-Length` bodies on the way in; fixed-length or chunked
+//! responses with `Connection: close` on the way out. No keep-alive, no
+//! TLS, no compression — the daemon serves a trusted lab network, and
+//! every exchange is one connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::error::ServeError;
+
+/// Upper bound on accepted request bodies (a job spec is < 1 KiB; this
+/// leaves two orders of magnitude of slack).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The HTTP method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path (query strings are not used by this API).
+    pub path: String,
+    /// The decoded body (empty without `Content-Length`).
+    pub body: String,
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed framing, [`ServeError::Io`] on
+/// socket errors.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("empty request line".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::Protocol("request line without a path".into()))?
+        .to_owned();
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ServeError::Protocol("bad Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8(body)
+            .map_err(|_| ServeError::Protocol("body is not UTF-8".into()))?,
+    })
+}
+
+/// The reason phrase of the status codes this API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response and closes the exchange.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on socket errors.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> Result<(), ServeError> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Writes a `Transfer-Encoding: chunked` response, one chunk per call to
+/// the returned writer, then finishes with the zero chunk.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on socket errors.
+pub fn respond_chunked<F>(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    mut fill: F,
+) -> Result<(), ServeError>
+where
+    F: FnMut(&mut dyn FnMut(&[u8]) -> std::io::Result<()>) -> std::io::Result<()>,
+{
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    {
+        let mut write_chunk = |chunk: &[u8]| -> std::io::Result<()> {
+            if chunk.is_empty() {
+                return Ok(()); // an empty chunk would terminate the stream
+            }
+            stream.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+            stream.write_all(chunk)?;
+            stream.write_all(b"\r\n")
+        };
+        fill(&mut write_chunk)?;
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// A client-side response: status plus fully-read body (chunked bodies
+/// are decoded transparently).
+#[derive(Debug)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The decoded body.
+    pub body: String,
+}
+
+/// Reads one response from `stream`.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed framing, [`ServeError::Io`] on
+/// socket errors.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, ServeError> {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServeError::Protocol(format!("bad status line {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| ServeError::Protocol(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                let mut trailer = String::new();
+                reader.read_line(&mut trailer)?; // the final CRLF
+                break;
+            }
+            let mut chunk = vec![0u8; size + 2]; // data + CRLF
+            reader.read_exact(&mut chunk)?;
+            chunk.truncate(size);
+            body.extend_from_slice(&chunk);
+        }
+    } else if let Some(n) = content_length {
+        body = vec![0u8; n];
+        reader.read_exact(&mut body)?;
+    } else {
+        // Connection: close delimits the body.
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(Response {
+        status,
+        body: String::from_utf8(body)
+            .map_err(|_| ServeError::Protocol("response body is not UTF-8".into()))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips one request/response pair over a real socket.
+    fn exchange(
+        serve: impl FnOnce(&mut TcpStream, Request) + Send + 'static,
+        request: &str,
+    ) -> Response {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            serve(&mut stream, req);
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(request.as_bytes()).unwrap();
+        let response = read_response(&mut client).unwrap();
+        server.join().unwrap();
+        response
+    }
+
+    #[test]
+    fn fixed_length_round_trip() {
+        let response = exchange(
+            |stream, req| {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/jobs");
+                assert_eq!(req.body, "{\"x\":1}");
+                respond(stream, 202, "application/json", "{\"ok\":true}").unwrap();
+            },
+            "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"x\":1}",
+        );
+        assert_eq!(response.status, 202);
+        assert_eq!(response.body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let response = exchange(
+            |stream, _req| {
+                respond_chunked(stream, 200, "application/jsonl", |write| {
+                    write(b"{\"line\":1}\n")?;
+                    write(b"")?; // empty chunks are skipped, not terminators
+                    write(b"{\"line\":2}\n")
+                })
+                .unwrap();
+            },
+            "GET /jobs/job-000001/events HTTP/1.1\r\n\r\n",
+        );
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "{\"line\":1}\n{\"line\":2}\n");
+    }
+}

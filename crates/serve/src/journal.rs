@@ -1,0 +1,385 @@
+//! The crash-safe job-state journal.
+//!
+//! One append-only JSONL file (`journal.jsonl` in the daemon's data
+//! directory) records every job transition, in the same spirit as the
+//! campaign checkpoint: a versioned header line, one self-contained JSON
+//! line per transition, flushed per append, and a *torn final line is
+//! tolerated* on replay — a daemon killed mid-write restarts cleanly.
+//!
+//! Replay folds the lines into the latest state per job. Jobs whose last
+//! state is `submitted` or `running` were in flight when the previous
+//! daemon died; the restarted daemon re-enqueues them, and the campaign
+//! checkpoint inside the job directory takes care of not re-running
+//! injection indices that already finished.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use radcrit_obs::json;
+
+use crate::error::ServeError;
+use crate::spec::{JobSpec, Priority};
+
+/// Journal format version accepted by this build.
+pub const JOURNAL_VERSION: usize = 1;
+
+/// One job-state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and queued.
+    Submitted,
+    /// Claimed by a worker.
+    Running,
+    /// Finished; `result.json` exists.
+    Done,
+    /// Failed with an error message.
+    Failed(String),
+    /// Cancelled by a client.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of the state.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            JobState::Submitted => "submitted",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the state is terminal (the job will never run again).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed(_) | JobState::Cancelled
+        )
+    }
+}
+
+/// A job reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// The job id (`job-NNNNNN`).
+    pub id: String,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Queue priority.
+    pub priority: Priority,
+    /// The job's latest journaled state.
+    pub state: JobState,
+}
+
+/// Append handle over the journal file.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` and replays it.
+    ///
+    /// Returns the handle positioned for appending plus every job seen,
+    /// in first-submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem problems, [`ServeError::Protocol`]
+    /// when an interior line (not the torn tail) is damaged or the header
+    /// version is unknown.
+    pub fn open(path: &Path) -> Result<(Self, Vec<ReplayedJob>), ServeError> {
+        let io = |e: std::io::Error| ServeError::Io(format!("journal {}: {e}", path.display()));
+        let mut text = String::new();
+        let existed = match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text).map_err(io)?;
+                true
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(io(e)),
+        };
+        if !text.is_empty() && !text.ends_with('\n') {
+            // Drop the torn tail (a kill mid-write) so the next append
+            // starts on a clean line and later replays never see the
+            // damaged fragment as a "complete" record.
+            let keep = text.rfind('\n').map_or(0, |i| i + 1);
+            OpenOptions::new()
+                .write(true)
+                .open(path)
+                .and_then(|f| f.set_len(keep as u64))
+                .map_err(io)?;
+            text.truncate(keep);
+        }
+        let jobs = if existed {
+            replay(&text, path)?
+        } else {
+            Vec::new()
+        };
+
+        let mut writer = BufWriter::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(io)?,
+        );
+        if !existed || text.is_empty() {
+            writeln!(writer, "{{\"radcrit_job_journal\":{JOURNAL_VERSION}}}").map_err(io)?;
+            writer.flush().map_err(io)?;
+        }
+        Ok((
+            Journal {
+                writer,
+                path: path.to_owned(),
+            },
+            jobs,
+        ))
+    }
+
+    /// Appends one transition and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the write fails.
+    pub fn append(
+        &mut self,
+        id: &str,
+        state: &JobState,
+        submission: Option<(&JobSpec, Priority)>,
+    ) -> Result<(), ServeError> {
+        let mut line = format!(
+            "{{\"job\":\"{}\",\"state\":\"{}\"",
+            json::escape(id),
+            state.wire_name()
+        );
+        if let JobState::Failed(error) = state {
+            line.push_str(&format!(",\"error\":\"{}\"", json::escape(error)));
+        }
+        if let Some((spec, priority)) = submission {
+            line.push_str(&format!(
+                ",\"priority\":\"{}\",\"spec\":{}",
+                priority.wire_name(),
+                spec.to_json()
+            ));
+        }
+        line.push('}');
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| ServeError::Io(format!("journal {}: {e}", self.path.display())))
+    }
+}
+
+/// Folds journal text into per-job latest states. The final line may be
+/// torn (kill mid-write) and is then ignored; damage anywhere else is an
+/// error.
+fn replay(text: &str, path: &Path) -> Result<Vec<ReplayedJob>, ServeError> {
+    let corrupt = |line_no: usize, m: String| {
+        ServeError::Protocol(format!("journal {} line {line_no}: {m}", path.display()))
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let complete = if text.ends_with('\n') {
+        lines.len()
+    } else {
+        lines.len().saturating_sub(1)
+    };
+
+    let mut jobs: Vec<ReplayedJob> = Vec::new();
+    for (i, line) in lines.iter().take(complete).enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // The unterminated tail was already excluded from `complete`;
+        // every remaining line is a full record and must parse.
+        let v = json::parse_line(line).map_err(|m| corrupt(i + 1, m))?;
+        let obj = json::as_obj(&v).map_err(|m| corrupt(i + 1, m))?;
+        if let Ok(version) = json::get_usize(obj, "radcrit_job_journal") {
+            if version != JOURNAL_VERSION {
+                return Err(corrupt(
+                    i + 1,
+                    format!("unsupported journal version {version}"),
+                ));
+            }
+            continue;
+        }
+        let id = json::get_str(obj, "job").map_err(|m| corrupt(i + 1, m))?;
+        let state = match json::get_str(obj, "state").map_err(|m| corrupt(i + 1, m))? {
+            "submitted" => JobState::Submitted,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed(
+                json::get_str(obj, "error")
+                    .map(str::to_owned)
+                    .unwrap_or_else(|_| "unknown error".to_owned()),
+            ),
+            "cancelled" => JobState::Cancelled,
+            other => return Err(corrupt(i + 1, format!("unknown state {other:?}"))),
+        };
+        match jobs.iter_mut().find(|j| j.id == id) {
+            Some(job) => job.state = state,
+            None => {
+                let spec_value = json::get(obj, "spec").map_err(|m| corrupt(i + 1, m))?;
+                let spec =
+                    JobSpec::from_value(spec_value).map_err(|e| corrupt(i + 1, e.to_string()))?;
+                let priority = json::get_str(obj, "priority")
+                    .ok()
+                    .map_or(Ok(Priority::Normal), Priority::from_wire)
+                    .map_err(|e| corrupt(i + 1, e.to_string()))?;
+                jobs.push(ReplayedJob {
+                    id: id.to_owned(),
+                    spec,
+                    priority,
+                    state,
+                });
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+/// The numeric suffix of `job-NNNNNN` ids, for allocating the next one.
+pub fn job_number(id: &str) -> Option<u64> {
+    id.strip_prefix("job-")?.parse().ok()
+}
+
+/// Renders a job id from its number.
+pub fn job_id(number: u64) -> String {
+    format!("job-{number:06}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radcrit_campaign::KernelSpec;
+
+    use crate::spec::DeviceKind;
+
+    fn temp(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "radcrit-journal-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::new(DeviceKind::K40, KernelSpec::Dgemm { n: 32 }, 10, 7)
+    }
+
+    #[test]
+    fn transitions_fold_to_latest_state() {
+        let path = temp("fold");
+        {
+            let (mut j, replayed) = Journal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            j.append(
+                "job-000001",
+                &JobState::Submitted,
+                Some((&spec(), Priority::High)),
+            )
+            .unwrap();
+            j.append(
+                "job-000002",
+                &JobState::Submitted,
+                Some((&spec(), Priority::Low)),
+            )
+            .unwrap();
+            j.append("job-000001", &JobState::Running, None).unwrap();
+            j.append("job-000001", &JobState::Done, None).unwrap();
+        }
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].id, "job-000001");
+        assert_eq!(replayed[0].state, JobState::Done);
+        assert_eq!(replayed[0].priority, Priority::High);
+        assert_eq!(replayed[0].spec, spec());
+        assert_eq!(replayed[1].state, JobState::Submitted);
+        assert_eq!(replayed[1].priority, Priority::Low);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_terminated() {
+        let path = temp("torn");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(
+                "job-000001",
+                &JobState::Submitted,
+                Some((&spec(), Priority::Normal)),
+            )
+            .unwrap();
+            j.append("job-000001", &JobState::Running, None).unwrap();
+        }
+        // Simulate a kill mid-write: append half a line without newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"job\":\"job-0000").unwrap();
+        drop(f);
+
+        let (mut j, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].state, JobState::Running, "tail ignored");
+        // The journal still appends cleanly after the torn tail.
+        j.append("job-000001", &JobState::Done, None).unwrap();
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed[0].state, JobState::Done);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_damage_is_an_error() {
+        let path = temp("damage");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(
+                "job-000001",
+                &JobState::Submitted,
+                Some((&spec(), Priority::Normal)),
+            )
+            .unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("submitted", "sub\"bad")).unwrap();
+        assert!(matches!(Journal::open(&path), Err(ServeError::Protocol(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_state_round_trips_its_message() {
+        let path = temp("failed");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(
+                "job-000001",
+                &JobState::Submitted,
+                Some((&spec(), Priority::Normal)),
+            )
+            .unwrap();
+            j.append(
+                "job-000001",
+                &JobState::Failed("strike \"x\" out of range".into()),
+                None,
+            )
+            .unwrap();
+        }
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(
+            replayed[0].state,
+            JobState::Failed("strike \"x\" out of range".into())
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn job_id_numbering() {
+        assert_eq!(job_id(7), "job-000007");
+        assert_eq!(job_number("job-000007"), Some(7));
+        assert_eq!(job_number("job-1000000"), Some(1_000_000));
+        assert_eq!(job_number("nope"), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! `radcrit-serve` — the long-running campaign service.
+//!
+//! Turns the one-shot campaign runner into a daemon: injection
+//! campaigns are submitted as jobs over a std-only HTTP/1.1 API, run on
+//! a persistent worker pool that shares a [`GoldenCache`] across jobs,
+//! and survive crashes through a job-state journal plus the per-job
+//! campaign checkpoints introduced in earlier PRs.
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /jobs` | submit a [`JobSpec`]; `202` + id, `429` full, `503` draining |
+//! | `GET /jobs/:id` | job state |
+//! | `GET /jobs/:id/result` | canonical summary JSON once done |
+//! | `GET /jobs/:id/events` | chunked JSONL event stream |
+//! | `POST /jobs/:id/cancel` | cancel queued/running job |
+//! | `GET /metrics` | Prometheus exposition |
+//! | `GET /healthz` | liveness |
+//! | `POST /shutdown` | graceful drain |
+//!
+//! The crate also owns the `radcrit-campaign` binary (daemon + client +
+//! one-shot subcommands), moved here so the service and CLI share one
+//! spec-to-[`Campaign`](radcrit_campaign::Campaign) construction path.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod client;
+pub mod daemon;
+pub mod error;
+pub mod http;
+pub mod journal;
+pub mod queue;
+pub mod spec;
+
+pub use client::{Client, JobStatus};
+pub use daemon::{start, DaemonConfig, DaemonHandle};
+pub use error::ServeError;
+pub use journal::{JobState, Journal};
+pub use queue::{JobQueue, PushError};
+pub use spec::{DeviceKind, JobSpec, Priority};
+
+// Re-exported so service consumers can size the shared cache without
+// depending on the campaign crate directly.
+pub use radcrit_campaign::{GoldenCache, GoldenCacheStats};
