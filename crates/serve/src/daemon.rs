@@ -171,9 +171,10 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, ServeError> {
             // The campaign checkpoint replays finished indices, so the
             // rerun only computes what is missing.
             JobState::Submitted | JobState::Running => {
-                queue
-                    .push(&job.id, job.priority)
-                    .expect("fresh queue cannot be full or closed");
+                // Unbounded on purpose: up to queue_depth + pool jobs can
+                // be non-terminal at crash time (and this restart may use
+                // a smaller depth); already-accepted work is never shed.
+                queue.push_unbounded(&job.id, job.priority);
                 outstanding += 1;
                 JobState::Submitted
             }
@@ -457,22 +458,41 @@ fn post_job(core: &Arc<Core>, stream: &mut TcpStream, body: &str) -> Result<(), 
         },
     );
     core.outstanding.fetch_add(1, Ordering::SeqCst);
+    // The Submitted record (the only one carrying the spec) must hit the
+    // journal *before* the id becomes poppable: an idle worker claims a
+    // pushed job immediately and appends its Running record, and replay
+    // needs the spec-bearing record first. A refused push is compensated
+    // below with a terminal Cancelled record.
+    journal_append(
+        core,
+        &id,
+        &JobState::Submitted,
+        Some((&spec, spec.priority)),
+    );
     match core.queue.push(&id, spec.priority) {
         Ok(()) => {
-            journal_append(
-                core,
-                &id,
-                &JobState::Submitted,
-                Some((&spec, spec.priority)),
-            );
             core.metrics
                 .counter_add("radcrit_serve_jobs_submitted_total", &[], 1);
             let body = format!("{{\"job\":\"{id}\",\"status\":\"submitted\"}}");
             respond(stream, 202, "application/json", &body)
         }
         Err(refusal) => {
-            core.jobs.lock().expect("jobs lock").remove(&id);
-            core.outstanding.fetch_sub(1, Ordering::SeqCst);
+            // Only unwind if a concurrent cancel has not already turned
+            // the entry terminal (it journals and decrements itself).
+            let still_submitted = {
+                let mut jobs = core.jobs.lock().expect("jobs lock");
+                match jobs.get(&id) {
+                    Some(e) if e.state == JobState::Submitted => {
+                        jobs.remove(&id);
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if still_submitted {
+                journal_append(core, &id, &JobState::Cancelled, None);
+                core.outstanding.fetch_sub(1, Ordering::SeqCst);
+            }
             let (status, error) = match refusal {
                 PushError::Full => (429, "queue full: retry later"),
                 PushError::Closed => (503, "draining: the daemon is shutting down"),

@@ -15,6 +15,45 @@ use crate::error::ServeError;
 /// leaves two orders of magnitude of slack).
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
+/// Upper bound on the request line + header section combined. This API
+/// uses no interesting headers, so 16 KiB is generous; the cap keeps one
+/// slow or malicious connection from holding a handler thread while
+/// growing an unbounded header buffer.
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// Reads one `\n`-terminated line from `reader`, charging its bytes
+/// against `budget`.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when the head section would exceed
+/// [`MAX_HEAD_BYTES`], [`ServeError::Io`] on socket errors.
+fn read_head_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, ServeError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            break; // EOF terminates the line
+        }
+        let (take, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(at) => (at + 1, true),
+            None => (buf.len(), false),
+        };
+        if take > *budget {
+            return Err(ServeError::Protocol(format!(
+                "request head exceeds the {MAX_HEAD_BYTES} byte limit"
+            )));
+        }
+        *budget -= take;
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if done {
+            break;
+        }
+    }
+    String::from_utf8(line).map_err(|_| ServeError::Protocol("head is not UTF-8".into()))
+}
+
 /// One parsed request.
 #[derive(Debug)]
 pub struct Request {
@@ -34,8 +73,8 @@ pub struct Request {
 /// socket errors.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    let mut head_budget = MAX_HEAD_BYTES;
+    let request_line = read_head_line(&mut reader, &mut head_budget)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -48,8 +87,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
 
     let mut content_length = 0usize;
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
+        let line = read_head_line(&mut reader, &mut head_budget)?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -268,6 +306,29 @@ mod tests {
         );
         assert_eq!(response.status, 202);
         assert_eq!(response.body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_not_buffered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            read_request(&mut stream)
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        // One header line far past MAX_HEAD_BYTES, never newline-terminated:
+        // the server must give up at the cap instead of buffering it all.
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\nX-Pad: ")
+            .unwrap();
+        let pad = vec![b'a'; 2 * MAX_HEAD_BYTES];
+        let _ = client.write_all(&pad); // the server may close mid-write
+        let result = server.join().unwrap();
+        assert!(
+            matches!(result, Err(ServeError::Protocol(ref m)) if m.contains("head")),
+            "expected a head-limit protocol error, got {result:?}"
+        );
     }
 
     #[test]

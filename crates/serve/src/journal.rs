@@ -12,6 +12,7 @@
 //! checkpoint inside the job directory takes care of not re-running
 //! injection indices that already finished.
 
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
@@ -120,6 +121,17 @@ impl Journal {
             Vec::new()
         };
 
+        // Compact a journal that has accumulated many transitions per
+        // job: rewrite it as one spec-bearing record per job at its
+        // latest state. Without this, the append-only file grows without
+        // bound and every restart replays the full history.
+        let lines = text.lines().count();
+        let mut compacted = false;
+        if lines > jobs.len() * COMPACT_FACTOR + COMPACT_SLACK {
+            compact(path, &jobs).map_err(io)?;
+            compacted = true;
+        }
+
         let mut writer = BufWriter::new(
             OpenOptions::new()
                 .create(true)
@@ -127,7 +139,7 @@ impl Journal {
                 .open(path)
                 .map_err(io)?,
         );
-        if !existed || text.is_empty() {
+        if (!existed || text.is_empty()) && !compacted {
             writeln!(writer, "{{\"radcrit_job_journal\":{JOURNAL_VERSION}}}").map_err(io)?;
             writer.flush().map_err(io)?;
         }
@@ -151,31 +163,72 @@ impl Journal {
         state: &JobState,
         submission: Option<(&JobSpec, Priority)>,
     ) -> Result<(), ServeError> {
-        let mut line = format!(
-            "{{\"job\":\"{}\",\"state\":\"{}\"",
-            json::escape(id),
-            state.wire_name()
-        );
-        if let JobState::Failed(error) = state {
-            line.push_str(&format!(",\"error\":\"{}\"", json::escape(error)));
-        }
-        if let Some((spec, priority)) = submission {
-            line.push_str(&format!(
-                ",\"priority\":\"{}\",\"spec\":{}",
-                priority.wire_name(),
-                spec.to_json()
-            ));
-        }
-        line.push('}');
-        writeln!(self.writer, "{line}")
+        writeln!(self.writer, "{}", render_line(id, state, submission))
             .and_then(|()| self.writer.flush())
             .map_err(|e| ServeError::Io(format!("journal {}: {e}", self.path.display())))
     }
 }
 
+/// Renders one journal record.
+fn render_line(id: &str, state: &JobState, submission: Option<(&JobSpec, Priority)>) -> String {
+    let mut line = format!(
+        "{{\"job\":\"{}\",\"state\":\"{}\"",
+        json::escape(id),
+        state.wire_name()
+    );
+    if let JobState::Failed(error) = state {
+        line.push_str(&format!(",\"error\":\"{}\"", json::escape(error)));
+    }
+    if let Some((spec, priority)) = submission {
+        line.push_str(&format!(
+            ",\"priority\":\"{}\",\"spec\":{}",
+            priority.wire_name(),
+            spec.to_json()
+        ));
+    }
+    line.push('}');
+    line
+}
+
+/// Compaction kicks in when the journal holds more than
+/// `jobs * COMPACT_FACTOR + COMPACT_SLACK` lines — roughly "several
+/// transitions of history per job", so steady-state daemons rewrite the
+/// file rarely and small journals never.
+const COMPACT_FACTOR: usize = 4;
+const COMPACT_SLACK: usize = 16;
+
+/// Rewrites the journal as one record per job (its latest state, with
+/// spec and priority) via a temp file + atomic rename, so a crash during
+/// compaction leaves either the old or the new journal, never a mix.
+fn compact(path: &Path, jobs: &[ReplayedJob]) -> std::io::Result<()> {
+    let tmp = path.with_extension("jsonl.compact");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        writeln!(w, "{{\"radcrit_job_journal\":{JOURNAL_VERSION}}}")?;
+        for job in jobs {
+            writeln!(
+                w,
+                "{}",
+                render_line(&job.id, &job.state, Some((&job.spec, job.priority)))
+            )?;
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// Folds journal text into per-job latest states. The final line may be
 /// torn (kill mid-write) and is then ignored; damage anywhere else is an
 /// error.
+///
+/// A state record *preceding* the submission record of its id is
+/// tolerated: the concurrent submit/cancel paths serialize journal
+/// appends so the spec-bearing record lands first, but journals written
+/// by older daemons (which pushed before journaling) can hold a worker's
+/// `running` line ahead of the `submitted` one. Such an orphan state
+/// wins over the later submission record's state — it was appended by a
+/// worker or cancel that acted *after* the submission. An orphan whose
+/// spec record never arrives is dropped (it cannot be run).
 fn replay(text: &str, path: &Path) -> Result<Vec<ReplayedJob>, ServeError> {
     let corrupt = |line_no: usize, m: String| {
         ServeError::Protocol(format!("journal {} line {line_no}: {m}", path.display()))
@@ -188,6 +241,11 @@ fn replay(text: &str, path: &Path) -> Result<Vec<ReplayedJob>, ServeError> {
     };
 
     let mut jobs: Vec<ReplayedJob> = Vec::new();
+    // Index into `jobs` so replay stays O(lines) while keeping
+    // first-submission order in the Vec itself.
+    let mut by_id: HashMap<String, usize> = HashMap::new();
+    // States seen before their id's submission record (see above).
+    let mut orphans: HashMap<String, JobState> = HashMap::new();
     for (i, line) in lines.iter().take(complete).enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -218,23 +276,29 @@ fn replay(text: &str, path: &Path) -> Result<Vec<ReplayedJob>, ServeError> {
             "cancelled" => JobState::Cancelled,
             other => return Err(corrupt(i + 1, format!("unknown state {other:?}"))),
         };
-        match jobs.iter_mut().find(|j| j.id == id) {
-            Some(job) => job.state = state,
-            None => {
-                let spec_value = json::get(obj, "spec").map_err(|m| corrupt(i + 1, m))?;
-                let spec =
-                    JobSpec::from_value(spec_value).map_err(|e| corrupt(i + 1, e.to_string()))?;
-                let priority = json::get_str(obj, "priority")
-                    .ok()
-                    .map_or(Ok(Priority::Normal), Priority::from_wire)
-                    .map_err(|e| corrupt(i + 1, e.to_string()))?;
-                jobs.push(ReplayedJob {
-                    id: id.to_owned(),
-                    spec,
-                    priority,
-                    state,
-                });
-            }
+        match by_id.get(id) {
+            Some(&at) => jobs[at].state = state,
+            None => match json::get(obj, "spec") {
+                Ok(spec_value) => {
+                    let spec = JobSpec::from_value(spec_value)
+                        .map_err(|e| corrupt(i + 1, e.to_string()))?;
+                    let priority = json::get_str(obj, "priority")
+                        .ok()
+                        .map_or(Ok(Priority::Normal), Priority::from_wire)
+                        .map_err(|e| corrupt(i + 1, e.to_string()))?;
+                    by_id.insert(id.to_owned(), jobs.len());
+                    jobs.push(ReplayedJob {
+                        id: id.to_owned(),
+                        spec,
+                        priority,
+                        // The orphan acted after the submission: it wins.
+                        state: orphans.remove(id).unwrap_or(state),
+                    });
+                }
+                Err(_) => {
+                    orphans.insert(id.to_owned(), state);
+                }
+            },
         }
     }
     Ok(jobs)
@@ -328,6 +392,84 @@ mod tests {
         drop(j);
         let (_, replayed) = Journal::open(&path).unwrap();
         assert_eq!(replayed[0].state, JobState::Done);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_record_before_submission_is_tolerated() {
+        // Journals written by older daemons (push before journal) can
+        // hold a worker's `running` line ahead of the spec-bearing
+        // `submitted` one; replay must not refuse to start over it.
+        let path = temp("orphan");
+        let spec_json = spec().to_json();
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"radcrit_job_journal\":{JOURNAL_VERSION}}}\n\
+                 {{\"job\":\"job-000001\",\"state\":\"running\"}}\n\
+                 {{\"job\":\"job-000001\",\"state\":\"submitted\",\
+                   \"priority\":\"high\",\"spec\":{spec_json}}}\n\
+                 {{\"job\":\"job-000002\",\"state\":\"running\"}}\n"
+            ),
+        )
+        .unwrap();
+        let (_, replayed) = Journal::open(&path).unwrap();
+        // The orphan state wins (the worker acted after the submission),
+        // and an orphan whose spec never arrives is dropped.
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].id, "job-000001");
+        assert_eq!(replayed[0].state, JobState::Running);
+        assert_eq!(replayed[0].priority, Priority::High);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn long_journals_compact_to_one_line_per_job() {
+        let path = temp("compact");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for n in 1..=4u64 {
+                j.append(
+                    &job_id(n),
+                    &JobState::Submitted,
+                    Some((&spec(), Priority::Normal)),
+                )
+                .unwrap();
+            }
+            // Churn well past the compaction threshold.
+            for _ in 0..20 {
+                for n in 1..=4u64 {
+                    j.append(&job_id(n), &JobState::Running, None).unwrap();
+                    j.append(&job_id(n), &JobState::Submitted, None).unwrap();
+                }
+            }
+            for n in 1..=3u64 {
+                j.append(&job_id(n), &JobState::Done, None).unwrap();
+            }
+            j.append(&job_id(4), &JobState::Failed("boom".into()), None)
+                .unwrap();
+        }
+        let before = std::fs::read_to_string(&path).unwrap().lines().count();
+        let (mut j, replayed) = Journal::open(&path).unwrap();
+        let after = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert_eq!(after, 1 + 4, "header plus one line per job, had {before}");
+        assert_eq!(replayed.len(), 4);
+        // The compacted journal replays identically and still appends.
+        assert_eq!(replayed[2].state, JobState::Done);
+        assert_eq!(replayed[3].state, JobState::Failed("boom".into()));
+        j.append(
+            &job_id(5),
+            &JobState::Submitted,
+            Some((&spec(), Priority::Low)),
+        )
+        .unwrap();
+        drop(j);
+        let (_, replayed) = Journal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 5);
+        assert_eq!(replayed[0].state, JobState::Done);
+        assert_eq!(replayed[0].spec, spec());
+        assert_eq!(replayed[4].state, JobState::Submitted);
+        assert_eq!(replayed[4].priority, Priority::Low);
         std::fs::remove_file(&path).ok();
     }
 

@@ -72,6 +72,22 @@ impl JobQueue {
         Ok(())
     }
 
+    /// Enqueues `id` at `priority`, ignoring the depth bound.
+    ///
+    /// Only for journal replay at daemon start: the previous daemon may
+    /// have died with `depth` jobs queued *plus* one per worker running
+    /// (or the restart may use a smaller `--queue-depth`), so the number
+    /// of legitimately in-flight jobs can exceed the bound. The bound
+    /// exists for backpressure on *new* submissions; already-accepted
+    /// jobs must never be refused on resume.
+    pub fn push_unbounded(&self, id: &str, priority: Priority) {
+        let mut s = self.state.lock().expect("queue lock");
+        let seq = s.seq;
+        s.seq += 1;
+        s.ready.push_back((priority, seq, id.to_owned()));
+        self.available.notify_one();
+    }
+
     /// Blocks until a job is ready (highest priority first, FIFO within
     /// a priority) or the queue is closed *and* empty (`None`).
     pub fn pop(&self) -> Option<String> {
@@ -169,6 +185,19 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(30));
         q2.close();
         assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn push_unbounded_ignores_the_depth_bound() {
+        let q = JobQueue::new(1);
+        q.push("a", Priority::Normal).unwrap();
+        assert_eq!(q.push("b", Priority::Normal), Err(PushError::Full));
+        // Journal replay must be able to re-enqueue past the bound.
+        q.push_unbounded("b", Priority::Normal);
+        q.push_unbounded("c", Priority::High);
+        assert_eq!(q.len(), 3);
+        let order: Vec<String> = (0..3).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, ["c", "a", "b"]);
     }
 
     #[test]

@@ -230,6 +230,49 @@ fn abrupt_stop_then_restart_resumes_without_duplicate_indices() {
 }
 
 #[test]
+fn restart_resumes_more_inflight_jobs_than_the_queue_depth() {
+    // At crash time up to queue_depth + pool jobs are non-terminal, and
+    // a restart may even use a smaller --queue-depth; replay must
+    // re-enqueue all of them rather than panic on a full queue.
+    let dir = temp_dir("replay-depth");
+    std::fs::create_dir_all(dir.join("jobs")).unwrap();
+    let journal_path = dir.join("journal.jsonl");
+    let specs: Vec<JobSpec> = (0..4)
+        .map(|i| dgemm_spec(32, 5 + i, 60 + i as u64))
+        .collect();
+    {
+        let (mut journal, _) = radcrit_serve::Journal::open(&journal_path).unwrap();
+        for (i, spec) in specs.iter().enumerate() {
+            journal
+                .append(
+                    &radcrit_serve::journal::job_id(i as u64 + 1),
+                    &radcrit_serve::JobState::Submitted,
+                    Some((spec, spec.priority)),
+                )
+                .unwrap();
+        }
+    }
+
+    let handle = daemon::start(DaemonConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: dir.clone(),
+        pool: 2,
+        queue_depth: 1, // smaller than the 4 journaled in-flight jobs
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let client = Client::new(handle.addr().to_string());
+    for i in 0..specs.len() as u64 {
+        let id = radcrit_serve::journal::job_id(i + 1);
+        let status = client.wait(&id, POLL, WAIT).unwrap();
+        assert_eq!(status.state, "done", "{id}: {:?}", status.error);
+    }
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn backpressure_and_draining_refuse_new_jobs() {
     let dir = temp_dir("backpressure");
     let handle = daemon::start(DaemonConfig {
