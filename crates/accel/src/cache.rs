@@ -159,6 +159,36 @@ impl SetAssocCache {
         (line % self.geom.sets() as u64) as usize
     }
 
+    /// Approximate heap bytes of the current state, for snapshot byte
+    /// accounting. Counts set vectors, resident entries and pending
+    /// flips; constant per-struct overheads are ignored.
+    fn approx_heap_bytes(&self) -> usize {
+        let entries: usize = self.sets.iter().map(Vec::len).sum();
+        let flips: usize = self
+            .flips
+            .values()
+            .map(|v| 48 + v.len() * std::mem::size_of::<Flip>())
+            .sum();
+        self.sets.len() * std::mem::size_of::<Vec<Entry>>()
+            + entries * std::mem::size_of::<Entry>()
+            + flips
+    }
+
+    /// Makes `self` state-identical to `src`, reusing existing heap
+    /// allocations (`Vec::clone_from` keeps buffers, `HashMap` keeps its
+    /// table) — the hot path of snapshot resume, where a fresh `clone`
+    /// per injection would re-allocate every set vector.
+    fn restore_from(&mut self, src: &SetAssocCache) {
+        self.geom = src.geom;
+        self.sets.clone_from(&src.sets);
+        self.flips.clone_from(&src.flips);
+        self.tick = src.tick;
+        self.hits = src.hits;
+        self.misses = src.misses;
+        self.resident = src.resident;
+        self.track_dirty = src.track_dirty;
+    }
+
     /// Touches `line`; returns the evicted line's `(line, dirty, flips)`
     /// if an eviction happened.
     fn touch(&mut self, line: u64, write: bool) -> Option<(u64, bool, Vec<Flip>)> {
@@ -350,9 +380,58 @@ impl CacheHierarchy {
         !self.corrupted_watch.is_empty() && self.corrupted_watch.contains(&line)
     }
 
+    /// Element-index ranges of the access span `[byte_addr, byte_addr +
+    /// len)` (8-byte elements, `byte_addr` element-aligned) that lie on
+    /// ever-struck lines. Everything outside the returned ranges is
+    /// guaranteed corruption-free, so bulk accesses only pay per-element
+    /// corruption checks on the handful of elements sharing a line with
+    /// a strike — the watch list holds at most one entry per strike.
+    pub fn corrupted_elem_ranges(&self, byte_addr: usize, len: usize) -> Vec<(usize, usize)> {
+        if self.corrupted_watch.is_empty() || len == 0 {
+            return Vec::new();
+        }
+        let end = byte_addr + len;
+        let mut out = Vec::new();
+        for &line in &self.corrupted_watch {
+            let line_start = line as usize * self.line_bytes;
+            let lo = line_start.max(byte_addr);
+            let hi = (line_start + self.line_bytes).min(end);
+            if lo < hi {
+                out.push(((lo - byte_addr) / 8, (hi - byte_addr).div_ceil(8)));
+            }
+        }
+        out
+    }
+
     /// The uniform line size in bytes.
     pub fn line_bytes(&self) -> usize {
         self.line_bytes
+    }
+
+    /// Approximate heap footprint of the hierarchy's current state, used
+    /// to account a cloned hierarchy against a snapshot byte budget.
+    pub(crate) fn approx_heap_bytes(&self) -> usize {
+        self.l1
+            .iter()
+            .map(SetAssocCache::approx_heap_bytes)
+            .sum::<usize>()
+            + self.l2.approx_heap_bytes()
+            + self.corrupted_watch.len() * 8
+    }
+
+    /// Makes `self` state-identical to `src`, reusing heap allocations
+    /// where layouts agree (see [`SetAssocCache::restore_from`]).
+    pub(crate) fn restore_from(&mut self, src: &CacheHierarchy) {
+        if self.l1.len() == src.l1.len() {
+            for (dst, s) in self.l1.iter_mut().zip(&src.l1) {
+                dst.restore_from(s);
+            }
+        } else {
+            self.l1.clone_from(&src.l1);
+        }
+        self.l2.restore_from(&src.l2);
+        self.line_bytes = src.line_bytes;
+        self.corrupted_watch.clone_from(&src.corrupted_watch);
     }
 
     fn line_of(&self, byte_addr: usize) -> u64 {

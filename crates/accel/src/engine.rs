@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use rand::Rng;
 
+use radcrit_core::DirtyRegion;
 use radcrit_obs::MetricsRegistry;
 
 use crate::cache::CacheHierarchy;
@@ -19,8 +20,11 @@ use crate::config::DeviceConfig;
 use crate::error::AccelError;
 use crate::memory::DeviceMemory;
 use crate::profile::ExecutionProfile;
-use crate::program::{apply_writebacks, MachineCounters, TileCtx, TileFault, TileId, TiledProgram};
+use crate::program::{
+    apply_writebacks, MachineCounters, StoreLog, TileCtx, TileFault, TileId, TiledProgram,
+};
 use crate::scheduler::DispatchPlan;
+use crate::snapshot::{EngineSnapshot, SnapshotPolicy, SnapshotSet};
 use crate::strike::{SchedulerEffect, StrikeSpec, StrikeTarget};
 use crate::trace::{ExecutionTrace, TileTrace};
 
@@ -42,6 +46,77 @@ pub struct RunOutcome {
     /// How each strike was resolved against live machine state, in
     /// delivery order (empty for golden runs).
     pub resolutions: Vec<StrikeResolution>,
+    /// For differential (snapshot-resumed) runs: the output elements
+    /// that could differ from the golden output — everything outside is
+    /// bit-equal by the resume invariant. `None` for full runs.
+    pub dirty: Option<DirtyRegion>,
+}
+
+/// Reusable per-worker state for repeated injections of one program on
+/// one engine: the post-setup memory template (so `setup` runs once, not
+/// per injection) and the previous run's memory image (so buffers are
+/// restored in place instead of reallocated).
+///
+/// A scratch is only valid for the `(engine, program)` pair it was first
+/// used with; use a fresh one per campaign worker.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    template: Option<DeviceMemory>,
+    spare: Option<DeviceMemory>,
+    spare_caches: Option<CacheHierarchy>,
+}
+
+impl RunScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        RunScratch::default()
+    }
+
+    /// Runs `program.setup` once to populate the template (and the
+    /// program's buffer ids).
+    fn ensure_template<P: TiledProgram + ?Sized>(
+        &mut self,
+        program: &mut P,
+    ) -> Result<(), AccelError> {
+        if self.template.is_none() {
+            let mut m = DeviceMemory::new();
+            program.setup(&mut m)?;
+            self.template = Some(m);
+        }
+        Ok(())
+    }
+
+    /// An owned memory image equal to the template, reusing the spare
+    /// allocation from the previous run when available.
+    fn image_of_template(&mut self) -> DeviceMemory {
+        let RunScratch {
+            template, spare, ..
+        } = self;
+        let t = template.as_ref().expect("ensure_template ran");
+        Self::fill(spare, t)
+    }
+
+    fn fill(spare: &mut Option<DeviceMemory>, src: &DeviceMemory) -> DeviceMemory {
+        match spare.take() {
+            Some(mut m) => {
+                m.restore_from(src);
+                m
+            }
+            None => src.clone(),
+        }
+    }
+
+    /// An owned cache hierarchy equal to `src`, reusing the previous
+    /// run's allocations (set vectors, flip tables) when available.
+    fn caches_of(&mut self, src: &CacheHierarchy) -> CacheHierarchy {
+        match self.spare_caches.take() {
+            Some(mut c) => {
+                c.restore_from(src);
+                c
+            }
+            None => src.clone(),
+        }
+    }
 }
 
 /// How one strike was resolved against live machine state — the piece of
@@ -114,7 +189,34 @@ impl Engine {
     ) -> Result<RunOutcome, AccelError> {
         // The RNG is never consulted without a strike.
         let mut rng = NoRng;
-        self.run_internal(program, &[], &mut rng, None)
+        Ok(self
+            .run_internal(program, RunRequest::plain(&[]), &mut rng, None)?
+            .0)
+    }
+
+    /// Like [`Engine::golden`], but additionally captures golden-prefix
+    /// machine snapshots per `policy` for later differential injection
+    /// runs (see [`Engine::run_from`]). The returned outcome is
+    /// bit-identical to a plain golden run; the [`SnapshotSet`] is empty
+    /// when the program is not [`TiledProgram::resumable`] or the byte
+    /// budget admits no snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program setup/execution errors.
+    pub fn golden_snapshotted<P: TiledProgram + ?Sized>(
+        &self,
+        program: &mut P,
+        policy: &SnapshotPolicy,
+    ) -> Result<(RunOutcome, SnapshotSet), AccelError> {
+        let mut rng = NoRng;
+        let req = RunRequest {
+            strikes: &[],
+            snapshots: None,
+            capture: Some(*policy),
+            scratch: None,
+        };
+        self.run_internal(program, req, &mut rng, None)
     }
 
     /// Like [`Engine::golden`], but also collects a per-tile
@@ -130,7 +232,8 @@ impl Engine {
     ) -> Result<(RunOutcome, ExecutionTrace), AccelError> {
         let mut rng = NoRng;
         let mut trace = ExecutionTrace::new();
-        let outcome = self.run_internal(program, &[], &mut rng, Some(&mut trace))?;
+        let (outcome, _) =
+            self.run_internal(program, RunRequest::plain(&[]), &mut rng, Some(&mut trace))?;
         Ok((outcome, trace))
     }
 
@@ -152,7 +255,14 @@ impl Engine {
         P: TiledProgram + ?Sized,
         R: Rng + ?Sized,
     {
-        self.run_internal(program, std::slice::from_ref(strike), rng, None)
+        Ok(self
+            .run_internal(
+                program,
+                RunRequest::plain(std::slice::from_ref(strike)),
+                rng,
+                None,
+            )?
+            .0)
     }
 
     /// Like [`Engine::run`], but also collects a per-tile
@@ -176,8 +286,117 @@ impl Engine {
         R: Rng + ?Sized,
     {
         let mut trace = ExecutionTrace::new();
-        let outcome =
-            self.run_internal(program, std::slice::from_ref(strike), rng, Some(&mut trace))?;
+        let (outcome, _) = self.run_internal(
+            program,
+            RunRequest::plain(std::slice::from_ref(strike)),
+            rng,
+            Some(&mut trace),
+        )?;
+        Ok((outcome, trace))
+    }
+
+    /// Differential variant of [`Engine::run`]: resumes from the nearest
+    /// snapshot in `snapshots` at or before `strike.at_tile` instead of
+    /// tile 0. Output, `resolutions` and profile are bit-identical to a
+    /// full run (the strike consumes the RNG identically), and the
+    /// outcome carries the dirty output region for sparse comparison.
+    /// Falls back to a full run when the program is not resumable or no
+    /// usable snapshot exists.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_from<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+        snapshots: &SnapshotSet,
+    ) -> Result<RunOutcome, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut scratch = RunScratch::new();
+        self.run_injection(program, strike, rng, Some(snapshots), &mut scratch)
+    }
+
+    /// [`Engine::run_from`] with a per-tile [`ExecutionTrace`]. A
+    /// resumed trace covers only the tiles from the resume point on —
+    /// exactly the tiles a strike at or after that point can touch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_from_traced<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+        snapshots: &SnapshotSet,
+    ) -> Result<(RunOutcome, ExecutionTrace), AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut scratch = RunScratch::new();
+        self.run_injection_traced(program, strike, rng, Some(snapshots), &mut scratch)
+    }
+
+    /// The campaign-facing injection entry point: differential when
+    /// `snapshots` provides a usable resume point, full otherwise, with
+    /// `scratch` amortizing setup and memory allocation across repeated
+    /// calls for the same program.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_injection<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+        snapshots: Option<&SnapshotSet>,
+        scratch: &mut RunScratch,
+    ) -> Result<RunOutcome, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let req = RunRequest {
+            strikes: std::slice::from_ref(strike),
+            snapshots,
+            capture: None,
+            scratch: Some(scratch),
+        };
+        Ok(self.run_internal(program, req, rng, None)?.0)
+    }
+
+    /// [`Engine::run_injection`] with a per-tile [`ExecutionTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run`].
+    pub fn run_injection_traced<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+        snapshots: Option<&SnapshotSet>,
+        scratch: &mut RunScratch,
+    ) -> Result<(RunOutcome, ExecutionTrace), AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut trace = ExecutionTrace::new();
+        let req = RunRequest {
+            strikes: std::slice::from_ref(strike),
+            snapshots,
+            capture: None,
+            scratch: Some(scratch),
+        };
+        let (outcome, _) = self.run_internal(program, req, rng, Some(&mut trace))?;
         Ok((outcome, trace))
     }
 
@@ -202,16 +421,18 @@ impl Engine {
         P: TiledProgram + ?Sized,
         R: Rng + ?Sized,
     {
-        self.run_internal(program, strikes, rng, None)
+        Ok(self
+            .run_internal(program, RunRequest::plain(strikes), rng, None)?
+            .0)
     }
 
     fn run_internal<P, R>(
         &self,
         program: &mut P,
-        strikes: &[StrikeSpec],
+        req: RunRequest<'_>,
         rng: &mut R,
         mut trace: Option<&mut ExecutionTrace>,
-    ) -> Result<RunOutcome, AccelError>
+    ) -> Result<(RunOutcome, SnapshotSet), AccelError>
     where
         P: TiledProgram + ?Sized,
         R: Rng + ?Sized,
@@ -220,7 +441,7 @@ impl Engine {
         let launch_tiles = program.tiles_per_launch().min(tiles).max(1);
         let threads_per_tile = program.threads_per_tile();
         let local_mem = program.local_mem_per_tile();
-        for s in strikes {
+        for s in req.strikes {
             if s.at_tile >= tiles {
                 return Err(AccelError::StrikeOutOfRange {
                     tile: s.at_tile,
@@ -230,19 +451,126 @@ impl Engine {
         }
 
         let mut phase_start = self.metrics.as_ref().map(|_| Instant::now());
+        let resumable = program.resumable();
+        let mut scratch = req.scratch;
 
-        let mut mem = DeviceMemory::new();
-        program.setup(&mut mem)?;
-        let mut caches = CacheHierarchy::new(&self.cfg);
+        // Differential resume: the latest snapshot at or before the first
+        // strike tile. Only resumable programs qualify; capture runs are
+        // full golden runs by construction. Resuming is sound because the
+        // engine's only cross-tile state is (mem, caches, counters), all
+        // restored below, and no strike perturbs anything before its
+        // tile — so golden state at tile r equals *any* run's state at r
+        // for r ≤ the first strike tile.
+        let resume: Option<&EngineSnapshot> = if resumable && req.capture.is_none() {
+            req.snapshots.and_then(|set| {
+                let first = req.strikes.iter().map(|s| s.at_tile).min()?;
+                set.resume_point(first)
+            })
+        } else {
+            None
+        };
+        let resumed = resume.is_some();
+
+        let (mut mem, mut caches, mut totals, mut l2_resident_samples, start_tile) = match resume {
+            Some(snap) => {
+                // Snapshots hold memory as a delta against the
+                // post-setup image, so resume starts from that image —
+                // the scratch template when available, else a fresh
+                // setup — and overlays the buffers the golden prefix
+                // wrote.
+                let (mut mem, caches) = match scratch.as_deref_mut() {
+                    Some(sc) => {
+                        sc.ensure_template(program)?;
+                        (sc.image_of_template(), sc.caches_of(&snap.caches))
+                    }
+                    None => {
+                        let mut m = DeviceMemory::new();
+                        program.setup(&mut m)?;
+                        (m, snap.caches.clone())
+                    }
+                };
+                mem.apply_delta(&snap.mem_delta)?;
+                (
+                    mem,
+                    caches,
+                    snap.counters,
+                    snap.l2_resident_samples,
+                    snap.at_tile,
+                )
+            }
+            None => {
+                let mem = match scratch.as_deref_mut().filter(|_| resumable) {
+                    Some(sc) => {
+                        sc.ensure_template(program)?;
+                        sc.image_of_template()
+                    }
+                    None => {
+                        let mut m = DeviceMemory::new();
+                        program.setup(&mut m)?;
+                        m
+                    }
+                };
+                (
+                    mem,
+                    CacheHierarchy::new(&self.cfg),
+                    MachineCounters::default(),
+                    0.0,
+                    0,
+                )
+            }
+        };
         let plan = DispatchPlan::new(&self.cfg, tiles, launch_tiles, threads_per_tile, local_mem);
 
         if let Some(m) = self.metrics.as_deref() {
             m.counter_add("radcrit_engine_runs_total", &[], 1);
+            if resumed {
+                m.counter_add("radcrit_engine_resumed_runs_total", &[], 1);
+            }
             plan.observe(m);
         }
         self.phase_done("setup", &mut phase_start);
 
-        let mut totals = MachineCounters::default();
+        // Snapshot capture plan: explicit stride, or as many evenly
+        // spaced snapshots as the byte budget admits (estimated from the
+        // memory image plus a bound on cache metadata — the hierarchy
+        // cannot hold more distinct lines than the memory footprint).
+        let mut set = SnapshotSet::default();
+        let capture_plan = req
+            .capture
+            .filter(|_| resumable && tiles > 0)
+            .map(|policy| {
+                let budget = policy.budget();
+                let stride = if policy.stride > 0 {
+                    policy.stride
+                } else {
+                    // Snapshots store only written buffers (≈ the output) plus
+                    // cache metadata bounded by what can be resident at once.
+                    let line = caches.line_bytes().max(1);
+                    let out_bytes = mem.len_of(program.output()).unwrap_or(0) * 8;
+                    let capacity =
+                        self.cfg.l2().size_bytes + self.cfg.units() * self.cfg.l1().size_bytes;
+                    let resident = mem.total_bytes().min(capacity);
+                    let est = out_bytes + caches.approx_heap_bytes() + resident / line * 48;
+                    let max_snaps = (budget / est.max(1)).max(1);
+                    tiles.div_ceil(max_snaps).max(1)
+                };
+                (stride, budget)
+            });
+        if capture_plan.is_some() {
+            // Delta tracking baseline: the post-setup image.
+            mem.reset_write_tracking();
+        }
+
+        // Record output-buffer stores when capturing (to know the golden
+        // suffix spans) and when resumed (to know the faulty run's own
+        // dirty spans, including redirects landing before the resume
+        // point).
+        let mut store_log = if capture_plan.is_some() || resumed {
+            Some(StoreLog::new(program.output()))
+        } else {
+            None
+        };
+
         let mut strike_delivered = false;
         let mut resolutions: Vec<StrikeResolution> = Vec::new();
 
@@ -254,10 +582,28 @@ impl Engine {
         let mut redirects: Vec<(usize, usize)> = Vec::new();
         let mut unit_garbles: Vec<usize> = Vec::new();
 
-        let mut l2_resident_samples: f64 = 0.0;
+        for pos in start_tile..tiles {
+            if let Some((stride, budget)) = capture_plan {
+                if pos % stride == 0 {
+                    let captured = set.push(
+                        EngineSnapshot {
+                            at_tile: pos,
+                            mem_delta: mem.written_delta(),
+                            caches: caches.clone(),
+                            counters: totals,
+                            l2_resident_samples,
+                        },
+                        budget,
+                    );
+                    if !captured {
+                        if let Some(m) = self.metrics.as_deref() {
+                            m.counter_add("radcrit_snapshot_skipped_tiles_total", &[], 1);
+                        }
+                    }
+                }
+            }
 
-        for pos in 0..tiles {
-            for s in strikes {
+            for s in req.strikes {
                 if s.at_tile == pos {
                     let resolution = self.deliver_strike(
                         s,
@@ -298,6 +644,9 @@ impl Engine {
             let unit = plan.unit_of(pos);
             let stats_before = caches.stats();
             let mut ctx = TileCtx::new(&mut mem, &mut caches, unit, fault);
+            if let Some(log) = store_log.as_mut() {
+                ctx = ctx.with_store_log(log);
+            }
             program.execute_tile(TileId(effective_tile), &mut ctx)?;
             let c = ctx.drain_counters();
             totals.ops += c.ops;
@@ -318,6 +667,17 @@ impl Engine {
                 });
             }
 
+            // Attribute this tile's output stores for the golden suffix
+            // span index.
+            if capture_plan.is_some() {
+                if let Some(log) = store_log.as_mut() {
+                    for &(s, l) in &log.spans {
+                        set.output_spans.push((pos as u32, s as u32, l as u32));
+                    }
+                    log.spans.clear();
+                }
+            }
+
             l2_resident_samples += caches.l2_resident_lines() as f64;
         }
 
@@ -326,9 +686,9 @@ impl Engine {
         // End of kernel: flush the hierarchy; dirty corrupted lines write
         // their corruption back to DRAM where the host reads the output.
         let wbs = caches.flush();
-        apply_writebacks(&mut mem, &wbs);
+        apply_writebacks(&mut mem, &wbs, store_log.as_mut());
 
-        let output = mem.to_vec(program.output())?;
+        let output = mem.take_vec(program.output())?;
         program
             .output_shape()
             .check_len(output.len())
@@ -338,6 +698,29 @@ impl Engine {
                     program.name()
                 ))
             })?;
+
+        // Hand the memory image and cache hierarchy back for the next
+        // run to restore in place (the taken output buffer is the only
+        // reallocation).
+        if let Some(sc) = scratch.as_deref_mut() {
+            if resumable {
+                sc.spare = Some(mem);
+            }
+        }
+
+        // The dirty output region of a resumed run: elements this run
+        // actually stored (plus corrupted write-backs) union the golden
+        // suffix spans — a tile the fault skipped keeps golden-at-resume
+        // bytes that the golden suffix would have overwritten, so both
+        // sides are needed.
+        let dirty = match (resumed, req.snapshots) {
+            (true, Some(snaps)) => {
+                let mut spans = store_log.map(|l| l.spans).unwrap_or_default();
+                spans.extend(snaps.golden_spans_from(start_tile));
+                Some(DirtyRegion::from_spans(spans, output.len()))
+            }
+            _ => None,
+        };
 
         let stats = caches.stats();
         let line_bytes = caches.line_bytes() as f64;
@@ -368,14 +751,30 @@ impl Engine {
             ) * self.cfg.units() as f64,
         };
 
+        if let Some(sc) = scratch {
+            if resumable {
+                sc.spare_caches = Some(caches);
+            }
+        }
+
         self.phase_done("flush", &mut phase_start);
 
-        Ok(RunOutcome {
-            output,
-            profile,
-            strike_delivered,
-            resolutions,
-        })
+        if capture_plan.is_some() {
+            if let Some(m) = self.metrics.as_deref() {
+                m.gauge_set("radcrit_snapshot_bytes", &[], set.cost_bytes() as f64);
+            }
+        }
+
+        Ok((
+            RunOutcome {
+                output,
+                profile,
+                strike_delivered,
+                resolutions,
+                dirty,
+            },
+            set,
+        ))
     }
 
     /// Records the elapsed phase time and restarts the clock; a no-op
@@ -494,6 +893,28 @@ impl Engine {
             victim_tile,
             unit,
             redirect_dest,
+        }
+    }
+}
+
+/// Parameters of one engine execution beyond the program itself.
+struct RunRequest<'a> {
+    strikes: &'a [StrikeSpec],
+    /// Golden-prefix snapshots enabling differential resume.
+    snapshots: Option<&'a SnapshotSet>,
+    /// Capture snapshots during this (golden) run.
+    capture: Option<SnapshotPolicy>,
+    /// Per-worker reusable setup/memory state.
+    scratch: Option<&'a mut RunScratch>,
+}
+
+impl<'a> RunRequest<'a> {
+    fn plain(strikes: &'a [StrikeSpec]) -> Self {
+        RunRequest {
+            strikes,
+            snapshots: None,
+            capture: None,
+            scratch: None,
         }
     }
 }
@@ -925,6 +1346,220 @@ mod tests {
                 .unwrap_or_else(|| panic!("missing phase {phase}"));
             assert_eq!(h.count(), 2);
         }
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn snapshotted_golden_matches_plain_golden() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let plain = engine.golden(&mut p).unwrap();
+        let (snapped, set) = engine
+            .golden_snapshotted(&mut p, &SnapshotPolicy::default())
+            .unwrap();
+        assert_eq!(bits(&plain.output), bits(&snapped.output));
+        assert_eq!(plain.profile, snapped.profile);
+        assert!(!set.is_empty(), "default policy captures snapshots");
+        assert!(set.cost_bytes() > 0);
+        assert!(
+            !set.output_spans.is_empty(),
+            "golden stores to the output are indexed"
+        );
+    }
+
+    #[test]
+    fn explicit_stride_controls_capture_points() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64); // 8 tiles
+        let policy = SnapshotPolicy {
+            stride: 2,
+            max_bytes: 0,
+        };
+        let (_, set) = engine.golden_snapshotted(&mut p, &policy).unwrap();
+        assert_eq!(set.len(), 4, "tiles 0, 2, 4, 6");
+        assert_eq!(set.skipped_tiles(), 0);
+    }
+
+    #[test]
+    fn tiny_budget_skips_captures() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let policy = SnapshotPolicy {
+            stride: 1,
+            max_bytes: 1,
+        };
+        let (_, set) = engine.golden_snapshotted(&mut p, &policy).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.skipped_tiles(), 8);
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_across_targets() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let (_, set) = engine
+            .golden_snapshotted(
+                &mut p,
+                &SnapshotPolicy {
+                    stride: 3,
+                    max_bytes: 0,
+                },
+            )
+            .unwrap();
+        let targets = [
+            StrikeTarget::L2 { mask: 1 << 62 },
+            StrikeTarget::Fpu {
+                mask: 1 << 63,
+                op_index: 2,
+            },
+            StrikeTarget::Scheduler(SchedulerEffect::RedirectTile),
+            StrikeTarget::Scheduler(SchedulerEffect::SkipTile),
+            StrikeTarget::UnitGarble,
+        ];
+        for (i, target) in targets.iter().enumerate() {
+            for at_tile in [0, 4, 7] {
+                let s = StrikeSpec::new(at_tile, *target);
+                let seed = 100 + i as u64;
+                let mut rng_full = SmallRng::seed_from_u64(seed);
+                let full = engine.run(&mut p, &s, &mut rng_full).unwrap();
+                let mut rng_diff = SmallRng::seed_from_u64(seed);
+                let diff = engine.run_from(&mut p, &s, &mut rng_diff, &set).unwrap();
+                assert_eq!(
+                    bits(&full.output),
+                    bits(&diff.output),
+                    "{target:?}@{at_tile}"
+                );
+                assert_eq!(full.resolutions, diff.resolutions);
+                assert_eq!(full.profile, diff.profile);
+                assert_eq!(full.strike_delivered, diff.strike_delivered);
+                // The dirty region must cover every mismatch vs golden.
+                let dirty = diff.dirty.expect("resumed run reports its dirty region");
+                let golden = engine.golden(&mut p).unwrap();
+                for idx in 0..full.output.len() {
+                    if full.output[idx].to_bits() != golden.output[idx].to_bits() {
+                        assert!(dirty.contains(idx), "{target:?}@{at_tile}: idx {idx} dirty");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_runs_identical() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let (_, set) = engine
+            .golden_snapshotted(&mut p, &SnapshotPolicy::default())
+            .unwrap();
+        let s = StrikeSpec::new(
+            5,
+            StrikeTarget::Fpu {
+                mask: 1 << 63,
+                op_index: 1,
+            },
+        );
+        let mut scratch = RunScratch::new();
+        for _ in 0..3 {
+            let mut rng_a = SmallRng::seed_from_u64(9);
+            let a = engine
+                .run_injection(&mut p, &s, &mut rng_a, Some(&set), &mut scratch)
+                .unwrap();
+            let mut rng_b = SmallRng::seed_from_u64(9);
+            let b = engine.run(&mut p, &s, &mut rng_b).unwrap();
+            assert_eq!(bits(&a.output), bits(&b.output));
+            assert_eq!(a.profile, b.profile);
+        }
+        // Scratch also serves full (non-resumed) runs without snapshots.
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let a = engine
+            .run_injection(&mut p, &s, &mut rng_a, None, &mut scratch)
+            .unwrap();
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        let b = engine.run(&mut p, &s, &mut rng_b).unwrap();
+        assert_eq!(bits(&a.output), bits(&b.output));
+        assert!(a.dirty.is_none(), "full runs have no dirty region");
+    }
+
+    #[test]
+    fn non_resumable_program_gets_no_snapshots_and_full_runs() {
+        /// Affine with per-run observable state, like the pathological
+        /// test kernel.
+        #[derive(Debug)]
+        struct Stateful(Affine);
+        impl TiledProgram for Stateful {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn tile_count(&self) -> usize {
+                self.0.tile_count()
+            }
+            fn threads_per_tile(&self) -> usize {
+                self.0.threads_per_tile()
+            }
+            fn setup(&mut self, mem: &mut DeviceMemory) -> Result<(), AccelError> {
+                self.0.setup(mem)
+            }
+            fn execute_tile(
+                &mut self,
+                tile: TileId,
+                ctx: &mut TileCtx<'_>,
+            ) -> Result<(), AccelError> {
+                self.0.execute_tile(tile, ctx)
+            }
+            fn output(&self) -> BufferId {
+                self.0.output()
+            }
+            fn output_shape(&self) -> OutputShape {
+                self.0.output_shape()
+            }
+            fn resumable(&self) -> bool {
+                false
+            }
+        }
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Stateful(Affine::new(64));
+        let (out, set) = engine
+            .golden_snapshotted(&mut p, &SnapshotPolicy::default())
+            .unwrap();
+        assert!(set.is_empty());
+        assert_eq!(out.output, expected(64));
+        // Passing a foreign snapshot set must not resume either.
+        let mut donor = Affine::new(64);
+        let (_, donor_set) = engine
+            .golden_snapshotted(&mut donor, &SnapshotPolicy::default())
+            .unwrap();
+        let s = StrikeSpec::new(7, StrikeTarget::Scheduler(SchedulerEffect::SkipTile));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let run = engine.run_from(&mut p, &s, &mut rng, &donor_set).unwrap();
+        assert!(run.dirty.is_none(), "non-resumable programs run full");
+    }
+
+    #[test]
+    fn resumed_metrics_counted() {
+        let metrics = std::sync::Arc::new(MetricsRegistry::new());
+        let engine = Engine::new(DeviceConfig::kepler_k40()).with_metrics(metrics.clone());
+        let mut p = Affine::new(64);
+        let (_, set) = engine
+            .golden_snapshotted(&mut p, &SnapshotPolicy::default())
+            .unwrap();
+        let s = StrikeSpec::new(
+            6,
+            StrikeTarget::Fpu {
+                mask: 1,
+                op_index: 0,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(4);
+        engine.run_from(&mut p, &s, &mut rng, &set).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counter("radcrit_engine_resumed_runs_total", &[]),
+            Some(1)
+        );
+        assert!(snap.gauge("radcrit_snapshot_bytes", &[]).unwrap_or(0.0) > 0.0);
     }
 
     #[test]

@@ -41,15 +41,17 @@ pub mod memory;
 pub mod profile;
 pub mod program;
 pub mod scheduler;
+pub mod snapshot;
 pub mod strike;
 pub mod trace;
 
 pub use cache::{CacheGeometry, CacheHierarchy};
 pub use config::{DeviceConfig, DeviceKind, ResidencyPolicy, SchedulerKind};
-pub use engine::{Engine, RunOutcome, StrikeResolution};
+pub use engine::{Engine, RunOutcome, RunScratch, StrikeResolution};
 pub use error::AccelError;
 pub use memory::{BufferId, DeviceMemory};
 pub use profile::ExecutionProfile;
 pub use program::{TileCtx, TileId, TiledProgram};
+pub use snapshot::{SnapshotPolicy, SnapshotSet, DEFAULT_SNAPSHOT_BYTES};
 pub use strike::{SchedulerEffect, StrikeSpec, StrikeTarget};
 pub use trace::{ExecutionTrace, TileTrace};

@@ -55,6 +55,11 @@ struct Buffer {
     /// Byte offset of this buffer in the flat device address space; used
     /// by the cache model to derive line addresses.
     base_addr: usize,
+    /// Whether the buffer was written since the last
+    /// [`DeviceMemory::reset_write_tracking`]; lets golden-prefix
+    /// snapshots store only the buffers that diverged from the
+    /// post-setup template.
+    written: bool,
 }
 
 impl DeviceMemory {
@@ -83,6 +88,7 @@ impl DeviceMemory {
             name: name.into(),
             data: vec![0.0; len],
             base_addr,
+            written: true,
         });
         id
     }
@@ -115,6 +121,7 @@ impl DeviceMemory {
     /// Returns [`AccelError::UnknownBuffer`] or [`AccelError::OutOfBounds`].
     pub fn write(&mut self, buf: BufferId, index: usize, value: f64) -> Result<(), AccelError> {
         let b = self.buffer_mut(buf)?;
+        b.written = true;
         let len = b.data.len();
         match b.data.get_mut(index) {
             Some(slot) => {
@@ -155,7 +162,9 @@ impl DeviceMemory {
     ///
     /// Returns [`AccelError::UnknownBuffer`].
     pub fn slice_mut(&mut self, buf: BufferId) -> Result<&mut [f64], AccelError> {
-        Ok(&mut self.buffer_mut(buf)?.data)
+        let b = self.buffer_mut(buf)?;
+        b.written = true;
+        Ok(&mut b.data)
     }
 
     /// Copies a buffer out as an owned vector.
@@ -165,6 +174,91 @@ impl DeviceMemory {
     /// Returns [`AccelError::UnknownBuffer`].
     pub fn to_vec(&self, buf: BufferId) -> Result<Vec<f64>, AccelError> {
         Ok(self.buffer(buf)?.data.clone())
+    }
+
+    /// Moves a buffer's contents out without copying, leaving the buffer
+    /// empty (length 0). The engine uses this to return the output; a
+    /// later [`DeviceMemory::restore_from`] re-materializes the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::UnknownBuffer`].
+    pub fn take_vec(&mut self, buf: BufferId) -> Result<Vec<f64>, AccelError> {
+        let b = self.buffer_mut(buf)?;
+        b.written = true;
+        Ok(std::mem::take(&mut b.data))
+    }
+
+    /// Marks every buffer clean; subsequent writes set the per-buffer
+    /// written flag read back by [`DeviceMemory::written_delta`].
+    pub fn reset_write_tracking(&mut self) {
+        for b in &mut self.buffers {
+            b.written = false;
+        }
+    }
+
+    /// Clones the buffers written since the last
+    /// [`DeviceMemory::reset_write_tracking`]. Together with the
+    /// post-setup image they reconstruct this memory exactly — kernels
+    /// typically write a small subset of their footprint (inputs are
+    /// read-only), so a delta snapshot is far cheaper than a full clone.
+    pub fn written_delta(&self) -> Vec<(BufferId, Vec<f64>)> {
+        self.buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.written)
+            .map(|(i, b)| (BufferId(i), b.data.clone()))
+            .collect()
+    }
+
+    /// Overwrites the buffers named by `delta` (see
+    /// [`DeviceMemory::written_delta`]), reusing their allocations when
+    /// lengths match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::UnknownBuffer`] when a delta entry names a
+    /// buffer this memory does not have.
+    pub fn apply_delta(&mut self, delta: &[(BufferId, Vec<f64>)]) -> Result<(), AccelError> {
+        for (buf, data) in delta {
+            let b = self.buffer_mut(*buf)?;
+            b.written = true;
+            if b.data.len() == data.len() {
+                b.data.copy_from_slice(data);
+            } else {
+                b.data.clone_from(data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bytes of element data across all buffers.
+    pub fn total_bytes(&self) -> usize {
+        self.buffers.iter().map(|b| b.data.len() * 8).sum()
+    }
+
+    /// Overwrites this memory's contents from `template`, reusing
+    /// existing allocations where lengths match (a derived
+    /// `Clone::clone_from` would reallocate every buffer). The two
+    /// memories must be images of the same program setup; layouts that
+    /// differ fall back to a full clone.
+    pub fn restore_from(&mut self, template: &DeviceMemory) {
+        if self.buffers.len() != template.buffers.len() {
+            self.buffers = template.buffers.clone();
+            return;
+        }
+        for (dst, src) in self.buffers.iter_mut().zip(&template.buffers) {
+            dst.base_addr = src.base_addr;
+            dst.written = src.written;
+            if dst.name != src.name {
+                dst.name.clone_from(&src.name);
+            }
+            if dst.data.len() == src.data.len() {
+                dst.data.copy_from_slice(&src.data);
+            } else {
+                dst.data.clone_from(&src.data);
+            }
+        }
     }
 
     /// Buffer length in elements.
@@ -327,6 +421,36 @@ mod tests {
         let a = mem.alloc("a", 1); // occupies bytes [0, 8)
         let _ = a;
         assert_eq!(mem.elem_at_byte(8), None);
+    }
+
+    #[test]
+    fn take_vec_moves_without_copy_and_restore_rebuilds() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_init("a", &[1.0, 2.0]);
+        let b = mem.alloc("b", 4);
+        mem.write(b, 0, 9.0).unwrap();
+        let template = mem.clone();
+
+        let taken = mem.take_vec(b).unwrap();
+        assert_eq!(taken, vec![9.0, 0.0, 0.0, 0.0]);
+        assert_eq!(mem.len_of(b).unwrap(), 0, "buffer left empty");
+
+        mem.restore_from(&template);
+        assert_eq!(mem.to_vec(a).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(mem.to_vec(b).unwrap(), vec![9.0, 0.0, 0.0, 0.0]);
+        assert_eq!(mem.total_bytes(), template.total_bytes());
+    }
+
+    #[test]
+    fn restore_from_handles_layout_mismatch() {
+        let mut mem = DeviceMemory::new();
+        mem.alloc("x", 2);
+        let mut template = DeviceMemory::new();
+        let a = template.alloc_init("a", &[3.0]);
+        template.alloc("b", 2);
+        mem.restore_from(&template);
+        assert_eq!(mem.buffer_count(), 2);
+        assert_eq!(mem.to_vec(a).unwrap(), vec![3.0]);
     }
 
     #[test]

@@ -79,6 +79,19 @@ pub trait TiledProgram {
 
     /// The logical geometry of the output buffer.
     fn output_shape(&self) -> OutputShape;
+
+    /// Whether the engine may resume this program mid-run from a
+    /// golden-prefix snapshot and reuse its post-setup memory image
+    /// across runs. Requires [`TiledProgram::setup`] and
+    /// [`TiledProgram::execute_tile`] to be pure over `self`: all
+    /// run-varying state must live in device buffers, so replaying a
+    /// suffix of tiles against restored machine state reproduces a full
+    /// run bit for bit. Programs with observable per-execution state
+    /// (e.g. an execution counter) must return `false`; the engine then
+    /// always runs them from tile 0 with a fresh setup.
+    fn resumable(&self) -> bool {
+        true
+    }
 }
 
 /// An in-flight fault armed on one tile by the engine.
@@ -132,6 +145,30 @@ pub(crate) struct MachineCounters {
     pub stores: u64,
 }
 
+/// Records element spans written to one watched buffer — program stores
+/// plus corrupted write-backs — so differential runs know the candidate
+/// dirty region of the output without scanning it.
+#[derive(Debug)]
+pub(crate) struct StoreLog {
+    watched: BufferId,
+    pub(crate) spans: Vec<(usize, usize)>,
+}
+
+impl StoreLog {
+    pub(crate) fn new(watched: BufferId) -> Self {
+        StoreLog {
+            watched,
+            spans: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record(&mut self, buf: BufferId, start: usize, len: usize) {
+        if buf == self.watched && len > 0 {
+            self.spans.push((start, len));
+        }
+    }
+}
+
 /// The machine context one tile executes against: routed memory access,
 /// instrumented arithmetic, and the fault state armed for this tile.
 #[derive(Debug)]
@@ -141,6 +178,7 @@ pub struct TileCtx<'a> {
     pub(crate) unit: usize,
     pub(crate) fault: TileFault,
     pub(crate) fault_armed: bool,
+    pub(crate) store_log: Option<&'a mut StoreLog>,
     // Per-tile counters (reset each tile).
     pub(crate) ops: u64,
     pub(crate) trans_ops: u64,
@@ -167,6 +205,7 @@ impl<'a> TileCtx<'a> {
             unit,
             fault,
             fault_armed,
+            store_log: None,
             ops: 0,
             trans_ops: 0,
             loads: 0,
@@ -177,6 +216,13 @@ impl<'a> TileCtx<'a> {
             garble_anchor: None,
             garble_state: 0x9E37_79B9_7F4A_7C15,
         }
+    }
+
+    /// Attaches a store log; subsequent stores and write-backs to the
+    /// watched buffer are recorded as dirty spans.
+    pub(crate) fn with_store_log(mut self, log: &'a mut StoreLog) -> Self {
+        self.store_log = Some(log);
+        self
     }
 
     /// The execution unit (SM / core) running this tile.
@@ -311,13 +357,12 @@ impl<'a> TileCtx<'a> {
             dst.copy_from_slice(window);
         }
         let wbs = self.caches.access(self.unit, base, dst.len() * 8, false);
-        apply_writebacks(self.mem, &wbs);
+        apply_writebacks(self.mem, &wbs, self.store_log.as_deref_mut());
         // Slow path only for elements on struck lines.
         if self.caches.has_pending_corruption() {
-            for (i, v) in dst.iter_mut().enumerate() {
-                let addr = base + i * 8;
-                if self.caches.elem_maybe_corrupted(addr) {
-                    let mask = self.caches.corruption_for(self.unit, addr);
+            for (lo, hi) in self.caches.corrupted_elem_ranges(base, dst.len() * 8) {
+                for (i, v) in dst.iter_mut().enumerate().take(hi).skip(lo) {
+                    let mask = self.caches.corruption_for(self.unit, base + i * 8);
                     if mask != 0 {
                         *v = f64::from_bits(v.to_bits() ^ mask);
                     }
@@ -388,14 +433,16 @@ impl<'a> TileCtx<'a> {
                 }
             }
         }
+        if let Some(log) = self.store_log.as_deref_mut() {
+            log.record(buf, start, src.len());
+        }
         let wbs = self.caches.access(self.unit, base, src.len() * 8, true);
-        apply_writebacks(self.mem, &wbs);
+        apply_writebacks(self.mem, &wbs, self.store_log.as_deref_mut());
         // A program store supersedes pending corruption of the element.
         if self.caches.has_pending_corruption() {
-            for i in 0..src.len() {
-                let addr = base + i * 8;
-                if self.caches.elem_maybe_corrupted(addr) {
-                    self.caches.note_element_write(self.unit, addr);
+            for (lo, hi) in self.caches.corrupted_elem_ranges(base, src.len() * 8) {
+                for i in lo..hi {
+                    self.caches.note_element_write(self.unit, base + i * 8);
                 }
             }
         }
@@ -423,13 +470,20 @@ impl<'a> TileCtx<'a> {
 }
 
 /// Applies corrupted write-backs (evicted dirty corrupted lines) to
-/// backing memory.
-pub(crate) fn apply_writebacks(mem: &mut DeviceMemory, wbs: &[crate::cache::WriteBack]) {
+/// backing memory, recording touched elements of a watched buffer.
+pub(crate) fn apply_writebacks(
+    mem: &mut DeviceMemory,
+    wbs: &[crate::cache::WriteBack],
+    mut log: Option<&mut StoreLog>,
+) {
     for wb in wbs {
         if let Some(addr) = mem.elem_at_byte(wb.byte_addr) {
             // Ignore failures: a write-back beyond any buffer means the
             // strike corrupted padding bytes, which no element observes.
             let _ = mem.flip_bits(addr.buffer, addr.index, wb.mask);
+            if let Some(l) = log.as_deref_mut() {
+                l.record(addr.buffer, addr.index, 1);
+            }
         }
     }
 }
@@ -582,6 +636,22 @@ mod tests {
         assert_eq!(got, -1.0, "sign-flipped while resident");
         // Backing memory itself stays clean.
         assert_eq!(ctx.mem.read(buf, victim.index).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn store_log_records_only_watched_buffer_spans() {
+        let (mut mem, mut caches) = machine();
+        let out = mem.alloc("out", 32);
+        let other = mem.alloc("other", 32);
+        let mut log = StoreLog::new(out);
+        {
+            let mut ctx =
+                TileCtx::new(&mut mem, &mut caches, 0, TileFault::none()).with_store_log(&mut log);
+            ctx.store(out, 4, &[1.0; 8]).unwrap();
+            ctx.store(other, 0, &[2.0; 4]).unwrap();
+            ctx.store(out, 20, &[3.0; 2]).unwrap();
+        }
+        assert_eq!(log.spans, vec![(4, 8), (20, 2)]);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Golden-prefix machine snapshots for differential injection execution.
+//!
+//! Execution is deterministic and a strike perturbs nothing before its
+//! tile, so every faulty run's machine state at tile `r` is *bit-equal*
+//! to the golden run's state at `r` for any `r ≤ strike.at_tile`. A
+//! [`SnapshotSet`] captures that state (device memory, cache hierarchy,
+//! running counters) at a tile stride during the golden run; an
+//! injection then resumes from the nearest snapshot at or before its
+//! strike tile instead of re-executing the whole prefix — see
+//! `Engine::run_from`.
+//!
+//! Snapshots are byte-bounded: a [`SnapshotPolicy`] caps the whole set,
+//! and capture points that would exceed the budget are skipped (and
+//! counted), never silently truncating correctness — a strike landing
+//! before the first usable snapshot simply falls back to a full run.
+
+use crate::cache::CacheHierarchy;
+use crate::memory::BufferId;
+use crate::program::MachineCounters;
+
+/// Default byte budget for one program's snapshot set. Kept below the
+/// golden cache's default budget (64 MiB) so snapshot-carrying entries
+/// stay cacheable; deltas (not full images) make this budget admit a
+/// dense stride even for the largest paper kernels.
+pub const DEFAULT_SNAPSHOT_BYTES: usize = 32 * 1024 * 1024;
+
+/// Rough fixed overhead accounted per captured snapshot.
+const SNAPSHOT_OVERHEAD_BYTES: usize = 4096;
+
+/// How `Engine::golden_snapshotted` captures snapshots.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotPolicy {
+    /// Tiles between snapshots; `0` derives the stride from the byte
+    /// budget (as many evenly spaced snapshots as fit).
+    pub stride: usize,
+    /// Byte budget for the whole set; `0` means
+    /// [`DEFAULT_SNAPSHOT_BYTES`].
+    pub max_bytes: usize,
+}
+
+impl SnapshotPolicy {
+    pub(crate) fn budget(&self) -> usize {
+        if self.max_bytes == 0 {
+            DEFAULT_SNAPSHOT_BYTES
+        } else {
+            self.max_bytes
+        }
+    }
+}
+
+/// Machine state captured immediately before one tile of the golden run
+/// executed: resuming from it and executing tiles `at_tile..` replays
+/// the golden run's suffix exactly.
+///
+/// Device memory is stored as a *delta* against the post-setup template:
+/// only buffers written since setup (a golden run mutates memory solely
+/// through program stores — there are no corrupted write-backs). The
+/// engine rebuilds the full image as template ∪ delta on resume, so
+/// read-only inputs are never duplicated per snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineSnapshot {
+    pub(crate) at_tile: usize,
+    pub(crate) mem_delta: Vec<(BufferId, Vec<f64>)>,
+    pub(crate) caches: CacheHierarchy,
+    pub(crate) counters: MachineCounters,
+    pub(crate) l2_resident_samples: f64,
+}
+
+/// A byte-bounded set of golden-prefix snapshots plus the golden run's
+/// per-tile output-store spans (needed to bound the dirty output region
+/// of a resumed faulty run).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotSet {
+    pub(crate) snaps: Vec<EngineSnapshot>,
+    /// Golden stores into the output buffer as `(tile, start, len)`
+    /// element spans, ascending by tile.
+    pub(crate) output_spans: Vec<(u32, u32, u32)>,
+    pub(crate) bytes: usize,
+    pub(crate) skipped_tiles: u64,
+}
+
+impl SnapshotSet {
+    /// Number of captured snapshots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Whether no snapshot was captured (non-resumable program, zero
+    /// tiles, or a budget too small for even one snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// Approximate bytes this set occupies, for cache accounting.
+    #[must_use]
+    pub fn cost_bytes(&self) -> usize {
+        self.bytes + self.output_spans.len() * 12
+    }
+
+    /// Capture points skipped because they would have exceeded the byte
+    /// budget.
+    #[must_use]
+    pub fn skipped_tiles(&self) -> u64 {
+        self.skipped_tiles
+    }
+
+    /// The snapshot with the greatest `at_tile` that is `<= tile`, if
+    /// any.
+    pub(crate) fn resume_point(&self, tile: usize) -> Option<&EngineSnapshot> {
+        let i = self.snaps.partition_point(|s| s.at_tile <= tile);
+        self.snaps[..i].last()
+    }
+
+    /// Golden output-store spans of tiles `>= tile`, as `(start, len)`
+    /// element spans.
+    pub(crate) fn golden_spans_from(
+        &self,
+        tile: usize,
+    ) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let i = self
+            .output_spans
+            .partition_point(|&(t, _, _)| (t as usize) < tile);
+        self.output_spans[i..]
+            .iter()
+            .map(|&(_, s, l)| (s as usize, l as usize))
+    }
+
+    pub(crate) fn push(&mut self, snap: EngineSnapshot, budget: usize) -> bool {
+        let delta_bytes: usize = snap.mem_delta.iter().map(|(_, d)| d.len() * 8).sum();
+        let cost = delta_bytes + snap.caches.approx_heap_bytes() + SNAPSHOT_OVERHEAD_BYTES;
+        if self.bytes + cost > budget {
+            self.skipped_tiles += 1;
+            return false;
+        }
+        self.bytes += cost;
+        self.snaps.push(snap);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at_tile: usize) -> EngineSnapshot {
+        EngineSnapshot {
+            at_tile,
+            mem_delta: Vec::new(),
+            caches: CacheHierarchy::new(&crate::config::DeviceConfig::kepler_k40()),
+            counters: MachineCounters::default(),
+            l2_resident_samples: 0.0,
+        }
+    }
+
+    #[test]
+    fn resume_point_picks_nearest_at_or_before() {
+        let mut set = SnapshotSet::default();
+        for t in [0, 8, 16] {
+            assert!(set.push(snap(t), usize::MAX));
+        }
+        assert_eq!(set.resume_point(0).unwrap().at_tile, 0);
+        assert_eq!(set.resume_point(7).unwrap().at_tile, 0);
+        assert_eq!(set.resume_point(8).unwrap().at_tile, 8);
+        assert_eq!(set.resume_point(100).unwrap().at_tile, 16);
+    }
+
+    #[test]
+    fn budget_skips_and_counts() {
+        let mut set = SnapshotSet::default();
+        assert!(set.push(snap(0), usize::MAX));
+        let used = set.bytes;
+        assert!(!set.push(snap(8), used), "second capture exceeds budget");
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.skipped_tiles(), 1);
+    }
+
+    #[test]
+    fn golden_spans_filtered_by_tile() {
+        let set = SnapshotSet {
+            output_spans: vec![(0, 0, 8), (1, 8, 8), (3, 24, 8)],
+            ..SnapshotSet::default()
+        };
+        let from1: Vec<_> = set.golden_spans_from(1).collect();
+        assert_eq!(from1, vec![(8, 8), (24, 8)]);
+        assert_eq!(set.golden_spans_from(4).count(), 0);
+    }
+}

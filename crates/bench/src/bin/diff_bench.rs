@@ -1,0 +1,305 @@
+//! `diff-bench` — injections/sec benchmark of differential injection
+//! execution (golden-prefix snapshot resume + dirty-region compare)
+//! against full per-injection re-execution.
+//!
+//! ```text
+//! diff-bench [--injections 60] [--n 256] [--workers 1] [--smoke]
+//!            [--out BENCH_4.json]
+//! ```
+//!
+//! For each paper kernel the same campaign runs twice — once with
+//! [`RunOptions::full_execution`] forced (every injection re-executes
+//! from tile 0) and once with the default differential mode — against a
+//! pre-warmed golden cache, so the measured wall time is the injection
+//! phase. Science is bit-identical between the modes (asserted on the
+//! outcome counts); the speedup column is the whole point. Exits
+//! non-zero when the DGEMM campaign speeds up by less than 1.5× (the
+//! acceptance floor), unless `--smoke` relaxes the gate for tiny CI
+//! sizes where constant overheads dominate.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+use radcrit_accel::config::DeviceConfig;
+use radcrit_campaign::golden::GoldenCache;
+use radcrit_campaign::{Campaign, KernelSpec, RunOptions};
+use radcrit_obs::MetricsRegistry;
+
+struct Args {
+    injections: usize,
+    n: usize,
+    workers: usize,
+    reps: usize,
+    smoke: bool,
+    out: PathBuf,
+}
+
+const USAGE: &str = "usage: diff-bench [--injections 60] [--n 256] [--workers 1] [--reps 5] \
+                     [--smoke] [--out BENCH_4.json]";
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        injections: 60,
+        n: 256,
+        workers: 1,
+        reps: 5,
+        smoke: false,
+        out: PathBuf::from("BENCH_4.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{USAGE}\nmissing value for {flag}");
+                exit(2)
+            })
+        };
+        match flag.as_str() {
+            "--injections" => a.injections = parsed(&flag, &val("--injections")),
+            "--n" => a.n = parsed(&flag, &val("--n")),
+            "--workers" => a.workers = parsed(&flag, &val("--workers")),
+            "--reps" => a.reps = parsed(&flag, &val("--reps")).max(1),
+            "--smoke" => a.smoke = true,
+            "--out" => a.out = PathBuf::from(val("--out")),
+            _ => {
+                eprintln!("{USAGE}");
+                exit(2)
+            }
+        }
+    }
+    a
+}
+
+fn parsed(flag: &str, raw: &str) -> usize {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{USAGE}\nbad value for {flag}: {raw}");
+        exit(2)
+    })
+}
+
+struct Measurement {
+    kernel: String,
+    injections: usize,
+    full_secs: f64,
+    diff_secs: f64,
+    resumed_runs: u64,
+    skipped_tiles: u64,
+    snapshot_bytes: f64,
+    outcomes_match: bool,
+}
+
+impl Measurement {
+    fn full_rate(&self) -> f64 {
+        self.injections as f64 / self.full_secs.max(1e-9)
+    }
+    fn diff_rate(&self) -> f64 {
+        self.injections as f64 / self.diff_secs.max(1e-9)
+    }
+    fn speedup(&self) -> f64 {
+        self.full_secs / self.diff_secs.max(1e-9)
+    }
+}
+
+/// Runs `campaign` `reps` times against a pre-warmed golden cache and
+/// returns the minimum injection-phase wall time (the repetition least
+/// disturbed by scheduler noise — the campaign itself is deterministic,
+/// so every repetition does identical work), the outcome tally, and the
+/// snapshot-set size the warm-up's golden capture reported.
+fn timed_run(
+    campaign: &Campaign,
+    full_execution: bool,
+    reps: usize,
+    metrics: &Arc<MetricsRegistry>,
+) -> (f64, Vec<(String, usize)>, f64) {
+    // Warm a mode-private cache so the measured run's golden phase is a
+    // hit (differential entries carry snapshots, full ones do not —
+    // they must not share a cache or the second mode would refresh it).
+    let cache = Arc::new(GoldenCache::new(GoldenCache::DEFAULT_BYTES));
+    let warm = Campaign {
+        injections: 1,
+        ..campaign.clone()
+    };
+    let options = |metrics: Arc<MetricsRegistry>| RunOptions {
+        golden_cache: Some(Arc::clone(&cache)),
+        full_execution,
+        metrics: Some(metrics),
+        ..RunOptions::default()
+    };
+    let warm_metrics = Arc::new(MetricsRegistry::new());
+    warm.run_with(&options(Arc::clone(&warm_metrics)))
+        .unwrap_or_else(|e| {
+            eprintln!("diff-bench: warm-up failed: {e}");
+            exit(1)
+        });
+    let snapshot_bytes = warm_metrics
+        .snapshot()
+        .gauge("radcrit_snapshot_bytes", &[])
+        .unwrap_or(0.0);
+
+    let mut secs = f64::INFINITY;
+    let mut tally: std::collections::BTreeMap<String, usize> = Default::default();
+    for rep in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let result = campaign
+            .run_with(&options(Arc::clone(metrics)))
+            .unwrap_or_else(|e| {
+                eprintln!("diff-bench: campaign failed: {e}");
+                exit(1)
+            });
+        secs = secs.min(t0.elapsed().as_secs_f64());
+        if rep == 0 {
+            for r in &result.records {
+                *tally.entry(r.outcome.tag().to_owned()).or_default() += 1;
+            }
+        }
+    }
+    (secs, tally.into_iter().collect(), snapshot_bytes)
+}
+
+fn measure(
+    name: &str,
+    spec: KernelSpec,
+    injections: usize,
+    workers: usize,
+    reps: usize,
+) -> Measurement {
+    let campaign =
+        Campaign::new(DeviceConfig::kepler_k40(), spec, injections, 2017).with_workers(workers);
+
+    let full_metrics = Arc::new(MetricsRegistry::new());
+    let (full_secs, full_tally, _) = timed_run(&campaign, true, reps, &full_metrics);
+    let diff_metrics = Arc::new(MetricsRegistry::new());
+    let (diff_secs, diff_tally, snapshot_bytes) = timed_run(&campaign, false, reps, &diff_metrics);
+
+    // Counters accumulate across repetitions of the identical campaign;
+    // report the per-campaign figure.
+    let snap = diff_metrics.snapshot();
+    let per_rep = |name: &str| snap.counter(name, &[]).unwrap_or(0) / reps.max(1) as u64;
+    Measurement {
+        kernel: name.to_owned(),
+        injections,
+        full_secs,
+        diff_secs,
+        resumed_runs: per_rep("radcrit_engine_resumed_runs_total"),
+        skipped_tiles: per_rep("radcrit_snapshot_skipped_tiles_total"),
+        snapshot_bytes,
+        outcomes_match: full_tally == diff_tally,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let kernels: Vec<(String, KernelSpec)> = vec![
+        (
+            format!("dgemm-{0}x{0}", args.n),
+            KernelSpec::Dgemm { n: args.n },
+        ),
+        (
+            "hotspot-64x64x8".to_owned(),
+            KernelSpec::HotSpot {
+                rows: 64,
+                cols: 64,
+                iterations: 8,
+            },
+        ),
+        (
+            "lavamd-5".to_owned(),
+            KernelSpec::LavaMd {
+                grid: 5,
+                particles: 8,
+            },
+        ),
+    ];
+
+    println!(
+        "diff-bench: {} injections per kernel, {} worker(s), best of {} rep(s), K40 config",
+        args.injections, args.workers, args.reps
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "kernel", "full s", "diff s", "full inj/s", "diff inj/s", "speedup", "resumed"
+    );
+
+    let mut rows = Vec::new();
+    for (name, spec) in kernels {
+        let m = measure(&name, spec, args.injections, args.workers, args.reps);
+        println!(
+            "{:<16} {:>10.3} {:>10.3} {:>12.1} {:>12.1} {:>7.2}x {:>8}",
+            m.kernel,
+            m.full_secs,
+            m.diff_secs,
+            m.full_rate(),
+            m.diff_rate(),
+            m.speedup(),
+            m.resumed_runs,
+        );
+        if !m.outcomes_match {
+            eprintln!(
+                "diff-bench: outcome tallies diverged between modes on {}",
+                m.kernel
+            );
+            exit(1)
+        }
+        if m.resumed_runs == 0 {
+            eprintln!(
+                "diff-bench: no injection resumed from a snapshot on {}",
+                m.kernel
+            );
+            exit(1)
+        }
+        rows.push(m);
+    }
+
+    let json = render_json(&args, &rows);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("diff-bench: cannot write {}: {e}", args.out.display());
+        exit(1)
+    }
+    println!("wrote {}", args.out.display());
+
+    let dgemm = &rows[0];
+    if !args.smoke && dgemm.speedup() < 1.5 {
+        eprintln!(
+            "diff-bench: DGEMM speedup {:.2}x is below the 1.5x acceptance floor",
+            dgemm.speedup()
+        );
+        exit(1)
+    }
+}
+
+fn render_json(args: &Args, rows: &[Measurement]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"differential-injection-execution\",\n");
+    s.push_str("  \"device\": \"K40\",\n  \"seed\": 2017,\n");
+    s.push_str(&format!(
+        "  \"injections_per_kernel\": {},\n  \"workers\": {},\n  \"reps\": {},\n  \"kernels\": [\n",
+        args.injections, args.workers, args.reps
+    ));
+    for (i, m) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"kernel\": \"{}\", \"injections\": {}, ",
+                "\"full_secs\": {:.4}, \"diff_secs\": {:.4}, ",
+                "\"full_inj_per_sec\": {:.2}, \"diff_inj_per_sec\": {:.2}, ",
+                "\"speedup\": {:.3}, \"resumed_runs\": {}, ",
+                "\"snapshot_skipped_tiles\": {}, \"snapshot_bytes\": {:.0}, ",
+                "\"outcomes_match\": {}}}{}\n"
+            ),
+            m.kernel,
+            m.injections,
+            m.full_secs,
+            m.diff_secs,
+            m.full_rate(),
+            m.diff_rate(),
+            m.speedup(),
+            m.resumed_runs,
+            m.skipped_tiles,
+            m.snapshot_bytes,
+            m.outcomes_match,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

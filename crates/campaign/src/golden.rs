@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use radcrit_accel::profile::ExecutionProfile;
+use radcrit_accel::snapshot::SnapshotSet;
 
 use crate::config::Campaign;
 
@@ -48,22 +49,31 @@ impl GoldenKey {
     }
 }
 
-/// One cached golden execution: the fault-free output and the dynamic
-/// profile the fault sampler derives its cross sections from.
+/// One cached golden execution: the fault-free output, the dynamic
+/// profile the fault sampler derives its cross sections from, and
+/// (when differential execution is on) the golden-prefix snapshot set
+/// injections resume from.
 #[derive(Debug)]
 pub struct GoldenEntry {
     /// The golden output buffer.
     pub output: Vec<f64>,
     /// The golden execution profile.
     pub profile: ExecutionProfile,
+    /// Golden-prefix machine snapshots for differential injection
+    /// execution. `None` when the entry was computed with differential
+    /// execution disabled; `Some` (possibly empty, for non-resumable
+    /// kernels) otherwise — the distinction lets a differential run
+    /// recognize and refresh a snapshot-less entry.
+    pub snapshots: Option<Arc<SnapshotSet>>,
 }
 
 impl GoldenEntry {
     /// Approximate heap footprint of the entry, used for the cache's
-    /// byte budget. The output buffer dominates; the profile and key are
-    /// covered by a fixed overhead allowance.
+    /// byte budget. The output buffer and the snapshot set dominate; the
+    /// profile and key are covered by a fixed overhead allowance.
     fn cost_bytes(&self) -> usize {
-        self.output.len() * std::mem::size_of::<f64>() + ENTRY_OVERHEAD_BYTES
+        let snaps = self.snapshots.as_ref().map_or(0, |s| s.cost_bytes());
+        self.output.len() * std::mem::size_of::<f64>() + snaps + ENTRY_OVERHEAD_BYTES
     }
 }
 
@@ -261,6 +271,7 @@ mod tests {
     fn entry(len: usize) -> GoldenEntry {
         GoldenEntry {
             output: vec![1.0; len],
+            snapshots: None,
             profile: ExecutionProfile {
                 tiles: 1,
                 threads_per_tile: 1,
@@ -354,6 +365,49 @@ mod tests {
         cache.insert(key(1), entry(1000));
         assert_eq!(cache.stats().entries, 0);
         assert!(cache.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn snapshot_sets_are_charged_against_the_budget() {
+        use radcrit_accel::engine::Engine;
+        use radcrit_accel::snapshot::SnapshotPolicy;
+
+        let c = Campaign::new(
+            DeviceConfig::kepler_k40(),
+            KernelSpec::Dgemm { n: 32 },
+            1,
+            7,
+        );
+        let mut k = c.kernel.build(c.seed).unwrap();
+        let engine = Engine::new(c.device.clone());
+        let (out, set) = engine
+            .golden_snapshotted(k.as_mut(), &SnapshotPolicy::default())
+            .unwrap();
+        assert!(!set.is_empty());
+
+        let cache = GoldenCache::new(1 << 30);
+        cache.insert(
+            key(1),
+            GoldenEntry {
+                output: out.output.clone(),
+                profile: out.profile.clone(),
+                snapshots: None,
+            },
+        );
+        let plain = cache.stats().bytes;
+        cache.insert(
+            key(2),
+            GoldenEntry {
+                output: out.output,
+                profile: out.profile,
+                snapshots: Some(Arc::new(set)),
+            },
+        );
+        let with_snaps = cache.stats().bytes - plain;
+        assert!(
+            with_snaps > plain,
+            "snapshot-carrying entry ({with_snaps} B) must cost more than the plain one ({plain} B)"
+        );
     }
 
     #[test]

@@ -56,10 +56,12 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use radcrit_accel::engine::{Engine, StrikeResolution};
+use radcrit_accel::engine::{Engine, RunScratch, StrikeResolution};
 use radcrit_accel::error::AccelError;
 use radcrit_accel::profile::ExecutionProfile;
+use radcrit_accel::snapshot::{SnapshotPolicy, SnapshotSet};
 use radcrit_accel::trace::ExecutionTrace;
+use radcrit_core::dirty::DirtyRegion;
 use radcrit_core::locality::SpatialClass;
 use radcrit_core::mismatch::Mismatch;
 use radcrit_core::report::ErrorReport;
@@ -121,6 +123,20 @@ pub struct RunOptions {
     /// daemon-wide one) instead of a fresh private registry. Implies
     /// metrics collection even without [`RunOptions::metrics_out`].
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Tiles between golden-prefix snapshots for differential injection
+    /// execution; `0` derives the stride from the snapshot byte budget.
+    /// See [`radcrit_accel::snapshot::SnapshotPolicy`].
+    pub snapshot_stride: usize,
+    /// Byte budget for one kernel's snapshot set; `0` means
+    /// [`radcrit_accel::DEFAULT_SNAPSHOT_BYTES`].
+    pub snapshot_max_bytes: usize,
+    /// Escape hatch: force every injection to re-execute the kernel from
+    /// tile 0 exactly as before differential execution existed — no
+    /// golden-prefix snapshots are captured, resumed, or cached, and the
+    /// output diff scans the whole buffer. Science is bit-identical
+    /// either way; this exists to measure the speedup and to rule the
+    /// optimization out when debugging.
+    pub full_execution: bool,
 }
 
 /// Everything a finished campaign produced.
@@ -159,6 +175,9 @@ struct Shared {
     campaign: Campaign,
     sampler: FaultSampler,
     golden: Vec<f64>,
+    /// Golden-prefix snapshots injections resume from; `None` under
+    /// [`RunOptions::full_execution`].
+    snapshots: Option<Arc<SnapshotSet>>,
     /// Indices still to run (already filtered against the checkpoint).
     pending: Vec<usize>,
     /// Cursor into `pending`.
@@ -254,37 +273,74 @@ impl Campaign {
             engine = engine.with_metrics(Arc::clone(m));
         }
 
-        // Golden execution: output, profile, cross sections. With a
-        // shared cache attached, runs agreeing on (kernel, device,
-        // seed) reuse one golden execution instead of recomputing it.
+        // Golden execution: output, profile, cross sections — and, when
+        // differential execution is on (the default), the golden-prefix
+        // snapshot set injections resume from. With a shared cache
+        // attached, runs agreeing on (kernel, device, seed) reuse one
+        // golden execution instead of recomputing it; cached entries
+        // carry their snapshot set, so later jobs resume from snapshots
+        // they never captured.
+        let differential = !options.full_execution;
+        let policy = SnapshotPolicy {
+            stride: options.snapshot_stride,
+            max_bytes: options.snapshot_max_bytes,
+        };
+        // Golden phase product: output, profile and (differential mode
+        // only) the snapshot set injections resume from.
+        type GoldenProduct = (Vec<f64>, ExecutionProfile, Option<Arc<SnapshotSet>>);
+        let compute_golden = |engine: &Engine,
+                              kernel: &mut (dyn Workload + Send)|
+         -> Result<GoldenProduct, AccelError> {
+            if differential {
+                let (golden, set) = engine.golden_snapshotted(kernel, &policy)?;
+                Ok((golden.output, golden.profile, Some(Arc::new(set))))
+            } else {
+                let golden = engine.golden(kernel)?;
+                Ok((golden.output, golden.profile, None))
+            }
+        };
         let mut golden_kernel = self.kernel.build(self.seed)?;
-        let (golden_output, golden_profile) = match &options.golden_cache {
+        let (golden_output, golden_profile, snapshots) = match &options.golden_cache {
             Some(cache) => {
                 let key = GoldenKey::for_campaign(self);
-                if let Some(hit) = cache.get(&key) {
+                // A hit computed without snapshots cannot serve a
+                // differential run; refresh it (the recompute is exactly
+                // what the cache would have saved, so mirror it as a
+                // miss).
+                let usable = cache
+                    .get(&key)
+                    .filter(|hit| !differential || hit.snapshots.is_some());
+                if let Some(hit) = usable {
                     if let Some(m) = &metrics {
                         m.counter_add("radcrit_golden_cache_hits_total", &[], 1);
                     }
-                    (hit.output.clone(), hit.profile.clone())
+                    (
+                        hit.output.clone(),
+                        hit.profile.clone(),
+                        hit.snapshots.clone(),
+                    )
                 } else {
                     if let Some(m) = &metrics {
                         m.counter_add("radcrit_golden_cache_misses_total", &[], 1);
                     }
-                    let golden = engine.golden(golden_kernel.as_mut())?;
+                    let (output, profile, snapshots) =
+                        compute_golden(&engine, golden_kernel.as_mut())?;
                     let entry = cache.insert(
                         key,
                         GoldenEntry {
-                            output: golden.output,
-                            profile: golden.profile,
+                            output,
+                            profile,
+                            snapshots,
                         },
                     );
-                    (entry.output.clone(), entry.profile.clone())
+                    (
+                        entry.output.clone(),
+                        entry.profile.clone(),
+                        entry.snapshots.clone(),
+                    )
                 }
             }
-            None => {
-                let golden = engine.golden(golden_kernel.as_mut())?;
-                (golden.output, golden.profile)
-            }
+            None => compute_golden(&engine, golden_kernel.as_mut())?,
         };
         let sampler = FaultSampler::new(&self.device, &golden_profile);
         let sigma_total = sampler.table().total();
@@ -352,6 +408,7 @@ impl Campaign {
             campaign: self.clone(),
             sampler,
             golden: golden_output.clone(),
+            snapshots,
             pending,
             next: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
@@ -553,6 +610,7 @@ impl Campaign {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_one(
         &self,
         index: usize,
@@ -560,6 +618,8 @@ impl Campaign {
         kernel: &mut (dyn Workload + Send),
         sampler: &FaultSampler,
         golden: &[f64],
+        snapshots: Option<&SnapshotSet>,
+        scratch: &mut RunScratch,
         obs: &mut ObsCtx<'_>,
     ) -> Result<InjectionRecord, AccelError> {
         // A per-injection RNG stream: reproducible independent of worker
@@ -571,7 +631,9 @@ impl Campaign {
         let mut rng = StdRng::seed_from_u64(stream);
 
         let span = obs.detail.then(|| Span::enter(obs.buf, "injection"));
-        let result = self.run_one_inner(index, engine, kernel, sampler, golden, obs, &mut rng);
+        let result = self.run_one_inner(
+            index, engine, kernel, sampler, golden, snapshots, scratch, obs, &mut rng,
+        );
         if let Some(span) = span {
             span.exit(obs.buf);
         }
@@ -586,6 +648,8 @@ impl Campaign {
         kernel: &mut (dyn Workload + Send),
         sampler: &FaultSampler,
         golden: &[f64],
+        snapshots: Option<&SnapshotSet>,
+        scratch: &mut RunScratch,
         obs: &mut ObsCtx<'_>,
         rng: &mut StdRng,
     ) -> Result<InjectionRecord, AccelError> {
@@ -634,12 +698,19 @@ impl Campaign {
                 }
                 // The traced run consumes the RNG stream identically to
                 // the untraced one, so records match either way; the
-                // trace is only pulled when provenance needs it.
+                // trace is only pulled when provenance needs it. With
+                // snapshots attached the engine resumes from the nearest
+                // golden-prefix snapshot at or before the strike tile —
+                // bit-identical to a full run by construction.
                 let (run, trace) = if obs.buf.is_enabled() {
-                    let (run, trace) = engine.run_traced(kernel, &spec, rng)?;
+                    let (run, trace) =
+                        engine.run_injection_traced(kernel, &spec, rng, snapshots, scratch)?;
                     (run, Some(trace))
                 } else {
-                    (engine.run(kernel, &spec, rng)?, None)
+                    (
+                        engine.run_injection(kernel, &spec, rng, snapshots, scratch)?,
+                        None,
+                    )
                 };
                 let resolution = run.resolutions.first().copied();
                 if obs.detail {
@@ -653,7 +724,16 @@ impl Campaign {
                     }
                 }
 
-                let report = compare_with_logical_coords(golden, &run.output, kernel);
+                // A resumed run knows which output elements *can*
+                // differ from golden (its dirty region); everything
+                // else is untouched golden-suffix state, so the diff
+                // only scans the dirty ranges.
+                let report = match &run.dirty {
+                    Some(dirty) => {
+                        compare_with_logical_coords_sparse(golden, &run.output, kernel, dirty)
+                    }
+                    None => compare_with_logical_coords(golden, &run.output, kernel),
+                };
                 let mismatches = report.incorrect_elements() as u64;
                 let (outcome, class, mre) = if report.is_sdc() {
                     let criticality = report.criticality(&self.tolerance, &self.classifier);
@@ -742,6 +822,10 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
     if let Some(m) = &shared.metrics {
         engine = engine.with_metrics(Arc::clone(m));
     }
+    // Per-worker scratch: the kernel's setup runs once and later
+    // injections restore device memory in place instead of re-running
+    // it and reallocating every buffer.
+    let mut scratch = RunScratch::new();
 
     loop {
         if shared.stop.load(Ordering::SeqCst) {
@@ -777,6 +861,8 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
                 kernel.as_mut(),
                 &shared.sampler,
                 &shared.golden,
+                shared.snapshots.as_deref(),
+                &mut scratch,
                 &mut ObsCtx {
                     buf: &mut buf,
                     detail,
@@ -972,6 +1058,32 @@ pub fn compare_with_logical_coords(
         let matches = (g == o) || (g.is_nan() && o.is_nan());
         if !matches {
             mismatches.push(Mismatch::new(kernel.error_coord(i), o, g));
+        }
+    }
+    ErrorReport::new(kernel.logical_shape(), mismatches)
+}
+
+/// [`compare_with_logical_coords`] restricted to a dirty region: only
+/// elements inside `dirty` are compared. Produces the identical
+/// [`ErrorReport`] whenever `dirty` covers every element that differs
+/// from golden — which a resumed run's region does by construction
+/// (golden-suffix stores plus the faulty run's own stores and
+/// writebacks).
+pub fn compare_with_logical_coords_sparse(
+    golden: &[f64],
+    observed: &[f64],
+    kernel: &(dyn Workload + Send),
+    dirty: &DirtyRegion,
+) -> ErrorReport {
+    let len = golden.len().min(observed.len());
+    let mut mismatches = Vec::new();
+    for &(start, end) in dirty.ranges() {
+        for i in start..end.min(len) {
+            let (g, o) = (golden[i], observed[i]);
+            let matches = (g == o) || (g.is_nan() && o.is_nan());
+            if !matches {
+                mismatches.push(Mismatch::new(kernel.error_coord(i), o, g));
+            }
         }
     }
     ErrorReport::new(kernel.logical_shape(), mismatches)

@@ -1,0 +1,245 @@
+//! Differential injection execution must be invisible to the science:
+//! a run resumed from a golden-prefix snapshot is **bit-identical** to a
+//! full run — output, strike resolutions, and execution profile — for
+//! every strike target, on both paper devices, across the paper
+//! kernels; the dirty-region sparse diff produces the identical
+//! [`ErrorReport`]; and a kill → resume campaign with snapshots enabled
+//! still reconstructs the uninterrupted summary bit for bit.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use radcrit_accel::config::DeviceConfig;
+use radcrit_accel::engine::Engine;
+use radcrit_accel::snapshot::SnapshotPolicy;
+use radcrit_accel::strike::{SchedulerEffect, StrikeSpec, StrikeTarget};
+use radcrit_campaign::runner::{compare_with_logical_coords, compare_with_logical_coords_sparse};
+use radcrit_campaign::{Campaign, KernelSpec, RunOptions};
+
+/// Every [`StrikeTarget`] variant, including each scheduler effect.
+fn all_targets() -> Vec<StrikeTarget> {
+    vec![
+        StrikeTarget::L2 { mask: 1 << 61 },
+        StrikeTarget::L1 { mask: 1 << 52 },
+        StrikeTarget::RegisterFile {
+            mask: 1 << 63,
+            op_index: 3,
+        },
+        StrikeTarget::VectorRegister {
+            mask: 1 << 40,
+            lanes: 8,
+            op_index: 1,
+        },
+        StrikeTarget::Fpu {
+            mask: 1 << 62,
+            op_index: 2,
+        },
+        StrikeTarget::Sfu {
+            scale: 4.0,
+            op_index: 0,
+        },
+        StrikeTarget::CoreControl {
+            elems: 4,
+            store_index: 1,
+        },
+        StrikeTarget::UnitGarble,
+        StrikeTarget::Scheduler(SchedulerEffect::SkipTile),
+        StrikeTarget::Scheduler(SchedulerEffect::RedirectTile),
+        StrikeTarget::Scheduler(SchedulerEffect::GarbleTile),
+    ]
+}
+
+fn devices() -> Vec<DeviceConfig> {
+    vec![DeviceConfig::kepler_k40(), DeviceConfig::xeon_phi_3120a()]
+}
+
+fn kernels() -> Vec<KernelSpec> {
+    vec![
+        KernelSpec::Dgemm { n: 32 },
+        KernelSpec::HotSpot {
+            rows: 16,
+            cols: 16,
+            iterations: 4,
+        },
+        KernelSpec::LavaMd {
+            grid: 3,
+            particles: 4,
+        },
+    ]
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Mismatches keyed for bit-exact comparison (`Mismatch` holds `f64`s,
+/// and a NaN read would defeat plain `PartialEq` even when the reports
+/// agree bit for bit).
+fn mismatch_bits(report: &radcrit_core::report::ErrorReport) -> Vec<([usize; 3], u64, u64)> {
+    report
+        .mismatches()
+        .iter()
+        .map(|m| (m.coord(), m.expected().to_bits(), m.read().to_bits()))
+        .collect()
+}
+
+/// The tentpole invariant: for every strike target on every device and
+/// kernel, resuming from a golden-prefix snapshot yields the same
+/// `RunOutcome` a full run produces — outputs compared bit for bit (so
+/// NaNs count), resolutions and profile by structural equality — and
+/// the dirty region drives a sparse diff equal to the full diff.
+#[test]
+fn resumed_runs_are_bit_identical_to_full_runs_everywhere() {
+    for device in devices() {
+        for spec in kernels() {
+            let engine = Engine::new(device.clone());
+            let mut kernel = spec.build(7).expect("kernel builds");
+            let policy = SnapshotPolicy {
+                stride: 2,
+                max_bytes: 0,
+            };
+            let (golden, snaps) = engine
+                .golden_snapshotted(kernel.as_mut(), &policy)
+                .expect("golden run");
+            assert!(
+                !snaps.is_empty(),
+                "{spec:?} on {:?} captured no snapshots",
+                device.kind()
+            );
+            let tiles = kernel.tile_count();
+            for (t, target) in all_targets().into_iter().enumerate() {
+                for at_tile in [0, tiles / 2, tiles - 1] {
+                    let strike = StrikeSpec::new(at_tile, target);
+                    let seed = 1000 + t as u64;
+                    let mut rng_full = StdRng::seed_from_u64(seed);
+                    let full = engine
+                        .run(kernel.as_mut(), &strike, &mut rng_full)
+                        .expect("full run");
+                    let mut rng_diff = StdRng::seed_from_u64(seed);
+                    let diff = engine
+                        .run_from(kernel.as_mut(), &strike, &mut rng_diff, &snaps)
+                        .expect("resumed run");
+                    let ctx = format!(
+                        "{spec:?} on {:?}, {target:?} at tile {at_tile}",
+                        device.kind()
+                    );
+                    assert_eq!(bits(&full.output), bits(&diff.output), "output: {ctx}");
+                    assert_eq!(full.resolutions, diff.resolutions, "resolutions: {ctx}");
+                    assert_eq!(full.profile, diff.profile, "profile: {ctx}");
+                    assert_eq!(
+                        full.strike_delivered, diff.strike_delivered,
+                        "delivery: {ctx}"
+                    );
+
+                    let dirty = diff.dirty.as_ref().expect("resumed run has a dirty region");
+                    let sparse = compare_with_logical_coords_sparse(
+                        &golden.output,
+                        &diff.output,
+                        kernel.as_ref(),
+                        dirty,
+                    );
+                    let dense =
+                        compare_with_logical_coords(&golden.output, &full.output, kernel.as_ref());
+                    assert_eq!(
+                        mismatch_bits(&sparse),
+                        mismatch_bits(&dense),
+                        "sparse vs dense diff: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized corner of the same invariant: arbitrary strike tiles,
+    /// RNG seeds, masks and op indices on DGEMM/K40.
+    #[test]
+    fn resumed_dgemm_runs_are_bit_identical(
+        at_tile in 0usize..4,
+        seed in 0u64..1 << 32,
+        bit in 0u32..64,
+        op_index in 0u64..600,
+        target_kind in 0usize..4,
+    ) {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut kernel = KernelSpec::Dgemm { n: 32 }.build(seed).expect("kernel builds");
+        let (_, snaps) = engine
+            .golden_snapshotted(kernel.as_mut(), &SnapshotPolicy::default())
+            .expect("golden run");
+        let mask = 1u64 << bit;
+        let target = match target_kind {
+            0 => StrikeTarget::L2 { mask },
+            1 => StrikeTarget::RegisterFile { mask, op_index },
+            2 => StrikeTarget::Fpu { mask, op_index },
+            _ => StrikeTarget::Scheduler(SchedulerEffect::RedirectTile),
+        };
+        let strike = StrikeSpec::new(at_tile, target);
+        let mut rng_full = StdRng::seed_from_u64(seed);
+        let full = engine.run(kernel.as_mut(), &strike, &mut rng_full).expect("full run");
+        let mut rng_diff = StdRng::seed_from_u64(seed);
+        let diff = engine
+            .run_from(kernel.as_mut(), &strike, &mut rng_diff, &snaps)
+            .expect("resumed run");
+        prop_assert_eq!(bits(&full.output), bits(&diff.output));
+        prop_assert_eq!(full.resolutions, diff.resolutions);
+        prop_assert_eq!(full.profile, diff.profile);
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "radcrit-differential-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// Kill → resume with snapshots enabled (the default): the checkpointed
+/// summary stays bit-identical to an uninterrupted differential run,
+/// and both match a run with differential execution forced off.
+#[test]
+fn killed_differential_campaign_resumes_to_an_identical_summary() {
+    let campaign = Campaign::new(
+        DeviceConfig::kepler_k40(),
+        KernelSpec::Dgemm { n: 32 },
+        60,
+        7,
+    )
+    .with_workers(2);
+
+    let uninterrupted = campaign.run().unwrap();
+    let full_exec = campaign
+        .run_with(&RunOptions {
+            full_execution: true,
+            ..RunOptions::default()
+        })
+        .unwrap();
+    assert_eq!(
+        uninterrupted.records, full_exec.records,
+        "differential execution changed the science"
+    );
+
+    let path = temp_path("kill-resume");
+    let partial = campaign
+        .run_with(&RunOptions {
+            checkpoint: Some(path.clone()),
+            budget: Some(25),
+            ..RunOptions::default()
+        })
+        .unwrap();
+    assert_eq!(partial.records.len(), 25);
+    assert!(!partial.is_complete());
+
+    let resumed = campaign.resume(&path).unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.records, uninterrupted.records);
+    assert_eq!(resumed.summary(), uninterrupted.summary());
+    std::fs::remove_file(&path).ok();
+}

@@ -4,6 +4,7 @@
 //! compares them with a pre-computed golden output; any differing element
 //! becomes a [`Mismatch`] in the resulting [`ErrorReport`].
 
+use crate::dirty::DirtyRegion;
 use crate::error::CoreError;
 use crate::mismatch::Mismatch;
 use crate::report::ErrorReport;
@@ -39,14 +40,9 @@ pub fn compare_slices(
     observed: &[f64],
     shape: OutputShape,
 ) -> Result<ErrorReport, CoreError> {
-    if golden.len() != observed.len() {
-        return Err(CoreError::LengthMismatch {
-            golden: golden.len(),
-            observed: observed.len(),
-        });
-    }
-    shape.check_len(golden.len())?;
-    let mismatches = collect_mismatches(golden, observed, shape);
+    validate(golden.len(), observed.len(), shape)?;
+    let mut mismatches = Vec::new();
+    collect_range(golden, observed, shape, 0, &mut mismatches);
     Ok(ErrorReport::new(shape, mismatches))
 }
 
@@ -64,30 +60,70 @@ pub fn compare_slices_f32(
     observed: &[f32],
     shape: OutputShape,
 ) -> Result<ErrorReport, CoreError> {
-    if golden.len() != observed.len() {
-        return Err(CoreError::LengthMismatch {
-            golden: golden.len(),
-            observed: observed.len(),
-        });
-    }
-    shape.check_len(golden.len())?;
+    validate(golden.len(), observed.len(), shape)?;
     let mut mismatches = Vec::new();
-    for (i, (&g, &o)) in golden.iter().zip(observed.iter()).enumerate() {
-        if !values_match(f64::from(g), f64::from(o)) {
-            mismatches.push(Mismatch::new(shape.coord_of(i), f64::from(o), f64::from(g)));
+    collect_range(golden, observed, shape, 0, &mut mismatches);
+    Ok(ErrorReport::new(shape, mismatches))
+}
+
+/// Sparse variant of [`compare_slices`] for differential execution:
+/// only elements inside `dirty` are compared. Elements outside the
+/// region are guaranteed byte-identical by the resume invariant (they
+/// are the golden prefix the run never re-executed), so the resulting
+/// [`ErrorReport`] is identical to a full comparison — at O(touched)
+/// instead of O(output) cost.
+///
+/// # Errors
+///
+/// Same conditions as [`compare_slices`].
+pub fn compare_slices_sparse(
+    golden: &[f64],
+    observed: &[f64],
+    shape: OutputShape,
+    dirty: &DirtyRegion,
+) -> Result<ErrorReport, CoreError> {
+    validate(golden.len(), observed.len(), shape)?;
+    let mut mismatches = Vec::new();
+    for &(start, end) in dirty.ranges() {
+        let end = end.min(golden.len());
+        if start >= end {
+            continue;
         }
+        collect_range(
+            &golden[start..end],
+            &observed[start..end],
+            shape,
+            start,
+            &mut mismatches,
+        );
     }
     Ok(ErrorReport::new(shape, mismatches))
 }
 
-fn collect_mismatches(golden: &[f64], observed: &[f64], shape: OutputShape) -> Vec<Mismatch> {
-    let mut mismatches = Vec::new();
+fn validate(golden: usize, observed: usize, shape: OutputShape) -> Result<(), CoreError> {
+    if golden != observed {
+        return Err(CoreError::LengthMismatch { golden, observed });
+    }
+    shape.check_len(golden)?;
+    Ok(())
+}
+
+/// The one mismatch-collection loop all comparison entry points share:
+/// widens each element pair to `f64` (exact for `f32`) and records a
+/// [`Mismatch`] at the flat index `offset + i`.
+fn collect_range<T: Copy + Into<f64>>(
+    golden: &[T],
+    observed: &[T],
+    shape: OutputShape,
+    offset: usize,
+    mismatches: &mut Vec<Mismatch>,
+) {
     for (i, (&g, &o)) in golden.iter().zip(observed.iter()).enumerate() {
+        let (g, o): (f64, f64) = (g.into(), o.into());
         if !values_match(g, o) {
-            mismatches.push(Mismatch::new(shape.coord_of(i), o, g));
+            mismatches.push(Mismatch::new(shape.coord_of(offset + i), o, g));
         }
     }
-    mismatches
 }
 
 /// Whether an observed value matches the golden value under strict
@@ -172,7 +208,59 @@ mod tests {
         assert!((re - 100.0).abs() < 1e-4, "0.1 -> 0.2 is ~100 %, got {re}");
     }
 
+    #[test]
+    fn sparse_compare_matches_full_compare_on_covering_region() {
+        let golden = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let observed = [0.0, 9.0, 2.0, 3.0, 8.0, 5.0];
+        let shape = OutputShape::d2(2, 3);
+        let full = compare_slices(&golden, &observed, shape).unwrap();
+        let dirty = DirtyRegion::from_spans(vec![(0, 6)], 6);
+        let sparse = compare_slices_sparse(&golden, &observed, shape, &dirty).unwrap();
+        assert_eq!(full.mismatches(), sparse.mismatches());
+    }
+
+    #[test]
+    fn sparse_compare_skips_elements_outside_the_region() {
+        let golden = [0.0, 1.0, 2.0, 3.0];
+        let observed = [9.0, 1.0, 2.0, 7.0];
+        let shape = OutputShape::d1(4);
+        let dirty = DirtyRegion::from_spans(vec![(3, 1)], 4);
+        let report = compare_slices_sparse(&golden, &observed, shape, &dirty).unwrap();
+        assert_eq!(report.incorrect_elements(), 1);
+        assert_eq!(report.mismatches()[0].coord(), [3, 0, 0]);
+    }
+
+    #[test]
+    fn sparse_compare_validates_lengths() {
+        let dirty = DirtyRegion::from_spans(vec![(0, 1)], 1);
+        let err =
+            compare_slices_sparse(&[1.0], &[1.0, 2.0], OutputShape::d1(1), &dirty).unwrap_err();
+        assert!(matches!(err, CoreError::LengthMismatch { .. }));
+    }
+
     proptest! {
+        #[test]
+        fn sparse_equals_full_when_region_covers_all_flips(
+            golden in proptest::collection::vec(-1e6f64..1e6, 1..64),
+            flips in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let n = golden.len().min(flips.len());
+            let golden = &golden[..n];
+            let observed: Vec<f64> = golden.iter().zip(&flips[..n])
+                .map(|(&g, &f)| if f { g + 1.0 } else { g })
+                .collect();
+            let spans: Vec<(usize, usize)> = flips[..n]
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| f)
+                .map(|(i, _)| (i, 1))
+                .collect();
+            let shape = OutputShape::d1(n);
+            let dirty = DirtyRegion::from_spans(spans, n);
+            let full = compare_slices(golden, &observed, shape).unwrap();
+            let sparse = compare_slices_sparse(golden, &observed, shape, &dirty).unwrap();
+            prop_assert_eq!(full.mismatches(), sparse.mismatches());
+        }
+
         #[test]
         fn mismatch_count_equals_differing_positions(
             golden in proptest::collection::vec(-1e6f64..1e6, 1..64),

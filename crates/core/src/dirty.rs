@@ -1,0 +1,121 @@
+//! Dirty output regions for differential execution.
+//!
+//! A differential injection run resumes from a golden-prefix snapshot and
+//! therefore knows exactly which output elements *could* differ from the
+//! golden output: elements stored by tiles executed after the resume
+//! point (by either the golden schedule or the faulty one) plus elements
+//! touched by end-of-kernel cache writebacks. Everything outside that set
+//! is still the byte-for-byte golden prefix and needs no comparison.
+//!
+//! [`DirtyRegion`] is the canonical representation: a sorted, merged list
+//! of half-open element ranges over the flat output buffer.
+
+/// A sorted, non-overlapping set of half-open `[start, end)` element
+/// ranges over a flat output buffer.
+///
+/// Built from an unsorted pile of `(start, len)` spans recorded during
+/// execution; construction sorts, merges and clamps them.
+///
+/// # Examples
+///
+/// ```
+/// use radcrit_core::dirty::DirtyRegion;
+///
+/// let region = DirtyRegion::from_spans(vec![(4, 4), (0, 2), (6, 4)], 16);
+/// assert_eq!(region.ranges(), &[(0, 2), (4, 10)]);
+/// assert_eq!(region.covered(), 8);
+/// assert!(region.contains(5));
+/// assert!(!region.contains(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtyRegion {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl DirtyRegion {
+    /// Builds a region from unsorted `(start, len)` spans, clamped to
+    /// `len` elements. Overlapping and adjacent spans are merged.
+    #[must_use]
+    pub fn from_spans(mut spans: Vec<(usize, usize)>, len: usize) -> Self {
+        spans.retain(|&(start, n)| n > 0 && start < len);
+        spans.sort_unstable();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        for (start, n) in spans {
+            let end = start.saturating_add(n).min(len);
+            match ranges.last_mut() {
+                Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                _ => ranges.push((start, end)),
+            }
+        }
+        DirtyRegion { ranges }
+    }
+
+    /// The merged `[start, end)` ranges in ascending order.
+    #[must_use]
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Total number of elements covered.
+    #[must_use]
+    pub fn covered(&self) -> usize {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Whether no element is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Whether `idx` falls inside a covered range.
+    #[must_use]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.ranges
+            .binary_search_by(|&(s, e)| {
+                if idx < s {
+                    std::cmp::Ordering::Greater
+                } else if idx >= e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_overlapping_and_adjacent_spans() {
+        let r = DirtyRegion::from_spans(vec![(0, 4), (2, 4), (6, 2), (10, 1)], 64);
+        assert_eq!(r.ranges(), &[(0, 8), (10, 11)]);
+        assert_eq!(r.covered(), 9);
+    }
+
+    #[test]
+    fn clamps_to_length_and_drops_empty() {
+        let r = DirtyRegion::from_spans(vec![(60, 10), (70, 4), (5, 0)], 64);
+        assert_eq!(r.ranges(), &[(60, 64)]);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let r = DirtyRegion::from_spans(vec![(2, 2), (8, 4)], 16);
+        for i in 0..16 {
+            let expected = (2..4).contains(&i) || (8..12).contains(&i);
+            assert_eq!(r.contains(i), expected, "idx {i}");
+        }
+    }
+
+    #[test]
+    fn empty_region() {
+        let r = DirtyRegion::from_spans(vec![], 16);
+        assert!(r.is_empty());
+        assert_eq!(r.covered(), 0);
+        assert!(!r.contains(0));
+    }
+}

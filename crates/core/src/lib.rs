@@ -51,6 +51,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod compare;
+pub mod dirty;
 pub mod error;
 pub mod filter;
 pub mod fit;
@@ -62,6 +63,7 @@ pub mod shape;
 pub mod stats;
 
 pub use compare::compare_slices;
+pub use dirty::DirtyRegion;
 pub use error::CoreError;
 pub use filter::ToleranceFilter;
 pub use fit::{FitBreakdown, FitRate, Fluence};

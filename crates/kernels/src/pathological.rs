@@ -143,6 +143,13 @@ impl TiledProgram for Pathological {
     fn output_shape(&self) -> OutputShape {
         OutputShape::d1(self.n)
     }
+
+    /// `setup` counts executions and `execute_tile` reads the count to
+    /// decide when to fail — observable per-run state, so the engine
+    /// must never skip setup or resume this program from a snapshot.
+    fn resumable(&self) -> bool {
+        false
+    }
 }
 
 impl Workload for Pathological {
