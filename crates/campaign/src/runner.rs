@@ -68,8 +68,8 @@ use radcrit_core::report::ErrorReport;
 use radcrit_faults::sampler::{FaultSampler, InjectionPlan};
 use radcrit_kernels::Workload;
 use radcrit_obs::{
-    Event as ObsEvent, EventBuffer, EventWriter, FieldValue, MetricsRegistry, ProvenanceRecord,
-    Span,
+    AnalyticSample, CriticalityAggregator, Event as ObsEvent, EventBuffer, EventWriter, FieldValue,
+    MetricsRegistry, ProvenanceRecord, Span, TraceRecorder,
 };
 
 use crate::checkpoint::CheckpointWriter;
@@ -137,6 +137,12 @@ pub struct RunOptions {
     /// either way; this exists to measure the speedup and to rule the
     /// optimization out when debugging.
     pub full_execution: bool,
+    /// Write a Chrome trace-event JSON timeline of the run's phases
+    /// (golden execution, per-injection umbrella, engine execution,
+    /// output comparison) here at end of run — loadable in
+    /// `chrome://tracing` / Perfetto. Wall-clock data: lives beside the
+    /// metrics, never in the deterministic event stream.
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Everything a finished campaign produced.
@@ -188,6 +194,8 @@ struct Shared {
     metrics: Option<Arc<MetricsRegistry>>,
     /// Detail-event sampling stride; `None` disables event collection.
     events_sample: Option<u64>,
+    /// Phase-timeline recorder, when [`RunOptions::trace_out`] is set.
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 /// One worker's watchdog slot. The generation counter arbitrates between
@@ -219,6 +227,10 @@ enum Event {
 struct ObsCtx<'a> {
     buf: &'a mut EventBuffer,
     detail: bool,
+    /// Phase-timeline recorder (wall-clock, never in the event stream).
+    trace: Option<&'a TraceRecorder>,
+    /// This worker's timeline lane.
+    tid: u64,
 }
 
 impl Campaign {
@@ -299,6 +311,11 @@ impl Campaign {
                 Ok((golden.output, golden.profile, None))
             }
         };
+        let trace = options
+            .trace_out
+            .as_ref()
+            .map(|_| Arc::new(TraceRecorder::new()));
+        let golden_started = Instant::now();
         let mut golden_kernel = self.kernel.build(self.seed)?;
         let (golden_output, golden_profile, snapshots) = match &options.golden_cache {
             Some(cache) => {
@@ -342,8 +359,21 @@ impl Campaign {
             }
             None => compute_golden(&engine, golden_kernel.as_mut())?,
         };
+        if let Some(tr) = &trace {
+            tr.record("golden", 0, golden_started, &[]);
+        }
         let sampler = FaultSampler::new(&self.device, &golden_profile);
         let sigma_total = sampler.table().total();
+        // The live analytics fold: the same aggregator that powers the
+        // daemon's analytics endpoints also feeds the progress line, so
+        // there is exactly one accumulation path from outcome to FIT.
+        let mut analytics = CriticalityAggregator::with_context(
+            self.kernel.name(),
+            &self.kernel.input_label(),
+            &self.device.kind().to_string(),
+            self.injections as u64,
+            sigma_total,
+        );
 
         // Checkpoint: replay what a previous run already finished.
         let mut writer = None;
@@ -379,7 +409,7 @@ impl Campaign {
             } else {
                 let mut w = EventWriter::create(path, self.injections as u64, sample)
                     .map_err(|e| events_corrupt(path, e))?;
-                w.emit_top(&run_begin_event(self, golden_kernel.as_ref()))
+                w.emit_top(&run_begin_event(self, golden_kernel.as_ref(), sigma_total))
                     .map_err(|e| events_corrupt(path, e))?;
                 events = Some((w, path.clone()));
             }
@@ -399,6 +429,9 @@ impl Campaign {
 
         let mut telemetry = Telemetry::new();
         telemetry.note_replayed(records.len());
+        for r in &records {
+            analytics.fold_sample(&analytic_sample(r));
+        }
         if let Some(m) = &metrics {
             m.counter_add("radcrit_campaign_replayed_total", &[], records.len() as u64);
         }
@@ -417,6 +450,7 @@ impl Campaign {
                 .events_out
                 .as_ref()
                 .map(|_| options.events_sample.max(1)),
+            trace: trace.clone(),
         });
 
         // The collector keeps its own sender alive so the watchdog can
@@ -425,9 +459,13 @@ impl Campaign {
         let (tx, rx) = mpsc::sync_channel::<Event>(workers * 2 + 4);
         let mut slots: Vec<Arc<Mutex<Slot>>> = Vec::new();
         let mut active = 0usize;
+        // Worker timeline ids: 0 is the collector's lane, workers (and
+        // watchdog replacements) get 1, 2, … in spawn order.
+        let mut next_tid = 1u64;
         if target > 0 {
             for _ in 0..workers {
-                slots.push(spawn_worker(&shared, &tx));
+                slots.push(spawn_worker(&shared, &tx, next_tid));
+                next_tid += 1;
                 active += 1;
             }
         }
@@ -463,6 +501,7 @@ impl Campaign {
                     events: block,
                 }) => {
                     telemetry.record(&record.outcome, latency, false);
+                    analytics.fold_sample(&analytic_sample(&record));
                     if let Some(m) = &metrics {
                         m.counter_add(
                             "radcrit_campaign_outcomes_total",
@@ -527,6 +566,7 @@ impl Campaign {
                         outcome: InjectionOutcome::Hang,
                     };
                     telemetry.record(&record.outcome, deadline, true);
+                    analytics.fold_sample(&analytic_sample(&record));
                     if let Some(m) = &metrics {
                         m.counter_add(
                             "radcrit_campaign_outcomes_total",
@@ -559,7 +599,8 @@ impl Campaign {
                     if produced < target && !shared.stop.load(Ordering::SeqCst) {
                         // Keep the pool at strength: the hung worker is
                         // abandoned, not joined.
-                        slots.push(spawn_worker(&shared, &tx));
+                        slots.push(spawn_worker(&shared, &tx, next_tid));
+                        next_tid += 1;
                         active += 1;
                     }
                 }
@@ -568,7 +609,10 @@ impl Campaign {
 
             if let Some(interval) = options.progress {
                 if last_progress.elapsed() >= interval {
-                    eprintln!("{}", telemetry.snapshot().progress_line(target));
+                    eprintln!(
+                        "{}",
+                        telemetry.snapshot().progress_line(target, Some(&analytics))
+                    );
                     last_progress = Instant::now();
                 }
             }
@@ -579,7 +623,10 @@ impl Campaign {
             return Err(e);
         }
         if options.progress.is_some() {
-            eprintln!("{}", telemetry.snapshot().progress_line(target));
+            eprintln!(
+                "{}",
+                telemetry.snapshot().progress_line(target, Some(&analytics))
+            );
         }
         records.sort_by_key(|r| r.index);
 
@@ -590,6 +637,16 @@ impl Campaign {
             w.emit_top(&run_end_event(&telemetry))
                 .map_err(|e| events_corrupt(path, e))?;
             w.finish().map_err(|e| events_corrupt(path, e))?;
+        }
+        if let (Some(tr), Some(path)) = (&trace, &options.trace_out) {
+            let json = tr.to_chrome_json(&trace_metadata(
+                self,
+                &golden_profile,
+                sigma_total,
+                records.len(),
+            ));
+            std::fs::write(path, json)
+                .map_err(|e| AccelError::Corrupt(format!("trace {}: {e}", path.display())))?;
         }
         if let (Some(m), Some(path)) = (&metrics, &options.metrics_out) {
             let snap = m.snapshot();
@@ -631,9 +688,13 @@ impl Campaign {
         let mut rng = StdRng::seed_from_u64(stream);
 
         let span = obs.detail.then(|| Span::enter(obs.buf, "injection"));
+        let started = Instant::now();
         let result = self.run_one_inner(
             index, engine, kernel, sampler, golden, snapshots, scratch, obs, &mut rng,
         );
+        if let Some(tr) = obs.trace {
+            tr.record("injection", obs.tid, started, &[("index", index as u64)]);
+        }
         if let Some(span) = span {
             span.exit(obs.buf);
         }
@@ -677,6 +738,8 @@ impl Campaign {
                     mismatches: 0,
                     class: SpatialClass::None,
                     mre: None,
+                    critical: false,
+                    fclass: None,
                 };
                 let record = InjectionRecord {
                     index,
@@ -702,6 +765,7 @@ impl Campaign {
                 // snapshots attached the engine resumes from the nearest
                 // golden-prefix snapshot at or before the strike tile —
                 // bit-identical to a full run by construction.
+                let execute_started = Instant::now();
                 let (run, trace) = if obs.buf.is_enabled() {
                     let (run, trace) =
                         engine.run_injection_traced(kernel, &spec, rng, snapshots, scratch)?;
@@ -712,6 +776,14 @@ impl Campaign {
                         None,
                     )
                 };
+                if let Some(tr) = obs.trace {
+                    tr.record(
+                        "execute",
+                        obs.tid,
+                        execute_started,
+                        &[("index", index as u64), ("at", spec.at_tile as u64)],
+                    );
+                }
                 let resolution = run.resolutions.first().copied();
                 if obs.detail {
                     if let Some(r) = resolution {
@@ -728,6 +800,7 @@ impl Campaign {
                 // differ from golden (its dirty region); everything
                 // else is untouched golden-suffix state, so the diff
                 // only scans the dirty ranges.
+                let compare_started = Instant::now();
                 let report = match &run.dirty {
                     Some(dirty) => {
                         compare_with_logical_coords_sparse(golden, &run.output, kernel, dirty)
@@ -735,10 +808,12 @@ impl Campaign {
                     None => compare_with_logical_coords(golden, &run.output, kernel),
                 };
                 let mismatches = report.incorrect_elements() as u64;
-                let (outcome, class, mre) = if report.is_sdc() {
+                let (outcome, class, mre, critical, fclass) = if report.is_sdc() {
                     let criticality = report.criticality(&self.tolerance, &self.classifier);
                     let class = criticality.locality;
                     let mre = criticality.mean_relative_error;
+                    let critical = criticality.is_critical();
+                    let fclass = critical.then_some(criticality.filtered_locality);
                     (
                         InjectionOutcome::Sdc(SdcDetail {
                             criticality,
@@ -746,10 +821,26 @@ impl Campaign {
                         }),
                         class,
                         mre,
+                        critical,
+                        fclass,
                     )
                 } else {
-                    (InjectionOutcome::Masked, SpatialClass::None, None)
+                    (
+                        InjectionOutcome::Masked,
+                        SpatialClass::None,
+                        None,
+                        false,
+                        None,
+                    )
                 };
+                if let Some(tr) = obs.trace {
+                    tr.record(
+                        "compare",
+                        obs.tid,
+                        compare_started,
+                        &[("index", index as u64), ("mismatches", mismatches)],
+                    );
+                }
                 if obs.detail {
                     let b = obs
                         .buf
@@ -779,6 +870,8 @@ impl Campaign {
                     mismatches,
                     class,
                     mre,
+                    critical,
+                    fclass,
                 };
                 let record = InjectionRecord {
                     index,
@@ -795,7 +888,7 @@ impl Campaign {
     }
 }
 
-fn spawn_worker(shared: &Arc<Shared>, tx: &SyncSender<Event>) -> Arc<Mutex<Slot>> {
+fn spawn_worker(shared: &Arc<Shared>, tx: &SyncSender<Event>, tid: u64) -> Arc<Mutex<Slot>> {
     let slot = Arc::new(Mutex::new(Slot {
         generation: 0,
         current: None,
@@ -804,11 +897,11 @@ fn spawn_worker(shared: &Arc<Shared>, tx: &SyncSender<Event>) -> Arc<Mutex<Slot>
     let shared = Arc::clone(shared);
     let slot_for_worker = Arc::clone(&slot);
     let tx = tx.clone();
-    thread::spawn(move || worker_loop(shared, slot_for_worker, tx));
+    thread::spawn(move || worker_loop(shared, slot_for_worker, tx, tid));
     slot
 }
 
-fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event>) {
+fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event>, tid: u64) {
     let mut kernel = match shared.campaign.kernel.build(shared.campaign.seed) {
         Ok(k) => k,
         Err(e) => {
@@ -866,6 +959,8 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
                 &mut ObsCtx {
                     buf: &mut buf,
                     detail,
+                    trace: shared.trace.as_deref(),
+                    tid,
                 },
             )
         }));
@@ -924,8 +1019,10 @@ fn events_corrupt(path: &Path, e: impl std::fmt::Display) -> AccelError {
 }
 
 /// The stream's header: campaign identity plus the kernel's geometry
-/// (via [`Workload::obs_fields`]).
-fn run_begin_event(campaign: &Campaign, kernel: &(dyn Workload + Send)) -> ObsEvent {
+/// (via [`Workload::obs_fields`]) and the total cross-section, so a
+/// stream fold can reproduce the summary's FIT scale without access to
+/// the fault-site table.
+fn run_begin_event(campaign: &Campaign, kernel: &(dyn Workload + Send), sigma: f64) -> ObsEvent {
     let mut fields = vec![
         (
             "device".to_owned(),
@@ -936,6 +1033,7 @@ fn run_begin_event(campaign: &Campaign, kernel: &(dyn Workload + Send)) -> ObsEv
             FieldValue::U64(campaign.injections as u64),
         ),
         ("seed".to_owned(), FieldValue::U64(campaign.seed)),
+        ("sigma".to_owned(), FieldValue::F64(sigma)),
     ];
     fields.extend(kernel.obs_fields());
     ObsEvent {
@@ -945,21 +1043,107 @@ fn run_begin_event(campaign: &Campaign, kernel: &(dyn Workload + Send)) -> ObsEv
     }
 }
 
+/// The analytic essence of one finished record — the exact sample the
+/// [`CriticalityAggregator`] folds, shared between the runner's live
+/// fold and the enriched `replay` marker so both paths carry the same
+/// criticality detail as a `provenance` event.
+fn analytic_sample(r: &InjectionRecord) -> AnalyticSample {
+    let (mismatches, class, mre, critical, fclass) = match &r.outcome {
+        InjectionOutcome::Sdc(d) => {
+            let critical = d.criticality.is_critical();
+            (
+                d.criticality.incorrect_elements as u64,
+                d.criticality.locality,
+                d.criticality.mean_relative_error,
+                critical,
+                critical.then_some(d.criticality.filtered_locality),
+            )
+        }
+        _ => (0, SpatialClass::None, None, false, None),
+    };
+    AnalyticSample {
+        index: r.index as u64,
+        site: r.site.clone(),
+        outcome: r.outcome.tag().to_owned(),
+        mismatches,
+        class,
+        mre,
+        critical,
+        fclass,
+    }
+}
+
 /// Synthetic marker for an index replayed from the checkpoint whose
-/// original events were lost with the killed run's write buffer.
+/// original events were lost with the killed run's write buffer. The
+/// marker carries the record's full analytic fields, so a stream fold
+/// across a kill → resume cycle still reproduces the summary exactly.
 fn replay_event(r: &InjectionRecord) -> ObsEvent {
+    let s = analytic_sample(r);
+    let mut fields = vec![
+        ("site".to_owned(), FieldValue::Str(s.site)),
+        ("outcome".to_owned(), FieldValue::Str(s.outcome)),
+        ("delivered".to_owned(), FieldValue::Bool(r.delivered)),
+        ("mismatches".to_owned(), FieldValue::U64(s.mismatches)),
+        ("class".to_owned(), FieldValue::Str(s.class.to_string())),
+    ];
+    if let Some(mre) = s.mre {
+        fields.push(("mre".to_owned(), FieldValue::F64(mre)));
+    }
+    if s.critical {
+        fields.push(("critical".to_owned(), FieldValue::Bool(true)));
+    }
+    if let Some(fclass) = s.fclass {
+        fields.push(("fclass".to_owned(), FieldValue::Str(fclass.to_string())));
+    }
     ObsEvent {
         kind: "replay".to_owned(),
         index: Some(r.index as u64),
-        fields: vec![
-            ("site".to_owned(), FieldValue::Str(r.site.clone())),
-            (
-                "outcome".to_owned(),
-                FieldValue::Str(r.outcome.tag().to_owned()),
-            ),
-            ("delivered".to_owned(), FieldValue::Bool(r.delivered)),
-        ],
+        fields,
     }
+}
+
+/// Top-level metadata of a Chrome trace: campaign identity plus the
+/// golden [`ExecutionProfile`]'s headline figures, pre-rendered as JSON
+/// values. The committed-sample trace test asserts these against a
+/// fresh deterministic run.
+fn trace_metadata(
+    campaign: &Campaign,
+    profile: &ExecutionProfile,
+    sigma_total: f64,
+    records: usize,
+) -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "kernel",
+            format!("\"{}\"", radcrit_obs::json::escape(campaign.kernel.name())),
+        ),
+        (
+            "input",
+            format!(
+                "\"{}\"",
+                radcrit_obs::json::escape(&campaign.kernel.input_label())
+            ),
+        ),
+        (
+            "device",
+            format!(
+                "\"{}\"",
+                radcrit_obs::json::escape(&campaign.device.kind().to_string())
+            ),
+        ),
+        ("injections", records.to_string()),
+        ("seed", campaign.seed.to_string()),
+        ("sigma_total", radcrit_obs::json::fmt_f64(sigma_total)),
+        ("tiles", profile.tiles.to_string()),
+        ("threads_per_tile", profile.threads_per_tile.to_string()),
+        (
+            "instantiated_threads",
+            profile.instantiated_threads.to_string(),
+        ),
+        ("total_ops", profile.total_ops.to_string()),
+        ("loads", profile.loads.to_string()),
+        ("stores", profile.stores.to_string()),
+    ]
 }
 
 /// The stream's trailer: this run's outcome counts (logical data only —
@@ -995,6 +1179,8 @@ fn watchdog_provenance(index: usize) -> ProvenanceRecord {
         mismatches: 0,
         class: SpatialClass::None,
         mre: None,
+        critical: false,
+        fclass: None,
     }
 }
 

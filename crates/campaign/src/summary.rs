@@ -127,6 +127,46 @@ impl CampaignSummary {
         }
     }
 
+    /// Rebuilds the summary from a [`CriticalityAggregator`] fold of
+    /// the campaign's event stream.
+    ///
+    /// This is the analytics layer's hard invariant: for any finished
+    /// campaign with events enabled,
+    /// `CampaignSummary::from_analytics(&fold of events.jsonl)` renders
+    /// byte-identically to `result.summary()` — the FIT arithmetic,
+    /// scatter ordering and float formatting all coincide. Integration
+    /// tests assert this across every fixture, including kill → resume
+    /// streams whose replayed indices fold from enriched `replay`
+    /// markers.
+    pub fn from_analytics(agg: &radcrit_obs::CriticalityAggregator) -> Self {
+        CampaignSummary {
+            kernel: agg.kernel().to_owned(),
+            input: agg.input().to_owned(),
+            device: agg.device().to_owned(),
+            injections: agg.injections() as usize,
+            masked: agg.masked() as usize,
+            sdc: agg.sdc() as usize,
+            critical_sdc: agg.critical_sdc() as usize,
+            crash: agg.crash() as usize,
+            hang: agg.hang() as usize,
+            sigma_total: agg.sigma_total(),
+            fit_all: agg.fit_all(),
+            fit_filtered: agg.fit_filtered(),
+            scatter: agg
+                .scatter()
+                .map(|(_, mismatches, mre)| ScatterPoint {
+                    incorrect_elements: mismatches as usize,
+                    mean_relative_error: mre,
+                })
+                .collect(),
+            sdc_by_site: agg
+                .sdc_by_site()
+                .iter()
+                .map(|(site, &n)| (site.clone(), n as usize))
+                .collect(),
+        }
+    }
+
     /// SDC : (crash + hang) ratio (§V intro).
     pub fn sdc_to_crash_hang_ratio(&self) -> f64 {
         let fatal = self.crash + self.hang;

@@ -10,6 +10,8 @@
 
 use std::time::{Duration, Instant};
 
+use radcrit_obs::CriticalityAggregator;
+
 use crate::outcome::InjectionOutcome;
 
 /// Power-of-two bucketed histogram of per-injection wall times.
@@ -137,7 +139,17 @@ impl TelemetrySnapshot {
 
     /// The one-line progress report printed under `--progress`.
     /// `target` is the number of records this run set out to produce.
-    pub fn progress_line(&self, target: usize) -> String {
+    ///
+    /// With `analytics` attached (the collector's live
+    /// [`CriticalityAggregator`] — the same fold that powers the
+    /// daemon's analytics endpoints, never a second counting path), the
+    /// line also reports the tolerance-filtered SDC count and the
+    /// converging FIT estimate with its 95 % CI width.
+    pub fn progress_line(
+        &self,
+        target: usize,
+        analytics: Option<&CriticalityAggregator>,
+    ) -> String {
         let pct = if target == 0 {
             100.0
         } else {
@@ -153,9 +165,18 @@ impl TelemetrySnapshot {
             (Some(p50), Some(p90)) => format!("p50<{p50:.1?} p90<{p90:.1?}"),
             _ => "p50<- p90<-".into(),
         };
+        let crit = match analytics {
+            Some(agg) => format!(
+                " crit {} | fit {:.3e} ±{:.1e} |",
+                agg.critical_sdc(),
+                agg.fit_all().total().value(),
+                agg.fit_ci_width() / 2.0,
+            ),
+            None => String::new(),
+        };
         format!(
             "[campaign] {}/{} ({pct:.1}%) | {rate:.1} inj/s | masked {} sdc {} crash {} hang {} \
-             (watchdog {}) | {quantiles} | eta {eta}",
+             (watchdog {}) |{crit} {quantiles} | eta {eta}",
             self.completed,
             target,
             self.masked,
@@ -241,9 +262,34 @@ mod tests {
     fn progress_line_mentions_the_essentials() {
         let mut t = Telemetry::new();
         t.record(&InjectionOutcome::Masked, Duration::from_micros(50), false);
-        let line = t.snapshot().progress_line(10);
+        let line = t.snapshot().progress_line(10, None);
         assert!(line.contains("1/10"), "{line}");
         assert!(line.contains("inj/s"), "{line}");
         assert!(line.contains("masked 1"), "{line}");
+        assert!(!line.contains("crit"), "no analytics attached: {line}");
+    }
+
+    #[test]
+    fn progress_line_reports_live_criticality_when_attached() {
+        use radcrit_core::locality::SpatialClass;
+        use radcrit_obs::analytics::AnalyticSample;
+
+        let mut t = Telemetry::new();
+        t.record(&InjectionOutcome::Masked, Duration::from_micros(50), false);
+        let mut agg = CriticalityAggregator::with_context("dgemm", "32x32", "K40", 10, 100.0);
+        agg.fold_sample(&AnalyticSample {
+            index: 0,
+            site: "fpu".to_owned(),
+            outcome: "SDC".to_owned(),
+            mismatches: 2,
+            class: SpatialClass::Line,
+            mre: Some(5.0),
+            critical: true,
+            fclass: Some(SpatialClass::Line),
+        });
+        let line = t.snapshot().progress_line(10, Some(&agg));
+        assert!(line.contains("crit 1"), "{line}");
+        assert!(line.contains("fit "), "{line}");
+        assert!(line.contains('±'), "{line}");
     }
 }

@@ -26,6 +26,19 @@
 //!   error), and the per-site breakdown that answers "which fault sites
 //!   cause `Square` corruption" directly.
 //!
+//! Two later additions build on those:
+//!
+//! * [`analytics`] — the live fold: a
+//!   [`analytics::CriticalityAggregator`] turns the event stream back
+//!   into rolling criticality aggregates (outcome counts, FIT with
+//!   Poisson confidence intervals, spatial-class breakdowns, MRE and
+//!   corrupted-element histograms) *while the campaign runs*, with the
+//!   invariant that folding a finished stream reproduces the campaign
+//!   summary exactly.
+//! * [`trace`] — wall-clock phase timelines ([`trace::TraceRecorder`])
+//!   exported as Chrome trace-event JSON for `chrome://tracing` /
+//!   Perfetto.
+//!
 //! [`json`] is the shared minimal JSON codec (also used by the campaign
 //! checkpoint format): floats use Rust's shortest round-trip formatting,
 //! so `inf`/`NaN` appear verbatim — a deliberate deviation from strict
@@ -34,15 +47,19 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod analytics;
 pub mod event;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod provenance;
+pub mod trace;
 pub mod writer;
 
+pub use analytics::{AnalyticSample, CriticalityAggregator};
 pub use event::{Event, EventBuffer, FieldValue, Span};
 pub use hist::Log2Histogram;
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use provenance::{ProvenanceBreakdown, ProvenanceRecord};
+pub use trace::TraceRecorder;
 pub use writer::EventWriter;

@@ -47,6 +47,12 @@ pub struct ProvenanceRecord {
     /// Mean relative error over mismatched elements, when an SDC
     /// produced one (`inf` is real data: golden-zero elements).
     pub mre: Option<f64>,
+    /// Whether the SDC survives the tolerance filter (always `false`
+    /// for non-SDC outcomes).
+    pub critical: bool,
+    /// Spatial class of the mismatches surviving the tolerance filter,
+    /// present only when [`ProvenanceRecord::critical`] is set.
+    pub fclass: Option<SpatialClass>,
 }
 
 impl ProvenanceRecord {
@@ -72,6 +78,12 @@ impl ProvenanceRecord {
         fields.push(("class".to_owned(), FieldValue::Str(self.class.to_string())));
         if let Some(mre) = self.mre {
             fields.push(("mre".to_owned(), FieldValue::F64(mre)));
+        }
+        if self.critical {
+            fields.push(("critical".to_owned(), FieldValue::Bool(true)));
+        }
+        if let Some(fclass) = self.fclass {
+            fields.push(("fclass".to_owned(), FieldValue::Str(fclass.to_string())));
         }
         Event {
             kind: "provenance".to_owned(),
@@ -133,6 +145,19 @@ impl ProvenanceRecord {
                 Some(FieldValue::F64(v)) => Some(*v),
                 Some(FieldValue::U64(v)) => Some(*v as f64),
                 _ => return Err("ill-typed field \"mre\"".into()),
+            },
+            critical: match event.field("critical") {
+                None => false,
+                Some(FieldValue::Bool(b)) => *b,
+                _ => return Err("ill-typed field \"critical\"".into()),
+            },
+            fclass: match event.field("fclass") {
+                None => None,
+                Some(FieldValue::Str(s)) => Some(
+                    s.parse::<SpatialClass>()
+                        .map_err(|e| format!("bad filtered spatial class {s:?}: {e}"))?,
+                ),
+                _ => return Err("ill-typed field \"fclass\"".into()),
             },
         })
     }
@@ -293,6 +318,8 @@ mod tests {
             mismatches: if outcome == "SDC" { 3 } else { 0 },
             class,
             mre: if outcome == "SDC" { Some(0.25) } else { None },
+            critical: outcome == "SDC",
+            fclass: (outcome == "SDC").then_some(class),
         }
     }
 

@@ -1,0 +1,195 @@
+//! Phase-timeline recording and Chrome trace-event export.
+//!
+//! A [`TraceRecorder`] collects complete wall-clock spans — golden
+//! execution, per-injection umbrellas, engine execution, output
+//! comparison — from the collector and every worker thread, and
+//! serializes them to the Chrome trace-event JSON format that
+//! `chrome://tracing` and Perfetto load directly. Timelines are pure
+//! presentation: they carry wall-clock data and therefore never enter
+//! the deterministic event stream; they live beside the metrics
+//! registry as operational output.
+//!
+//! Timestamps are microseconds relative to the recorder's creation, so
+//! a trace always starts near `ts = 0`. The span buffer is capped
+//! ([`TRACE_SPAN_CAP`]); spans beyond the cap are counted in
+//! `dropped_spans` (exported in the trace's top-level metadata) rather
+//! than growing without bound on very long campaigns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::escape;
+
+/// Maximum number of spans one recorder buffers before dropping.
+pub const TRACE_SPAN_CAP: usize = 100_000;
+
+/// One completed span on some thread's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TraceSpan {
+    /// Phase name (`golden`, `injection`, `execute`, `compare`, …).
+    name: String,
+    /// Start, µs since the recorder's epoch.
+    ts_us: u64,
+    /// Duration in µs.
+    dur_us: u64,
+    /// Logical thread id (0 = collector, 1.. = workers).
+    tid: u64,
+    /// Extra key/value args rendered into the span's `args` object
+    /// (values are unsigned integers — indices, counts).
+    args: Vec<(String, u64)>,
+}
+
+/// Thread-safe recorder of completed phase spans.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    spans: Mutex<Vec<TraceSpan>>,
+    dropped: AtomicU64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceRecorder {
+    /// Creates a recorder whose epoch (`ts = 0`) is now.
+    pub fn new() -> Self {
+        TraceRecorder {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a completed span that started at `started` and ends now.
+    pub fn record(&self, name: &str, tid: u64, started: Instant, args: &[(&str, u64)]) {
+        let ts_us = started
+            .checked_duration_since(self.epoch)
+            .map_or(0, |d| d.as_micros() as u64);
+        let dur_us = started.elapsed().as_micros() as u64;
+        let span = TraceSpan {
+            name: name.to_owned(),
+            ts_us,
+            dur_us,
+            tid,
+            args: args.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        };
+        let mut spans = self.spans.lock().expect("trace lock");
+        if spans.len() >= TRACE_SPAN_CAP {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            spans.push(span);
+        }
+    }
+
+    /// Number of spans recorded (excludes dropped ones).
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("trace lock").len()
+    }
+
+    /// Whether no span has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans dropped past [`TRACE_SPAN_CAP`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Serializes the timeline as Chrome trace-event JSON: complete
+    /// (`"ph":"X"`) events sorted by start time, one `pid`, the
+    /// caller's `metadata` key/values under a top-level `"metadata"`
+    /// object (numbers rendered verbatim). Ends with a newline.
+    pub fn to_chrome_json(&self, metadata: &[(&str, String)]) -> String {
+        let mut spans = self.spans.lock().expect("trace lock").clone();
+        spans.sort_by_key(|s| (s.ts_us, s.tid));
+        let events: Vec<String> = spans
+            .iter()
+            .map(|s| {
+                let args: Vec<String> = s
+                    .args
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+                    .collect();
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"radcrit\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+                    escape(&s.name),
+                    s.ts_us,
+                    s.dur_us,
+                    s.tid,
+                    args.join(",")
+                )
+            })
+            .collect();
+        let meta: Vec<String> = metadata
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .chain(std::iter::once(format!(
+                "\"dropped_spans\":{}",
+                self.dropped()
+            )))
+            .collect();
+        format!(
+            "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\",\"metadata\":{{{}}}}}\n",
+            events.join(",\n"),
+            meta.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn records_and_serializes_spans() {
+        let rec = TraceRecorder::new();
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        rec.record("golden", 0, t0, &[]);
+        rec.record("injection", 1, Instant::now(), &[("index", 7)]);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 0);
+        let json = rec.to_chrome_json(&[("injections", "8".to_owned())]);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"golden\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"index\":7"));
+        assert!(json.contains("\"injections\":8"));
+        assert!(json.contains("\"dropped_spans\":0"));
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn spans_come_out_sorted_by_start_time() {
+        let rec = TraceRecorder::new();
+        let early = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        rec.record("late", 2, Instant::now(), &[]);
+        rec.record("early", 1, early, &[]);
+        let json = rec.to_chrome_json(&[]);
+        let early_pos = json.find("\"early\"").unwrap();
+        let late_pos = json.find("\"late\"").unwrap();
+        assert!(early_pos < late_pos, "{json}");
+    }
+
+    #[test]
+    fn cap_counts_dropped_spans() {
+        let rec = TraceRecorder::new();
+        let t0 = Instant::now();
+        for _ in 0..TRACE_SPAN_CAP + 3 {
+            rec.record("x", 0, t0, &[]);
+        }
+        assert_eq!(rec.len(), TRACE_SPAN_CAP);
+        assert_eq!(rec.dropped(), 3);
+        assert!(rec.to_chrome_json(&[]).contains("\"dropped_spans\":3"));
+    }
+}

@@ -55,16 +55,29 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<Response, ServeError> {
+        self.request_with(method, path, body, &[])
+    }
+
+    fn request_with(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, String)],
+    ) -> Result<Response, ServeError> {
         let mut stream = TcpStream::connect(&self.addr)
             .map_err(|e| ServeError::Io(format!("connect {}: {e}", self.addr)))?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\
-             Connection: close\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
             self.addr,
             body.len(),
         );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("Connection: close\r\n\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(body.as_bytes())?;
         stream.flush()?;
@@ -171,6 +184,114 @@ impl Client {
         Ok(self
             .expect_ok("GET", &format!("/jobs/{id}/events"), None)?
             .body)
+    }
+
+    /// Tails the job's event stream as Server-Sent Events, blocking
+    /// until the stream ends (job terminal and file exhausted), and
+    /// returns the `(id, data)` frames. `resume_after` is sent as
+    /// `Last-Event-ID`: only frames with a larger line ordinal arrive.
+    /// The final id-less `end` frame is consumed, not returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 for unknown jobs.
+    pub fn stream(
+        &self,
+        id: &str,
+        resume_after: Option<u64>,
+    ) -> Result<Vec<(u64, String)>, ServeError> {
+        let headers: Vec<(&str, String)> = resume_after
+            .map(|n| ("Last-Event-ID", n.to_string()))
+            .into_iter()
+            .collect();
+        let response = self.request_with("GET", &format!("/jobs/{id}/stream"), None, &headers)?;
+        if !(200..300).contains(&response.status) {
+            return Err(ServeError::Http {
+                status: response.status,
+                body: response.body,
+            });
+        }
+        let mut frames = Vec::new();
+        for frame in response.body.split("\n\n").filter(|f| !f.trim().is_empty()) {
+            let mut id = None;
+            let mut data = None;
+            for line in frame.lines() {
+                if let Some(v) = line.strip_prefix("id: ") {
+                    id = v.trim().parse::<u64>().ok();
+                } else if let Some(v) = line.strip_prefix("data: ") {
+                    data = Some(v.to_owned());
+                }
+            }
+            if let (Some(id), Some(data)) = (id, data) {
+                frames.push((id, data));
+            }
+        }
+        Ok(frames)
+    }
+
+    /// Fetches the rolling criticality fold of one job's event stream
+    /// (the `CriticalityAggregator` JSON from `GET /jobs/:id/analytics`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 for unknown jobs or before any
+    /// events exist.
+    pub fn analytics(&self, id: &str) -> Result<String, ServeError> {
+        Ok(self
+            .expect_ok("GET", &format!("/jobs/{id}/analytics"), None)?
+            .body)
+    }
+
+    /// Fetches the daemon-wide criticality rollup (`GET /analytics`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn rollup(&self) -> Result<String, ServeError> {
+        Ok(self.expect_ok("GET", "/analytics", None)?.body)
+    }
+
+    /// Fetches a job's Chrome trace-event timeline JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 before the job has written a trace.
+    pub fn trace(&self, id: &str) -> Result<String, ServeError> {
+        Ok(self
+            .expect_ok("GET", &format!("/jobs/{id}/trace"), None)?
+            .body)
+    }
+
+    /// Lists all jobs the daemon knows, as `(id, wire state)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn jobs(&self) -> Result<Vec<(String, String)>, ServeError> {
+        let response = self.expect_ok("GET", "/jobs", None)?;
+        let v = json::parse_line(&response.body).map_err(ServeError::Protocol)?;
+        let obj = json::as_obj(&v).map_err(ServeError::Protocol)?;
+        let rows = match json::get(obj, "jobs").map_err(ServeError::Protocol)? {
+            json::Json::Arr(rows) => rows,
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "jobs is not an array: {other:?}"
+                )))
+            }
+        };
+        rows.iter()
+            .map(|row| {
+                let row = json::as_obj(row).map_err(ServeError::Protocol)?;
+                Ok((
+                    json::get_str(row, "job")
+                        .map_err(ServeError::Protocol)?
+                        .to_owned(),
+                    json::get_str(row, "status")
+                        .map_err(ServeError::Protocol)?
+                        .to_owned(),
+                ))
+            })
+            .collect()
     }
 
     /// Cancels a queued or running job; returns the resulting wire state

@@ -27,7 +27,19 @@
 //! <data_dir>/jobs/<id>/events.jsonl        obs event stream
 //! <data_dir>/jobs/<id>/result.json         canonical summary (when done)
 //! <data_dir>/jobs/<id>/metrics.json        job metrics snapshot
+//! <data_dir>/jobs/<id>/trace.json          Chrome trace-event timeline
 //! ```
+//!
+//! ## Live analytics
+//!
+//! While (and after) a job runs, its event stream is consumable three
+//! ways: `GET /jobs/:id/stream` tails it as Server-Sent Events
+//! (resumable via `Last-Event-ID`, see [`crate::live`]),
+//! `GET /jobs/:id/analytics` folds it into a
+//! [`CriticalityAggregator`](radcrit_obs::CriticalityAggregator)
+//! snapshot, and `GET /analytics` merges every job's fold into a
+//! daemon-wide rollup. `GET /dashboard` serves the self-contained HTML
+//! page in [`crate::dashboard`] that renders all of it live.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,6 +114,8 @@ struct Core {
     metrics: Arc<MetricsRegistry>,
     /// Jobs submitted but not yet terminal (queue depth + running).
     outstanding: AtomicUsize,
+    /// Workers currently inside `run_job` (for the busy/idle gauges).
+    busy: AtomicUsize,
     /// Set by `POST /shutdown`: refuse new jobs, drain, then exit.
     draining: AtomicBool,
     /// Set when the accept loop should exit.
@@ -212,6 +226,7 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, ServeError> {
         journal: Mutex::new(journal),
         metrics: Arc::new(MetricsRegistry::new()),
         outstanding: AtomicUsize::new(outstanding),
+        busy: AtomicUsize::new(0),
         draining: AtomicBool::new(false),
         stop: AtomicBool::new(false),
         abrupt: AtomicBool::new(false),
@@ -282,7 +297,9 @@ fn worker_loop(core: &Arc<Core>) {
         };
         journal_append(core, &id, &JobState::Running, None);
 
+        core.busy.fetch_add(1, Ordering::SeqCst);
         let outcome = run_job(core, &id, &spec, &cancel);
+        core.busy.fetch_sub(1, Ordering::SeqCst);
 
         if core.abrupt.load(Ordering::SeqCst) {
             // Crash simulation: die without the terminal journal write.
@@ -328,6 +345,7 @@ fn run_job(
         checkpoint: Some(checkpoint),
         events_out: Some(job_dir.join("events.jsonl")),
         events_sample: spec.events_sample,
+        trace_out: Some(job_dir.join("trace.json")),
         golden_cache: Some(Arc::clone(&core.cache)),
         cancel: Some(Arc::clone(cancel)),
         metrics: Some(Arc::clone(&job_metrics)),
@@ -400,13 +418,27 @@ fn handle_connection(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), Ser
 }
 
 fn route(core: &Arc<Core>, stream: &mut TcpStream, req: &Request) -> Result<(), ServeError> {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    // The dashboard links carry `?job=<id>` selectors; routing only
+    // looks at the path proper.
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["jobs"]) => post_job(core, stream, &req.body),
+        ("GET", ["jobs"]) => get_jobs(core, stream),
         ("GET", ["jobs", id]) => get_status(core, stream, id),
         ("GET", ["jobs", id, "result"]) => get_result(core, stream, id),
         ("GET", ["jobs", id, "events"]) => get_events(core, stream, id),
+        ("GET", ["jobs", id, "stream"]) => get_stream(core, stream, id, req),
+        ("GET", ["jobs", id, "analytics"]) => get_analytics(core, stream, id),
+        ("GET", ["jobs", id, "trace"]) => get_trace(core, stream, id),
         ("POST", ["jobs", id, "cancel"]) => post_cancel(core, stream, id),
+        ("GET", ["analytics"]) => get_rollup(core, stream),
+        ("GET", ["dashboard"]) => respond(
+            stream,
+            200,
+            "text/html; charset=utf-8",
+            crate::dashboard::DASHBOARD_HTML,
+        ),
         ("GET", ["metrics"]) => get_metrics(core, stream),
         ("GET", ["healthz"]) => {
             let body = format!(
@@ -623,6 +655,158 @@ fn get_events(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), 
     })
 }
 
+fn get_jobs(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let jobs = core.jobs.lock().expect("jobs lock");
+    let rows: Vec<String> = jobs
+        .iter()
+        .map(|(id, e)| {
+            format!(
+                "{{\"job\":\"{id}\",\"status\":\"{}\"}}",
+                e.state.wire_name()
+            )
+        })
+        .collect();
+    drop(jobs);
+    let body = format!("{{\"jobs\":[{}]}}", rows.join(","));
+    respond(stream, 200, "application/json", &body)
+}
+
+/// Whether `id` is known, and if so whether it has reached a terminal
+/// state. `None` means unknown job.
+fn job_terminal(core: &Arc<Core>, id: &str) -> Option<bool> {
+    let jobs = core.jobs.lock().expect("jobs lock");
+    jobs.get(id).map(|e| {
+        matches!(
+            e.state,
+            JobState::Done | JobState::Cancelled | JobState::Failed(_)
+        )
+    })
+}
+
+fn get_stream(
+    core: &Arc<Core>,
+    stream: &mut TcpStream,
+    id: &str,
+    req: &Request,
+) -> Result<(), ServeError> {
+    if job_terminal(core, id).is_none() {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"unknown job\"}",
+        );
+    }
+    let path = core
+        .config
+        .data_dir
+        .join("jobs")
+        .join(id)
+        .join("events.jsonl");
+    let resume_after = crate::live::parse_last_event_id(req.header("last-event-id"));
+    let core_for_poll = Arc::clone(core);
+    let id = id.to_owned();
+    match crate::live::stream_sse(stream, &path, resume_after, &move || {
+        // A job deleted mid-stream (never happens today) ends the tail
+        // rather than spinning forever.
+        job_terminal(&core_for_poll, &id) != Some(false)
+    }) {
+        Err(ServeError::Disconnected(_)) => Ok(()), // reap quietly
+        other => other,
+    }
+}
+
+fn get_analytics(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), ServeError> {
+    if job_terminal(core, id).is_none() {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"unknown job\"}",
+        );
+    }
+    let path = core
+        .config
+        .data_dir
+        .join("jobs")
+        .join(id)
+        .join("events.jsonl");
+    if !path.exists() {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"no events yet\"}",
+        );
+    }
+    match crate::live::fold_events_file(&path) {
+        Ok(agg) => respond(stream, 200, "application/json", &agg.to_json()),
+        Err(e) => {
+            let body = format!(
+                "{{\"error\":\"{}\"}}",
+                radcrit_obs::json::escape(&e.to_string())
+            );
+            respond(stream, 500, "application/json", &body)
+        }
+    }
+}
+
+fn get_rollup(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let ids: Vec<String> = core
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .keys()
+        .cloned()
+        .collect();
+    let mut rollup = radcrit_obs::CriticalityAggregator::new();
+    let mut folded = 0usize;
+    for id in &ids {
+        let path = core
+            .config
+            .data_dir
+            .join("jobs")
+            .join(id)
+            .join("events.jsonl");
+        if let Ok(agg) = crate::live::fold_events_file(&path) {
+            rollup.merge(&agg);
+            folded += 1;
+        }
+    }
+    let body = format!(
+        "{{\"jobs\":{},\"folded\":{folded},\"rollup\":{}}}",
+        ids.len(),
+        rollup.to_json()
+    );
+    respond(stream, 200, "application/json", &body)
+}
+
+fn get_trace(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), ServeError> {
+    if job_terminal(core, id).is_none() {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"unknown job\"}",
+        );
+    }
+    let path = core
+        .config
+        .data_dir
+        .join("jobs")
+        .join(id)
+        .join("trace.json");
+    match std::fs::read_to_string(&path) {
+        Ok(body) => respond(stream, 200, "application/json", &body),
+        Err(_) => respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"no trace yet\"}",
+        ),
+    }
+}
+
 fn post_cancel(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), ServeError> {
     let verdict = {
         let mut jobs = core.jobs.lock().expect("jobs lock");
@@ -665,9 +849,19 @@ fn post_cancel(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(),
 }
 
 fn get_metrics(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
-    // Scrape-time gauges: queue and cache residency.
+    // Scrape-time gauges: queue, worker occupancy and cache residency.
     let m = &core.metrics;
-    m.gauge_set("radcrit_serve_queue_depth", &[], core.queue.len() as f64);
+    let queued = core.queue.len();
+    let busy = core.busy.load(Ordering::SeqCst);
+    let pool = core.config.pool.max(1);
+    m.gauge_set("radcrit_queue_depth", &[], queued as f64);
+    m.gauge_set("radcrit_workers_busy", &[], busy as f64);
+    m.gauge_set(
+        "radcrit_workers_idle",
+        &[],
+        pool.saturating_sub(busy) as f64,
+    );
+    m.gauge_set("radcrit_serve_queue_depth", &[], queued as f64);
     m.gauge_set(
         "radcrit_serve_outstanding_jobs",
         &[],

@@ -21,6 +21,10 @@ pub enum ServeError {
     Protocol(String),
     /// The operation was interrupted (daemon shut down, job cancelled).
     Interrupted(String),
+    /// The peer went away mid-stream (a tailing SSE client closed its
+    /// connection). Expected during normal operation: handlers log and
+    /// reap the connection, never the daemon.
+    Disconnected(String),
 }
 
 impl fmt::Display for ServeError {
@@ -31,6 +35,7 @@ impl fmt::Display for ServeError {
             ServeError::Http { status, body } => write!(f, "HTTP {status}: {body}"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::Interrupted(m) => write!(f, "interrupted: {m}"),
+            ServeError::Disconnected(m) => write!(f, "client disconnected: {m}"),
         }
     }
 }

@@ -59,10 +59,23 @@ fn read_head_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<Strin
 pub struct Request {
     /// The HTTP method, uppercased (`GET`, `POST`, …).
     pub method: String,
-    /// The request path (query strings are not used by this API).
+    /// The request path, query string included when present.
     pub path: String,
+    /// All request headers, names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
     /// The decoded body (empty without `Content-Length`).
     pub body: String,
+}
+
+impl Request {
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reads one request from `stream`.
@@ -86,6 +99,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         .to_owned();
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let line = read_head_line(&mut reader, &mut head_budget)?;
         let line = line.trim_end();
@@ -99,6 +113,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
                     .parse()
                     .map_err(|_| ServeError::Protocol("bad Content-Length".into()))?;
             }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -111,6 +126,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
     Ok(Request {
         method,
         path,
+        headers,
         body: String::from_utf8(body)
             .map_err(|_| ServeError::Protocol("body is not UTF-8".into()))?,
     })
@@ -300,6 +316,9 @@ mod tests {
                 assert_eq!(req.method, "POST");
                 assert_eq!(req.path, "/jobs");
                 assert_eq!(req.body, "{\"x\":1}");
+                assert_eq!(req.header("host"), Some("x"));
+                assert_eq!(req.header("HOST"), Some("x"), "lookup is case-insensitive");
+                assert_eq!(req.header("last-event-id"), None);
                 respond(stream, 202, "application/json", "{\"ok\":true}").unwrap();
             },
             "POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"x\":1}",

@@ -12,6 +12,12 @@
 //! | `GET /jobs/:id` | job state |
 //! | `GET /jobs/:id/result` | canonical summary JSON once done |
 //! | `GET /jobs/:id/events` | chunked JSONL event stream |
+//! | `GET /jobs/:id/stream` | live SSE tail, resumable via `Last-Event-ID` |
+//! | `GET /jobs/:id/analytics` | rolling criticality fold of the job's events |
+//! | `GET /jobs/:id/trace` | Chrome trace-event timeline of the job |
+//! | `GET /jobs` | job listing |
+//! | `GET /analytics` | daemon-wide criticality rollup |
+//! | `GET /dashboard` | self-contained live HTML dashboard |
 //! | `POST /jobs/:id/cancel` | cancel queued/running job |
 //! | `GET /metrics` | Prometheus exposition |
 //! | `GET /healthz` | liveness |
@@ -26,9 +32,11 @@
 
 pub mod client;
 pub mod daemon;
+pub mod dashboard;
 pub mod error;
 pub mod http;
 pub mod journal;
+pub mod live;
 pub mod queue;
 pub mod spec;
 

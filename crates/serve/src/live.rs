@@ -1,0 +1,279 @@
+//! Live analytics plumbing: SSE tailing of a job's event stream and
+//! on-demand [`CriticalityAggregator`] folds of event files.
+//!
+//! ## SSE framing
+//!
+//! `GET /jobs/:id/stream` replays a job's `events.jsonl` as
+//! `text/event-stream` frames and keeps tailing the file while the job
+//! runs:
+//!
+//! ```text
+//! id: 41
+//! data: {"e":"provenance","i":41,...}
+//!
+//! ```
+//!
+//! The frame id is the 0-based *line ordinal* of the event file — stable
+//! across daemon restarts because the [`radcrit_obs::EventWriter`]
+//! emits a deterministic stream for a fixed seed. A client reconnecting
+//! with `Last-Event-ID: N` (which browsers' `EventSource` sends
+//! automatically) resumes at line `N + 1`. Only newline-terminated lines
+//! are ever framed, so a torn tail left by a crash mid-write is simply
+//! held back until the resumed job completes the line.
+//!
+//! A client that goes away mid-stream surfaces as
+//! [`ServeError::Disconnected`]: the handler reaps the connection and
+//! the job keeps running.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+use radcrit_obs::CriticalityAggregator;
+
+use crate::error::ServeError;
+use crate::http::respond_chunked;
+
+/// How often the SSE tail re-checks a live event file for new lines.
+pub const TAIL_POLL: Duration = Duration::from_millis(50);
+
+/// Folds an event file into a [`CriticalityAggregator`].
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the file cannot be read or an event line is
+/// structurally broken (a trailing torn line is tolerated, not an
+/// error).
+pub fn fold_events_file(path: &Path) -> Result<CriticalityAggregator, ServeError> {
+    CriticalityAggregator::from_events_path(path)
+        .map_err(|e| ServeError::Io(format!("fold {}: {e}", path.display())))
+}
+
+/// Streams `events_path` to `stream` as Server-Sent Events.
+///
+/// Emits every complete line with ordinal `> resume_after` (all lines
+/// when `None`), then keeps tailing until `is_terminal()` reports the
+/// job finished *and* the file is exhausted; a final id-less
+/// `event: end` frame tells well-behaved clients to close instead of
+/// auto-reconnecting. The file may not exist yet (job still queued) —
+/// the tail waits for it to appear.
+///
+/// # Errors
+///
+/// [`ServeError::Disconnected`] when the client goes away mid-stream,
+/// [`ServeError::Io`] on file errors.
+pub fn stream_sse(
+    stream: &mut TcpStream,
+    events_path: &Path,
+    resume_after: Option<u64>,
+    is_terminal: &dyn Fn() -> bool,
+) -> Result<(), ServeError> {
+    let first = resume_after.map_or(0, |n| n.saturating_add(1));
+    let mut client_gone: Option<String> = None;
+    let result = respond_chunked(stream, 200, "text/event-stream", |write| {
+        // Wrapper marking failures that came from the *client* socket,
+        // so they can be retyped as Disconnected rather than Io below.
+        let mut send = |frame: &str| -> std::io::Result<()> {
+            write(frame.as_bytes()).inspect_err(|e| client_gone = Some(e.to_string()))
+        };
+
+        let mut file: Option<std::fs::File> = None;
+        let mut pos: u64 = 0; // byte offset of the first unframed line
+        let mut line_no: u64 = 0; // ordinal of the line starting at pos
+        loop {
+            // The file appears only once the worker claims the job.
+            let settled = is_terminal();
+            if file.is_none() {
+                file = std::fs::File::open(events_path).ok();
+            }
+            let mut progressed = false;
+            if let Some(f) = &mut file {
+                f.seek(SeekFrom::Start(pos))?;
+                let mut fresh = String::new();
+                f.read_to_string(&mut fresh)?;
+                // Frame complete lines only; a torn tail stays pending.
+                while let Some(nl) = fresh.find('\n') {
+                    let line: String = fresh.drain(..=nl).collect();
+                    pos += line.len() as u64;
+                    let line = line.trim_end();
+                    if line_no >= first && !line.is_empty() {
+                        send(&format!("id: {line_no}\ndata: {line}\n\n"))?;
+                        progressed = true;
+                    }
+                    line_no += 1;
+                }
+            }
+            // Ordering matters: terminal was sampled *before* the read,
+            // so a line appended in between is picked up next round, not
+            // lost.
+            if settled && !progressed {
+                send("event: end\ndata: {}\n\n")?;
+                return Ok(());
+            }
+            if !progressed {
+                std::thread::sleep(TAIL_POLL);
+            }
+        }
+    });
+    match (result, client_gone) {
+        (Err(_), Some(reason)) => Err(ServeError::Disconnected(reason)),
+        (other, _) => other,
+    }
+}
+
+/// Parses the `Last-Event-ID` header value (`None` when absent or not a
+/// number — a malformed value degrades to a full replay, never an
+/// error).
+pub fn parse_last_event_id(value: Option<&str>) -> Option<u64> {
+    value.and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use crate::http::read_response;
+
+    fn temp_events(tag: &str, lines: &[&str]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("radcrit-live-{tag}-{}.jsonl", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        for l in lines {
+            writeln!(f, "{l}").unwrap();
+        }
+        path
+    }
+
+    /// Runs `stream_sse` over a real socket pair and returns the decoded
+    /// client-side body.
+    fn sse_exchange(path: &std::path::Path, resume_after: Option<u64>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let path = path.to_path_buf();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream_sse(&mut stream, &path, resume_after, &|| true).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let response = read_response(&mut client).unwrap();
+        server.join().unwrap();
+        assert_eq!(response.status, 200);
+        response.body
+    }
+
+    #[test]
+    fn frames_carry_the_line_ordinal_as_id() {
+        let path = temp_events("ids", &["{\"e\":\"a\"}", "{\"e\":\"b\"}"]);
+        let body = sse_exchange(&path, None);
+        assert!(body.contains("id: 0\ndata: {\"e\":\"a\"}\n\n"), "{body}");
+        assert!(body.contains("id: 1\ndata: {\"e\":\"b\"}\n\n"), "{body}");
+        assert!(body.ends_with("event: end\ndata: {}\n\n"), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn last_event_id_resumes_past_already_seen_lines() {
+        let path = temp_events(
+            "resume",
+            &["{\"e\":\"a\"}", "{\"e\":\"b\"}", "{\"e\":\"c\"}"],
+        );
+        let body = sse_exchange(&path, Some(1));
+        assert!(!body.contains("id: 0\n"), "{body}");
+        assert!(!body.contains("id: 1\n"), "{body}");
+        assert!(body.contains("id: 2\ndata: {\"e\":\"c\"}\n\n"), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_held_back_until_completed() {
+        let path = temp_events("torn", &["{\"e\":\"a\"}"]);
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"e\":\"tor").unwrap(); // no newline: torn
+        }
+        let terminal = Arc::new(AtomicBool::new(false));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let path = path.clone();
+            let terminal = Arc::clone(&terminal);
+            std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().unwrap();
+                stream_sse(&mut stream, &path, None, &|| {
+                    terminal.load(Ordering::SeqCst)
+                })
+                .unwrap();
+            })
+        };
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Give the tail a moment, then finish the torn line and only
+        // afterwards declare the job terminal.
+        std::thread::sleep(Duration::from_millis(120));
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "n\"}}").unwrap();
+        }
+        terminal.store(true, Ordering::SeqCst);
+        let body = read_response(&mut client).unwrap().body;
+        server.join().unwrap();
+        assert!(
+            body.contains("id: 1\ndata: {\"e\":\"torn\"}\n\n"),
+            "completed torn line must be framed whole: {body}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_vanishing_client_is_a_typed_disconnect() {
+        let path = temp_events("gone", &["{\"e\":\"a\"}"]);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().unwrap();
+                // Never terminal: the tail keeps writing until the
+                // client-side drop turns writes into errors.
+                stream_sse(&mut stream, &path, None, &|| false)
+            })
+        };
+        drop(TcpStream::connect(addr).unwrap());
+        // Keep the file growing so the server keeps writing into the
+        // dead socket (one small frame may land in kernel buffers).
+        for i in 0..200 {
+            if server.is_finished() {
+                break;
+            }
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(
+                f,
+                "{{\"e\":\"fill\",\"i\":{i},\"pad\":\"{}\"}}",
+                "x".repeat(4096)
+            )
+            .unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let result = server.join().unwrap();
+        assert!(
+            matches!(result, Err(ServeError::Disconnected(_))),
+            "expected Disconnected, got {result:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn last_event_id_parsing_is_lenient() {
+        assert_eq!(parse_last_event_id(None), None);
+        assert_eq!(parse_last_event_id(Some("17")), Some(17));
+        assert_eq!(parse_last_event_id(Some(" 3 ")), Some(3));
+        assert_eq!(parse_last_event_id(Some("nope")), None);
+    }
+}
