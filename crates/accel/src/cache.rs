@@ -101,12 +101,11 @@ struct Flip {
     mask: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line: u64,
-    dirty: bool,
-    last_use: u64,
-}
+/// Heap bytes one resident way occupies in the approximate accounting
+/// (`line` + `last_use` + padded `dirty`, the fields of the former
+/// per-entry struct); also used for the per-set header so snapshot
+/// charges stay comparable across layout changes.
+const WAY_ACCT_BYTES: usize = 24;
 
 /// Corrupted data leaving the hierarchy towards DRAM (write-back of a
 /// dirty corrupted line) — the engine applies these masks permanently to
@@ -128,11 +127,64 @@ pub struct StrikeInfo {
     pub mask: u64,
 }
 
+/// Strength-reduced `x % d` for a divisor fixed at construction
+/// (Lemire's fastmod, exact for 32-bit operands): two multiplies
+/// instead of a hardware divide, which would otherwise dominate the
+/// per-access cost of set indexing. Operands outside 32 bits (absurd
+/// line numbers or set counts) fall back to the plain remainder.
+#[derive(Debug, Clone, Copy)]
+struct FastMod {
+    d: u64,
+    m: u64,
+}
+
+impl FastMod {
+    fn new(d: u64) -> Self {
+        debug_assert!(d > 0);
+        let m = if d > 1 && d >> 32 == 0 {
+            u64::MAX / d + 1
+        } else {
+            0 // d == 1 (`x % 1` is free) or oversized: plain remainder
+        };
+        FastMod { d, m }
+    }
+
+    #[inline(always)]
+    fn rem(&self, x: u64) -> u64 {
+        if x >> 32 != 0 || self.m == 0 {
+            return x % self.d;
+        }
+        let low = self.m.wrapping_mul(x);
+        ((low as u128 * self.d as u128) >> 64) as u64
+    }
+}
+
+/// Tag value of an unoccupied way slot. Real line numbers are byte
+/// addresses divided by the line size, far below `u64::MAX`, so the
+/// sentinel can never match a probed line — which lets the hit scan
+/// cover the full associativity width branchlessly instead of only the
+/// occupied prefix.
+const VACANT: u64 = u64::MAX;
+
 /// One set-associative, LRU cache with corruption tracking.
+///
+/// Ways are stored as flat structure-of-arrays slabs (`lines`/`uses`/
+/// `dirty`, `assoc` slots per set, the first `lens[set]` occupied and
+/// the rest holding the [`VACANT`] tag): the hit scan compares a
+/// contiguous, fixed-width run of `u64` tags — which vectorizes — and
+/// snapshot restores are four flat `clone_from`s. Slot order within a
+/// set mirrors the former `Vec` semantics exactly (push appends,
+/// eviction swap-removes), so LRU victims, strike sampling order and
+/// flush order are unchanged.
 #[derive(Debug, Clone)]
 struct SetAssocCache {
     geom: CacheGeometry,
-    sets: Vec<Vec<Entry>>,
+    assoc: usize,
+    lines: Vec<u64>,
+    uses: Vec<u64>,
+    dirty: Vec<u8>,
+    lens: Vec<u32>,
+    set_mod: FastMod,
     flips: HashMap<u64, Vec<Flip>>,
     tick: u64,
     hits: u64,
@@ -143,9 +195,15 @@ struct SetAssocCache {
 
 impl SetAssocCache {
     fn new(geom: CacheGeometry, track_dirty: bool) -> Self {
+        let slots = geom.sets() * geom.associativity;
         SetAssocCache {
             geom,
-            sets: vec![Vec::new(); geom.sets()],
+            assoc: geom.associativity,
+            lines: vec![VACANT; slots],
+            uses: vec![0; slots],
+            dirty: vec![0; slots],
+            lens: vec![0; geom.sets()],
+            set_mod: FastMod::new(geom.sets() as u64),
             flips: HashMap::new(),
             tick: 0,
             hits: 0,
@@ -155,32 +213,36 @@ impl SetAssocCache {
         }
     }
 
+    #[inline(always)]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.geom.sets() as u64) as usize
+        self.set_mod.rem(line) as usize
     }
 
     /// Approximate heap bytes of the current state, for snapshot byte
-    /// accounting. Counts set vectors, resident entries and pending
-    /// flips; constant per-struct overheads are ignored.
+    /// accounting. Counts per-set headers, resident ways and pending
+    /// flips (not slab capacity), mirroring the former per-set-`Vec`
+    /// accounting so snapshot budgets behave identically.
     fn approx_heap_bytes(&self) -> usize {
-        let entries: usize = self.sets.iter().map(Vec::len).sum();
         let flips: usize = self
             .flips
             .values()
             .map(|v| 48 + v.len() * std::mem::size_of::<Flip>())
             .sum();
-        self.sets.len() * std::mem::size_of::<Vec<Entry>>()
-            + entries * std::mem::size_of::<Entry>()
-            + flips
+        (self.lens.len() + self.resident) * WAY_ACCT_BYTES + flips
     }
 
     /// Makes `self` state-identical to `src`, reusing existing heap
     /// allocations (`Vec::clone_from` keeps buffers, `HashMap` keeps its
     /// table) — the hot path of snapshot resume, where a fresh `clone`
-    /// per injection would re-allocate every set vector.
+    /// per injection would re-allocate every slab.
     fn restore_from(&mut self, src: &SetAssocCache) {
         self.geom = src.geom;
-        self.sets.clone_from(&src.sets);
+        self.assoc = src.assoc;
+        self.set_mod = src.set_mod;
+        self.lines.clone_from(&src.lines);
+        self.uses.clone_from(&src.uses);
+        self.dirty.clone_from(&src.dirty);
+        self.lens.clone_from(&src.lens);
         self.flips.clone_from(&src.flips);
         self.tick = src.tick;
         self.hits = src.hits;
@@ -192,47 +254,79 @@ impl SetAssocCache {
     /// Touches `line`; returns the evicted line's `(line, dirty, flips)`
     /// if an eviction happened.
     fn touch(&mut self, line: u64, write: bool) -> Option<(u64, bool, Vec<Flip>)> {
+        debug_assert_ne!(line, VACANT);
         self.tick += 1;
         let tick = self.tick;
-        let assoc = self.geom.associativity;
-        let track_dirty = self.track_dirty;
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_of(line);
+        let base = set * self.assoc;
 
-        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
-            e.last_use = tick;
-            if write && track_dirty {
-                e.dirty = true;
+        // Branchless full-width tag scan: vacant slots hold `VACANT`
+        // and never match, so the scan can cover all `assoc` slots with
+        // no data-dependent trip count — the compiler vectorizes the
+        // compare. Tags are unique within a set, so at most one matches.
+        let mut found = usize::MAX;
+        for (w, &tag) in self.lines[base..base + self.assoc].iter().enumerate() {
+            if tag == line {
+                found = w;
+            }
+        }
+        if found != usize::MAX {
+            self.uses[base + found] = tick;
+            if write && self.track_dirty {
+                self.dirty[base + found] = 1;
             }
             self.hits += 1;
             return None;
         }
 
         self.misses += 1;
+        let len = self.lens[set] as usize;
         let mut evicted = None;
-        if set.len() >= assoc {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_use)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            let victim = set.swap_remove(victim_idx);
-            let flips = self.flips.remove(&victim.line).unwrap_or_default();
-            evicted = Some((victim.line, victim.dirty, flips));
+        let slot;
+        if len >= self.assoc {
+            // `last_use` ticks are unique, so the minimum is the one
+            // LRU way regardless of scan order.
+            let mut victim = 0;
+            let mut best = u64::MAX;
+            for (w, &used) in self.uses[base..base + len].iter().enumerate() {
+                if used < best {
+                    best = used;
+                    victim = w;
+                }
+            }
+            let v_line = self.lines[base + victim];
+            let v_dirty = self.dirty[base + victim] != 0;
+            // Strikes are rare: skip the hash lookup entirely while no
+            // corruption is pending anywhere in this cache.
+            let flips = if self.flips.is_empty() {
+                Vec::new()
+            } else {
+                self.flips.remove(&v_line).unwrap_or_default()
+            };
+            // Mirror `Vec::swap_remove` + `push`: the last way moves
+            // into the victim slot, the new line lands in the last.
+            let last = len - 1;
+            self.lines[base + victim] = self.lines[base + last];
+            self.uses[base + victim] = self.uses[base + last];
+            self.dirty[base + victim] = self.dirty[base + last];
+            slot = last;
+            evicted = Some((v_line, v_dirty, flips));
         } else {
             self.resident += 1;
+            self.lens[set] = (len + 1) as u32;
+            slot = len;
         }
-        self.sets[set_idx].push(Entry {
-            line,
-            dirty: write && track_dirty,
-            last_use: tick,
-        });
+        self.lines[base + slot] = line;
+        self.uses[base + slot] = tick;
+        self.dirty[base + slot] = (write && self.track_dirty) as u8;
         evicted
     }
 
     fn is_resident(&self, line: u64) -> bool {
-        self.sets[self.set_of(line)].iter().any(|e| e.line == line)
+        let set = self.set_of(line);
+        let base = set * self.assoc;
+        // Vacant slots hold `VACANT` and can never match.
+        self.lines[base..base + self.assoc].contains(&line)
     }
 
     fn resident_count(&self) -> usize {
@@ -284,24 +378,41 @@ impl SetAssocCache {
             return None;
         }
         let mut target = rng.gen_range(0..total);
-        for set in &self.sets {
-            if target < set.len() {
-                return Some(set[target].line);
+        for (set, &len) in self.lens.iter().enumerate() {
+            let len = len as usize;
+            if target < len {
+                return Some(self.lines[set * self.assoc + target]);
             }
-            target -= set.len();
+            target -= len;
         }
         unreachable!("resident count covered all sets")
     }
 
-    /// Drains all resident lines, returning dirty corrupted write-backs.
+    /// Drains all resident lines, returning the corruption-carrying
+    /// ones as `(line, dirty, flips)`. Uncorrupted lines drain silently:
+    /// writing their bytes back would only re-write what backing memory
+    /// already holds, so walking every resident line (tens of thousands
+    /// in a warm L2) per run-final flush would be pure overhead. A flip
+    /// only ever targets a resident line (eviction removes it with the
+    /// line), so the flip table is exactly the corrupted-resident set.
+    /// Lines are returned in ascending order for determinism.
     fn flush(&mut self) -> Vec<(u64, bool, Vec<Flip>)> {
         let mut out = Vec::new();
-        for set in &mut self.sets {
-            for e in set.drain(..) {
-                let flips = self.flips.remove(&e.line).unwrap_or_default();
-                out.push((e.line, e.dirty, flips));
+        if !self.flips.is_empty() {
+            let mut entries: Vec<_> = std::mem::take(&mut self.flips).into_iter().collect();
+            entries.sort_unstable_by_key(|&(line, _)| line);
+            for (line, flips) in entries {
+                let base = self.set_of(line) * self.assoc;
+                if let Some(w) = self.lines[base..base + self.assoc]
+                    .iter()
+                    .position(|&t| t == line)
+                {
+                    out.push((line, self.dirty[base + w] != 0, flips));
+                }
             }
         }
+        self.lines.fill(VACANT);
+        self.lens.fill(0);
         self.resident = 0;
         out
     }
@@ -330,12 +441,22 @@ pub struct CacheHierarchy {
     l1: Vec<SetAssocCache>,
     l2: SetAssocCache,
     line_bytes: usize,
+    /// `log2(line_bytes)` when the line size is a power of two (both
+    /// paper devices), letting [`CacheHierarchy::line_of`] shift instead
+    /// of divide on the per-access hot path.
+    line_shift: Option<u32>,
     /// Lines that have ever been struck this run. Strikes are rare (at
     /// most one per execution, §IV-D), so a linear scan of this tiny list
     /// is the fast path that lets bulk loads skip per-element corruption
     /// lookups entirely. Entries are conservative: they are not removed on
     /// eviction, only ever added.
     corrupted_watch: Vec<u64>,
+    /// Whether corruption has ever *escaped* the flip tables this run:
+    /// a load observed a non-zero mask, or a dirty corrupted line wrote
+    /// back to DRAM mid-run. While this is `false` and no flips are
+    /// pending, every executed tile has computed exactly the golden
+    /// values — the basis for the engine's dead-strike early exit.
+    pub(crate) corruption_touched: bool,
 }
 
 impl CacheHierarchy {
@@ -357,8 +478,18 @@ impl CacheHierarchy {
                 .collect(),
             l2: SetAssocCache::new(l2_geom, true),
             line_bytes,
+            line_shift: line_bytes
+                .is_power_of_two()
+                .then(|| line_bytes.trailing_zeros()),
             corrupted_watch: Vec::new(),
+            corruption_touched: false,
         }
+    }
+
+    /// Whether a load has ever observed a corrupted value or a corrupted
+    /// dirty line has written back to DRAM this run. See the field doc.
+    pub fn corruption_touched(&self) -> bool {
+        self.corruption_touched
     }
 
     /// Fast check: could the element at `byte_addr` possibly carry pending
@@ -369,8 +500,7 @@ impl CacheHierarchy {
         if self.corrupted_watch.is_empty() {
             return false;
         }
-        let line = (byte_addr / self.line_bytes) as u64;
-        self.corrupted_watch.contains(&line)
+        self.corrupted_watch.contains(&self.line_of(byte_addr))
     }
 
     /// Fast check at line granularity; see
@@ -431,11 +561,17 @@ impl CacheHierarchy {
         }
         self.l2.restore_from(&src.l2);
         self.line_bytes = src.line_bytes;
+        self.line_shift = src.line_shift;
         self.corrupted_watch.clone_from(&src.corrupted_watch);
+        self.corruption_touched = src.corruption_touched;
     }
 
+    #[inline(always)]
     fn line_of(&self, byte_addr: usize) -> u64 {
-        (byte_addr / self.line_bytes) as u64
+        match self.line_shift {
+            Some(s) => (byte_addr >> s) as u64,
+            None => (byte_addr / self.line_bytes) as u64,
+        }
     }
 
     /// Touches every line overlapping `[byte_addr, byte_addr + len)` from

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+
 use rand::Rng;
 
 use radcrit_core::DirtyRegion;
@@ -50,6 +51,14 @@ pub struct RunOutcome {
     /// that could differ from the golden output — everything outside is
     /// bit-equal by the resume invariant. `None` for full runs.
     pub dirty: Option<DirtyRegion>,
+    /// The engine proved mid-run that every strike died without touching
+    /// any observable state (no pending flips, no observed corrupted
+    /// load, no write-back, no armed faults) and stopped executing
+    /// early: by the resumability contract the finished run's output
+    /// would be bit-equal to golden, so callers must skip the output
+    /// compare — the returned buffer may hold stale bytes past the exit
+    /// tile.
+    pub golden_equivalent: bool,
 }
 
 /// Reusable per-worker state for repeated injections of one program on
@@ -64,6 +73,12 @@ pub struct RunScratch {
     template: Option<DeviceMemory>,
     spare: Option<DeviceMemory>,
     spare_caches: Option<CacheHierarchy>,
+    /// When the spare memory's written flags mirror a [`WarmState`]'s
+    /// (identified by its unique generation), a fork can restore only
+    /// the buffers either side has written since that sync instead of
+    /// every buffer. Cleared whenever the spare is filled from anything
+    /// other than that warm state.
+    spare_origin: Option<u64>,
 }
 
 impl RunScratch {
@@ -89,6 +104,7 @@ impl RunScratch {
     /// An owned memory image equal to the template, reusing the spare
     /// allocation from the previous run when available.
     fn image_of_template(&mut self) -> DeviceMemory {
+        self.spare_origin = None;
         let RunScratch {
             template, spare, ..
         } = self;
@@ -116,6 +132,50 @@ impl RunScratch {
             }
             None => src.clone(),
         }
+    }
+}
+
+/// Restored-and-advanced golden machine state shared by a bucket of
+/// injections whose strikes resume from the same snapshot.
+///
+/// Built once per bucket by [`Engine::warm_restore`], rolled forward
+/// tile by tile with [`Engine::warm_advance`], and forked (copied into
+/// the scratch spares, never mutated) per strike by
+/// [`Engine::run_forked`]. Because golden execution is deterministic,
+/// the warm state at tile `t` is bit-equal to the state a per-injection
+/// snapshot resume would rebuild at `t` — which is what makes forked
+/// runs bit-identical to unbatched differential runs.
+#[derive(Debug)]
+pub struct WarmState {
+    mem: DeviceMemory,
+    caches: CacheHierarchy,
+    counters: MachineCounters,
+    l2_resident_samples: f64,
+    next_tile: usize,
+    resume_tile: usize,
+    /// Unique id for the dirty-only fork restore (see
+    /// [`RunScratch::spare_origin`]). `mem`'s write tracking is reset
+    /// when the state is built, so its written flags name exactly the
+    /// buffers golden advancement has touched since.
+    gen: u64,
+}
+
+/// Source of [`WarmState::gen`] values; never reused, so a scratch's
+/// `spare_origin` can only ever match the warm state it last synced to.
+static NEXT_WARM_GEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl WarmState {
+    /// The snapshot tile this state was restored from (the bucket key).
+    #[must_use]
+    pub fn resume_tile(&self) -> usize {
+        self.resume_tile
+    }
+
+    /// The next tile golden execution would run; strikes at
+    /// `>= next_tile` can fork from this state as-is.
+    #[must_use]
+    pub fn next_tile(&self) -> usize {
+        self.next_tile
     }
 }
 
@@ -211,10 +271,8 @@ impl Engine {
     ) -> Result<(RunOutcome, SnapshotSet), AccelError> {
         let mut rng = NoRng;
         let req = RunRequest {
-            strikes: &[],
-            snapshots: None,
             capture: Some(*policy),
-            scratch: None,
+            ..RunRequest::plain(&[])
         };
         self.run_internal(program, req, &mut rng, None)
     }
@@ -364,10 +422,9 @@ impl Engine {
         R: Rng + ?Sized,
     {
         let req = RunRequest {
-            strikes: std::slice::from_ref(strike),
             snapshots,
-            capture: None,
             scratch: Some(scratch),
+            ..RunRequest::plain(std::slice::from_ref(strike))
         };
         Ok(self.run_internal(program, req, rng, None)?.0)
     }
@@ -391,10 +448,9 @@ impl Engine {
     {
         let mut trace = ExecutionTrace::new();
         let req = RunRequest {
-            strikes: std::slice::from_ref(strike),
             snapshots,
-            capture: None,
             scratch: Some(scratch),
+            ..RunRequest::plain(std::slice::from_ref(strike))
         };
         let (outcome, _) = self.run_internal(program, req, rng, Some(&mut trace))?;
         Ok((outcome, trace))
@@ -426,6 +482,171 @@ impl Engine {
             .0)
     }
 
+    /// Restores the nearest snapshot at or before `tile` into an owned
+    /// [`WarmState`] — the batch scheduler's once-per-bucket restore.
+    /// `reuse` recycles a previous bucket's allocations (memory image,
+    /// cache tables) instead of cloning fresh ones. Returns `None` when
+    /// the program is not resumable or no snapshot covers `tile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program setup errors.
+    pub fn warm_restore<P>(
+        &self,
+        program: &mut P,
+        snapshots: &SnapshotSet,
+        tile: usize,
+        scratch: &mut RunScratch,
+        reuse: Option<WarmState>,
+    ) -> Result<Option<WarmState>, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+    {
+        if !program.resumable() {
+            return Ok(None);
+        }
+        let Some(snap) = snapshots.resume_point(tile) else {
+            return Ok(None);
+        };
+        scratch.ensure_template(program)?;
+        let template = scratch.template.as_ref().expect("ensure_template ran");
+        let (mut mem, caches) = match reuse {
+            Some(w) => {
+                let mut m = w.mem;
+                m.restore_from(template);
+                let mut c = w.caches;
+                c.restore_from(&snap.caches);
+                (m, c)
+            }
+            None => (template.clone(), snap.caches.clone()),
+        };
+        mem.apply_delta(&snap.mem_delta)?;
+        // Baseline for the dirty-only fork restore: from here on the
+        // written flags name the buffers golden advancement touches.
+        mem.reset_write_tracking();
+        Ok(Some(WarmState {
+            mem,
+            caches,
+            counters: snap.counters,
+            l2_resident_samples: snap.l2_resident_samples,
+            next_tile: snap.at_tile,
+            resume_tile: snap.at_tile,
+            gen: NEXT_WARM_GEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }))
+    }
+
+    /// Rolls `warm` forward fault-free to `to_tile` (exclusive),
+    /// replaying the golden tiles in between — the shared prefix work a
+    /// bucket's strikes amortize. Returns how many tiles were executed
+    /// (`0` when already at or past `to_tile`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates program execution errors.
+    pub fn warm_advance<P>(
+        &self,
+        program: &mut P,
+        warm: &mut WarmState,
+        to_tile: usize,
+    ) -> Result<usize, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+    {
+        let tiles = program.tile_count();
+        let to_tile = to_tile.min(tiles);
+        if to_tile <= warm.next_tile {
+            return Ok(0);
+        }
+        let launch_tiles = program.tiles_per_launch().min(tiles).max(1);
+        let plan = DispatchPlan::new(
+            &self.cfg,
+            tiles,
+            launch_tiles,
+            program.threads_per_tile(),
+            program.local_mem_per_tile(),
+        );
+        let advanced = to_tile - warm.next_tile;
+        for pos in warm.next_tile..to_tile {
+            let unit = plan.unit_of(pos);
+            let mut ctx = TileCtx::new(&mut warm.mem, &mut warm.caches, unit, TileFault::none());
+            program.execute_tile(TileId(pos), &mut ctx)?;
+            let c = ctx.drain_counters();
+            warm.counters.ops += c.ops;
+            warm.counters.trans_ops += c.trans_ops;
+            warm.counters.loads += c.loads;
+            warm.counters.stores += c.stores;
+            warm.l2_resident_samples += warm.caches.l2_resident_lines() as f64;
+        }
+        warm.next_tile = to_tile;
+        Ok(advanced)
+    }
+
+    /// Forks `warm` (copy into the scratch spares; `warm` itself is
+    /// untouched) and runs the suffix from `warm.next_tile()` under
+    /// `strike`. `bucket_spans` is the bucket's precomputed golden
+    /// suffix span union (`SnapshotSet::golden_spans_from` at the
+    /// bucket's resume tile); the returned dirty region is the run's own
+    /// store log union those spans — exactly what an unbatched
+    /// differential run would report.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::StrikeOutOfRange`] if the strike instant is past
+    /// the last tile or before `warm.next_tile()` (the fork would replay
+    /// past the delivery instant); propagates program errors.
+    pub fn run_forked<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+        warm: &WarmState,
+        bucket_spans: &[(usize, usize)],
+        scratch: &mut RunScratch,
+    ) -> Result<RunOutcome, AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let req = RunRequest {
+            scratch: Some(scratch),
+            warm: Some(warm),
+            bucket_spans: Some(bucket_spans),
+            ..RunRequest::plain(std::slice::from_ref(strike))
+        };
+        Ok(self.run_internal(program, req, rng, None)?.0)
+    }
+
+    /// [`Engine::run_forked`] with a per-tile [`ExecutionTrace`]
+    /// covering the forked suffix — the same tiles an unbatched resumed
+    /// trace covers once filtered to positions `>= strike.at_tile`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Engine::run_forked`].
+    pub fn run_forked_traced<P, R>(
+        &self,
+        program: &mut P,
+        strike: &StrikeSpec,
+        rng: &mut R,
+        warm: &WarmState,
+        bucket_spans: &[(usize, usize)],
+        scratch: &mut RunScratch,
+    ) -> Result<(RunOutcome, ExecutionTrace), AccelError>
+    where
+        P: TiledProgram + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut trace = ExecutionTrace::new();
+        let req = RunRequest {
+            scratch: Some(scratch),
+            warm: Some(warm),
+            bucket_spans: Some(bucket_spans),
+            ..RunRequest::plain(std::slice::from_ref(strike))
+        };
+        let (outcome, _) = self.run_internal(program, req, rng, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
     fn run_internal<P, R>(
         &self,
         program: &mut P,
@@ -448,6 +669,16 @@ impl Engine {
                     tiles,
                 });
             }
+            // A fork replays tiles from `next_tile` on; a strike before
+            // that instant could never be delivered.
+            if let Some(w) = req.warm {
+                if s.at_tile < w.next_tile {
+                    return Err(AccelError::StrikeOutOfRange {
+                        tile: s.at_tile,
+                        tiles: w.next_tile,
+                    });
+                }
+            }
         }
 
         let mut phase_start = self.metrics.as_ref().map(|_| Instant::now());
@@ -469,9 +700,39 @@ impl Engine {
         } else {
             None
         };
-        let resumed = resume.is_some();
+        let forked = req.warm.is_some();
+        let resumed = resume.is_some() || forked;
 
-        let (mut mem, mut caches, mut totals, mut l2_resident_samples, start_tile) = match resume {
+        let (mut mem, mut caches, mut totals, mut l2_resident_samples, start_tile) = if let Some(w) =
+            req.warm
+        {
+            // Fork: copy the bucket's warm state into the scratch spares
+            // (or clone without a scratch). The warm state already sits
+            // at `next_tile`, prefix replay included, so the fork starts
+            // right at the strike instant.
+            let (mem, caches) = match scratch.as_deref_mut() {
+                Some(sc) => {
+                    // Same warm state as the previous fork: only the
+                    // buffers written on either side since that sync can
+                    // differ, so skip the rest of the image copy.
+                    let mem = match (sc.spare_origin == Some(w.gen), sc.spare.take()) {
+                        (true, Some(mut m)) => {
+                            m.restore_written_from(&w.mem);
+                            m
+                        }
+                        (_, spare) => {
+                            sc.spare_origin = Some(w.gen);
+                            sc.spare = spare;
+                            RunScratch::fill(&mut sc.spare, &w.mem)
+                        }
+                    };
+                    (mem, sc.caches_of(&w.caches))
+                }
+                None => (w.mem.clone(), w.caches.clone()),
+            };
+            (mem, caches, w.counters, w.l2_resident_samples, w.next_tile)
+        } else {
+            match resume {
             Some(snap) => {
                 // Snapshots hold memory as a delta against the
                 // post-setup image, so resume starts from that image —
@@ -518,6 +779,7 @@ impl Engine {
                     0,
                 )
             }
+            }
         };
         let plan = DispatchPlan::new(&self.cfg, tiles, launch_tiles, threads_per_tile, local_mem);
 
@@ -525,6 +787,9 @@ impl Engine {
             m.counter_add("radcrit_engine_runs_total", &[], 1);
             if resumed {
                 m.counter_add("radcrit_engine_resumed_runs_total", &[], 1);
+            }
+            if forked {
+                m.counter_add("radcrit_engine_forked_runs_total", &[], 1);
             }
             plan.observe(m);
         }
@@ -581,6 +846,17 @@ impl Engine {
         let mut skip_positions: Vec<usize> = Vec::new();
         let mut redirects: Vec<(usize, usize)> = Vec::new();
         let mut unit_garbles: Vec<usize> = Vec::new();
+
+        // Dead-strike early exit: once every strike tile has passed and
+        // no corruption is pending or was ever observed (and no armed
+        // core/scheduler faults exist — those vecs are never drained, so
+        // any delivered non-cache fault blocks the exit forever), the
+        // resumability contract guarantees the remaining tiles compute
+        // exactly the golden values. Stop executing; the caller skips
+        // the compare. Gated on resumable programs only (pathological
+        // kernels fail via cross-tile engine state this proof ignores).
+        let last_strike_tile = req.strikes.iter().map(|s| s.at_tile).max();
+        let mut golden_equivalent = false;
 
         for pos in start_tile..tiles {
             if let Some((stride, budget)) = capture_plan {
@@ -679,6 +955,25 @@ impl Engine {
             }
 
             l2_resident_samples += caches.l2_resident_lines() as f64;
+
+            if let Some(last) = last_strike_tile {
+                if resumable
+                    && capture_plan.is_none()
+                    && pos >= last
+                    && armed_faults.is_empty()
+                    && skip_positions.is_empty()
+                    && redirects.is_empty()
+                    && unit_garbles.is_empty()
+                    && !caches.corruption_touched()
+                    && !caches.has_pending_corruption()
+                {
+                    golden_equivalent = true;
+                    if let Some(m) = self.metrics.as_deref() {
+                        m.counter_add("radcrit_run_dead_strike_exits_total", &[], 1);
+                    }
+                    break;
+                }
+            }
         }
 
         self.phase_done("tiles", &mut phase_start);
@@ -705,6 +1000,11 @@ impl Engine {
         if let Some(sc) = scratch.as_deref_mut() {
             if resumable {
                 sc.spare = Some(mem);
+                // A non-forked run's image (and written flags) no longer
+                // mirror any warm state; forked runs keep their sync.
+                if !forked {
+                    sc.spare_origin = None;
+                }
             }
         }
 
@@ -713,8 +1013,17 @@ impl Engine {
         // suffix spans — a tile the fault skipped keeps golden-at-resume
         // bytes that the golden suffix would have overwritten, so both
         // sides are needed.
-        let dirty = match (resumed, req.snapshots) {
-            (true, Some(snaps)) => {
+        // A forked run's store log starts at the strike tile, not the
+        // bucket's resume tile — but the golden stores in between are a
+        // subset of the bucket's precomputed golden spans, so the union
+        // covers the same elements either way.
+        let dirty = match (resumed, req.bucket_spans, req.snapshots) {
+            (true, Some(pre), _) => {
+                let mut spans = store_log.map(|l| l.spans).unwrap_or_default();
+                spans.extend_from_slice(pre);
+                Some(DirtyRegion::from_spans(spans, output.len()))
+            }
+            (true, None, Some(snaps)) => {
                 let mut spans = store_log.map(|l| l.spans).unwrap_or_default();
                 spans.extend(snaps.golden_spans_from(start_tile));
                 Some(DirtyRegion::from_spans(spans, output.len()))
@@ -772,6 +1081,7 @@ impl Engine {
                 strike_delivered,
                 resolutions,
                 dirty,
+                golden_equivalent,
             },
             set,
         ))
@@ -906,6 +1216,11 @@ struct RunRequest<'a> {
     capture: Option<SnapshotPolicy>,
     /// Per-worker reusable setup/memory state.
     scratch: Option<&'a mut RunScratch>,
+    /// Fork off this warm golden state instead of restoring a snapshot.
+    warm: Option<&'a WarmState>,
+    /// Precomputed golden suffix spans for the warm state's bucket,
+    /// replacing the per-run `golden_spans_from` walk.
+    bucket_spans: Option<&'a [(usize, usize)]>,
 }
 
 impl<'a> RunRequest<'a> {
@@ -915,6 +1230,8 @@ impl<'a> RunRequest<'a> {
             snapshots: None,
             capture: None,
             scratch: None,
+            warm: None,
+            bucket_spans: None,
         }
     }
 }
@@ -1445,6 +1762,132 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn forked_run_is_bit_identical_to_full_and_resumed_runs() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let (_, set) = engine
+            .golden_snapshotted(
+                &mut p,
+                &SnapshotPolicy {
+                    stride: 3,
+                    max_bytes: 0,
+                },
+            )
+            .unwrap();
+        let golden = engine.golden(&mut p).unwrap();
+        let targets = [
+            StrikeTarget::L2 { mask: 1 << 62 },
+            StrikeTarget::Fpu {
+                mask: 1 << 63,
+                op_index: 2,
+            },
+            StrikeTarget::Scheduler(SchedulerEffect::RedirectTile),
+            StrikeTarget::Scheduler(SchedulerEffect::SkipTile),
+            StrikeTarget::UnitGarble,
+        ];
+        let mut scratch = RunScratch::new();
+        let mut warm: Option<WarmState> = None;
+        for (i, target) in targets.iter().enumerate() {
+            // Ascending strike tiles within one bucket: the warm state
+            // advances monotonically like the batch scheduler drives it.
+            for at_tile in [3, 5, 7] {
+                let s = StrikeSpec::new(at_tile, *target);
+                let seed = 300 + i as u64;
+                let mut rng_full = SmallRng::seed_from_u64(seed);
+                let full = engine.run(&mut p, &s, &mut rng_full).unwrap();
+                let mut rng_diff = SmallRng::seed_from_u64(seed);
+                let diff = engine.run_from(&mut p, &s, &mut rng_diff, &set).unwrap();
+
+                let need_restore = match warm.as_ref() {
+                    Some(w) => {
+                        w.resume_tile() != set.resume_tile(at_tile).unwrap()
+                            || w.next_tile() > at_tile
+                    }
+                    None => true,
+                };
+                if need_restore {
+                    warm = engine
+                        .warm_restore(&mut p, &set, at_tile, &mut scratch, warm.take())
+                        .unwrap();
+                }
+                let w = warm.as_mut().unwrap();
+                engine.warm_advance(&mut p, w, at_tile).unwrap();
+                let spans: Vec<_> = set.golden_spans_from(w.resume_tile()).collect();
+                let mut rng_fork = SmallRng::seed_from_u64(seed);
+                let fork = engine
+                    .run_forked(&mut p, &s, &mut rng_fork, w, &spans, &mut scratch)
+                    .unwrap();
+
+                assert_eq!(bits(&full.output), bits(&fork.output), "{target:?}@{at_tile}");
+                assert_eq!(full.resolutions, fork.resolutions);
+                assert_eq!(full.profile, fork.profile);
+                assert_eq!(full.strike_delivered, fork.strike_delivered);
+                // The forked dirty region equals the unbatched one: both
+                // canonicalize the same covered element set.
+                assert_eq!(
+                    diff.dirty.as_ref().unwrap().ranges(),
+                    fork.dirty.as_ref().unwrap().ranges(),
+                    "{target:?}@{at_tile}"
+                );
+                for idx in 0..full.output.len() {
+                    if full.output[idx].to_bits() != golden.output[idx].to_bits() {
+                        assert!(
+                            fork.dirty.as_ref().unwrap().contains(idx),
+                            "{target:?}@{at_tile}: idx {idx} dirty"
+                        );
+                    }
+                }
+            }
+            warm = None; // next target restarts the bucket
+        }
+    }
+
+    #[test]
+    fn fork_before_warm_front_is_rejected() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let (_, set) = engine
+            .golden_snapshotted(
+                &mut p,
+                &SnapshotPolicy {
+                    stride: 2,
+                    max_bytes: 0,
+                },
+            )
+            .unwrap();
+        let mut scratch = RunScratch::new();
+        let mut warm = engine
+            .warm_restore(&mut p, &set, 6, &mut scratch, None)
+            .unwrap()
+            .unwrap();
+        engine.warm_advance(&mut p, &mut warm, 6).unwrap();
+        let s = StrikeSpec::new(
+            5,
+            StrikeTarget::Fpu {
+                mask: 1,
+                op_index: 0,
+            },
+        );
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(matches!(
+            engine.run_forked(&mut p, &s, &mut rng, &warm, &[], &mut scratch),
+            Err(AccelError::StrikeOutOfRange { tile: 5, tiles: 6 })
+        ));
+    }
+
+    #[test]
+    fn warm_restore_refuses_non_covered_or_non_resumable() {
+        let engine = Engine::new(DeviceConfig::kepler_k40());
+        let mut p = Affine::new(64);
+        let set = SnapshotSet::default();
+        let mut scratch = RunScratch::new();
+        assert!(engine
+            .warm_restore(&mut p, &set, 7, &mut scratch, None)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

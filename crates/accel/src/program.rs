@@ -16,7 +16,7 @@
 use radcrit_core::shape::OutputShape;
 
 use crate::error::AccelError;
-use crate::memory::{BufferId, DeviceMemory, ElemAddr};
+use crate::memory::{BufferId, DeviceMemory};
 
 /// Index of a tile within a program's dispatch space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -276,10 +276,38 @@ impl<'a> TileCtx<'a> {
         value
     }
 
-    /// Fused multiply-add routed through the op counter: `a * b + acc`.
+    /// Fused multiply-add routed through the op counter: `a * b + acc`
+    /// with a *single* rounding, like the hardware FFMA/VFMADD units of
+    /// both paper devices (separate multiply-then-add rounds twice and
+    /// matches neither). Host reference implementations must mirror the
+    /// fusion with `f64::mul_add` to stay bitwise identical.
     #[inline(always)]
     pub fn fma(&mut self, a: f64, b: f64, acc: f64) -> f64 {
-        self.op(a * b + acc)
+        self.op(a.mul_add(b, acc))
+    }
+
+    /// Bulk fused multiply-add over a row: `acc[i] = fma(a, row[i],
+    /// acc[i])` for each lane, one counted op per element — semantically
+    /// identical to calling [`TileCtx::fma`] element by element (same op
+    /// indices, same single-rounding fusion). The unarmed fast path
+    /// counts the ops in one bump so the compiler can vectorize the row;
+    /// kernels with a dense inner product should prefer it over
+    /// per-element [`fma`].
+    ///
+    /// [`fma`]: TileCtx::fma
+    #[inline]
+    pub fn fma_row(&mut self, a: f64, row: &[f64], acc: &mut [f64]) {
+        if self.fault_armed {
+            for (slot, &b) in acc.iter_mut().zip(row) {
+                *slot = self.fma(a, b, *slot);
+            }
+            return;
+        }
+        let lanes = acc.len().min(row.len());
+        for (slot, &b) in acc.iter_mut().zip(row) {
+            *slot = a.mul_add(b, *slot);
+        }
+        self.ops += lanes as u64;
     }
 
     /// Addition routed through the op counter.
@@ -342,21 +370,17 @@ impl<'a> TileCtx<'a> {
             return Ok(());
         }
         self.loads += dst.len() as u64;
-        let base = self.mem.byte_addr(ElemAddr {
-            buffer: buf,
-            index: start,
-        })?;
-        {
-            let src = self.mem.slice(buf)?;
-            let end = start + dst.len();
-            let window = src.get(start..end).ok_or(AccelError::OutOfBounds {
-                buffer: buf.index(),
-                index: end - 1,
-                len: src.len(),
-            })?;
+        let base = {
+            let (base, window) = self.mem.window(buf, start, dst.len())?;
             dst.copy_from_slice(window);
-        }
+            base
+        };
         let wbs = self.caches.access(self.unit, base, dst.len() * 8, false);
+        if !wbs.is_empty() {
+            // Corruption reached DRAM mid-run; the run can no longer be
+            // proven golden-equivalent.
+            self.caches.corruption_touched = true;
+        }
         apply_writebacks(self.mem, &wbs, self.store_log.as_deref_mut());
         // Slow path only for elements on struck lines.
         if self.caches.has_pending_corruption() {
@@ -365,6 +389,8 @@ impl<'a> TileCtx<'a> {
                     let mask = self.caches.corruption_for(self.unit, base + i * 8);
                     if mask != 0 {
                         *v = f64::from_bits(v.to_bits() ^ mask);
+                        // A corrupted value entered the datapath.
+                        self.caches.corruption_touched = true;
                     }
                 }
             }
@@ -398,20 +424,9 @@ impl<'a> TileCtx<'a> {
             return Ok(());
         }
         self.stores += src.len() as u64;
-        let base = self.mem.byte_addr(ElemAddr {
-            buffer: buf,
-            index: start,
-        })?;
         let fault_stores = self.fault.store_at != u64::MAX;
-        {
-            let dstbuf = self.mem.slice_mut(buf)?;
-            let end = start + src.len();
-            let len = dstbuf.len();
-            let window = dstbuf.get_mut(start..end).ok_or(AccelError::OutOfBounds {
-                buffer: buf.index(),
-                index: end - 1,
-                len,
-            })?;
+        let base = {
+            let (base, window) = self.mem.window_mut(buf, start, src.len())?;
             if fault_stores {
                 for (slot, &v) in window.iter_mut().zip(src) {
                     let idx = self.store_ops;
@@ -432,11 +447,15 @@ impl<'a> TileCtx<'a> {
                     self.last_store = last;
                 }
             }
-        }
+            base
+        };
         if let Some(log) = self.store_log.as_deref_mut() {
             log.record(buf, start, src.len());
         }
         let wbs = self.caches.access(self.unit, base, src.len() * 8, true);
+        if !wbs.is_empty() {
+            self.caches.corruption_touched = true;
+        }
         apply_writebacks(self.mem, &wbs, self.store_log.as_deref_mut());
         // A program store supersedes pending corruption of the element.
         if self.caches.has_pending_corruption() {

@@ -113,12 +113,19 @@ impl SnapshotSet {
         self.snaps[..i].last()
     }
 
+    /// The tile of the snapshot a strike at `tile` would resume from:
+    /// the greatest captured `at_tile <= tile`. This is the batch
+    /// scheduler's bucket key — strikes sharing a resume tile share one
+    /// warm restore.
+    #[must_use]
+    pub fn resume_tile(&self, tile: usize) -> Option<usize> {
+        self.resume_point(tile).map(|s| s.at_tile)
+    }
+
     /// Golden output-store spans of tiles `>= tile`, as `(start, len)`
-    /// element spans.
-    pub(crate) fn golden_spans_from(
-        &self,
-        tile: usize,
-    ) -> impl Iterator<Item = (usize, usize)> + '_ {
+    /// element spans. Unioned with a faulty run's own store log these
+    /// bound the dirty output region of any run resumed at `tile`.
+    pub fn golden_spans_from(&self, tile: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
         let i = self
             .output_spans
             .partition_point(|&(t, _, _)| (t as usize) < tile);
@@ -174,6 +181,51 @@ mod tests {
         assert!(!set.push(snap(8), used), "second capture exceeds budget");
         assert_eq!(set.len(), 1);
         assert_eq!(set.skipped_tiles(), 1);
+    }
+
+    #[test]
+    fn whole_schedule_over_budget_counts_every_capture_point() {
+        // A budget too small for even one snapshot must skip (and count)
+        // every capture point while keeping the set empty and free.
+        let mut set = SnapshotSet::default();
+        for t in [0, 4, 8, 12] {
+            assert!(!set.push(snap(t), 1));
+        }
+        assert!(set.is_empty());
+        assert_eq!(set.skipped_tiles(), 4);
+        assert_eq!(set.bytes, 0, "skipped captures must not be charged");
+        assert_eq!(set.cost_bytes(), 0);
+        assert_eq!(set.resume_tile(100), None);
+    }
+
+    #[test]
+    fn cost_bytes_charges_snapshots_once_plus_span_index() {
+        // `cost_bytes` = accumulated per-snapshot cost (each capture
+        // charged exactly once at push time) + 12 bytes per output span.
+        let mut set = SnapshotSet::default();
+        let mut per_push = Vec::new();
+        for t in [0, 8] {
+            let before = set.bytes;
+            assert!(set.push(snap(t), usize::MAX));
+            per_push.push(set.bytes - before);
+        }
+        assert_eq!(set.bytes, per_push.iter().sum::<usize>());
+        assert_eq!(set.cost_bytes(), set.bytes);
+        let mut with_spans = set.clone();
+        with_spans.output_spans = vec![(0, 0, 8), (1, 8, 8)];
+        assert_eq!(with_spans.cost_bytes(), set.bytes + 2 * 12);
+    }
+
+    #[test]
+    fn resume_tile_matches_resume_point() {
+        let mut set = SnapshotSet::default();
+        for t in [2, 8, 16] {
+            assert!(set.push(snap(t), usize::MAX));
+        }
+        assert_eq!(set.resume_tile(0), None);
+        assert_eq!(set.resume_tile(2), Some(2));
+        assert_eq!(set.resume_tile(9), Some(8));
+        assert_eq!(set.resume_tile(100), Some(16));
     }
 
     #[test]

@@ -214,14 +214,18 @@ impl GoldenCache {
     pub fn insert(&self, key: GoldenKey, entry: GoldenEntry) -> Arc<GoldenEntry> {
         let cost = entry.cost_bytes();
         let entry = Arc::new(entry);
-        if cost > self.max_bytes {
-            return entry; // would evict everything and still not fit
-        }
         let mut inner = self.inner.lock().expect("golden cache lock");
         inner.tick += 1;
         let tick = inner.tick;
+        // Any previous entry under the key is stale the moment its
+        // replacement was computed (e.g. a snapshot-less entry refreshed
+        // by a differential run), so it goes away even when the new
+        // entry itself turns out to be uncacheable.
         if let Some(old) = inner.map.remove(&key) {
             inner.bytes -= old.cost;
+        }
+        if cost > self.max_bytes {
+            return entry; // would evict everything and still not fit
         }
         while inner.bytes + cost > self.max_bytes {
             let Some(lru_key) = inner
@@ -365,6 +369,62 @@ mod tests {
         cache.insert(key(1), entry(1000));
         assert_eq!(cache.stats().entries, 0);
         assert!(cache.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn oversized_replacement_still_removes_the_stale_entry() {
+        // A refreshed result too large to cache must still invalidate
+        // the entry it replaces — otherwise a snapshot-less entry whose
+        // snapshot-carrying refresh exceeds the budget would be served
+        // (and filtered, and recomputed) by every later differential
+        // job, forever.
+        let per = 8 * 8 + ENTRY_OVERHEAD_BYTES;
+        let cache = GoldenCache::new(per);
+        cache.insert(key(1), entry(8));
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(1), entry(100_000));
+        assert!(cache.get(&key(1)).is_none(), "stale entry must be gone");
+        let s = cache.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0));
+    }
+
+    #[test]
+    fn differential_job_refreshes_a_snapshotless_entry() {
+        use crate::runner::RunOptions;
+
+        let c = Campaign::new(
+            DeviceConfig::kepler_k40(),
+            KernelSpec::Dgemm { n: 32 },
+            4,
+            7,
+        )
+        .with_workers(1);
+        let cache = GoldenCache::shared_default();
+        let run = |full_execution: bool| {
+            c.run_with(&RunOptions {
+                golden_cache: Some(Arc::clone(&cache)),
+                full_execution,
+                ..RunOptions::default()
+            })
+            .unwrap()
+        };
+        // Job 1 (full execution) warms the cache without snapshots.
+        run(true);
+        let k = GoldenKey::for_campaign(&c);
+        assert!(cache.get(&k).expect("warmed").snapshots.is_none());
+        // Job 2 (differential) cannot use the snapshot-less hit; its
+        // recomputed snapshot-carrying result must replace it.
+        run(false);
+        let refreshed = cache.get(&k).expect("still cached");
+        assert!(
+            refreshed.snapshots.as_ref().is_some_and(|s| !s.is_empty()),
+            "differential job must have refreshed the entry with snapshots"
+        );
+        // Job 3 (differential) now hits.
+        let before = cache.stats();
+        run(false);
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses), (1, 0));
     }
 
     #[test]

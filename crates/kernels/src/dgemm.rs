@@ -115,7 +115,8 @@ impl Dgemm {
                             let aval = self.a[i * n + kk];
                             for (cc, slot) in accr.iter_mut().enumerate() {
                                 let j = bj * BLOCK + cc;
-                                *slot += aval * self.b[kk * n + j];
+                                // Fused like the device FMA (single rounding).
+                                *slot = aval.mul_add(self.b[kk * n + j], *slot);
                             }
                         }
                     }
@@ -176,12 +177,8 @@ impl TiledProgram for Dgemm {
                 ctx.load(b_buf, kk * n + bj * BLOCK, row)?;
             }
             for (r, accr) in acc.iter_mut().enumerate() {
-                for k in 0..BLOCK {
-                    let aval = a_blk[r][k];
-                    let brow = &b_blk[k];
-                    for (cc, slot) in accr.iter_mut().enumerate() {
-                        *slot = ctx.fma(aval, brow[cc], *slot);
-                    }
+                for (k, brow) in b_blk.iter().enumerate() {
+                    ctx.fma_row(a_blk[r][k], brow, accr);
                 }
             }
         }

@@ -169,7 +169,8 @@ impl HotSpot {
                     let horiz = CX * (cur[i * c + rt] + cur[i * c + lf] - 2.0 * t);
                     let vert = CY * (cur[up * c + j] + cur[dn * c + j] - 2.0 * t);
                     let sink = CZ * (AMB - t);
-                    next[i * c + j] = t + CAP * (self.power[i * c + j] + horiz + vert + sink);
+                    // Fused like the device FMA (single rounding).
+                    next[i * c + j] = CAP.mul_add(self.power[i * c + j] + horiz + vert + sink, t);
                 }
             }
             std::mem::swap(&mut cur, &mut next);

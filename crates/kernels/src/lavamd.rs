@@ -134,7 +134,9 @@ impl LavaMd {
                     for j in 0..p {
                         let rb = &self.rv[(nb * p + j) * 4..(nb * p + j) * 4 + 4];
                         let qb = self.qv[nb * p + j];
-                        let dot = ra[1] * rb[1] + (ra[2] * rb[2] + (ra[3] * rb[3] + 0.0));
+                        // Fused like the device FMA chain (single
+                        // rounding per term).
+                        let dot = ra[1].mul_add(rb[1], ra[2].mul_add(rb[2], ra[3].mul_add(rb[3], 0.0)));
                         // Same association as the device kernel's
                         // `add(rav, rbv - dot)` so results match bitwise.
                         let r2 = ra[0] + (rb[0] - dot);
@@ -144,10 +146,10 @@ impl LavaMd {
                         let dx = ra[1] - rb[1];
                         let dy = ra[2] - rb[2];
                         let dz = ra[3] - rb[3];
-                        fv[fi] += qb * vij;
-                        fv[fi + 1] += qb * (fs * dx);
-                        fv[fi + 2] += qb * (fs * dy);
-                        fv[fi + 3] += qb * (fs * dz);
+                        fv[fi] = qb.mul_add(vij, fv[fi]);
+                        fv[fi + 1] = qb.mul_add(fs * dx, fv[fi + 1]);
+                        fv[fi + 2] = qb.mul_add(fs * dy, fv[fi + 2]);
+                        fv[fi + 3] = qb.mul_add(fs * dz, fv[fi + 3]);
                     }
                 }
             }

@@ -279,13 +279,14 @@ fn lax_friedrichs_cell(
     let s = state(ii + 1, jj);
 
     // Fluxes along x (east/west neighbours) and y (north/south).
+    // Fused like the device FMA (single rounding).
     let fx = |(hh, huu, hvv): (f64, f64, f64)| {
         let u = huu / hh;
-        (huu, huu * u + 0.5 * GRAVITY * hh * hh, hvv * u)
+        (huu, huu.mul_add(u, 0.5 * GRAVITY * hh * hh), hvv * u)
     };
     let fy = |(hh, huu, hvv): (f64, f64, f64)| {
         let v = hvv / hh;
-        (hvv, huu * v, hvv * v + 0.5 * GRAVITY * hh * hh)
+        (hvv, huu * v, hvv.mul_add(v, 0.5 * GRAVITY * hh * hh))
     };
 
     let (fe0, fe1, fe2) = fx(e);
@@ -547,6 +548,12 @@ mod tests {
         let s = StrikeSpec::new(tiles_step0, StrikeTarget::L2 { mask: 1 << 60 });
         let out = engine.run(&mut k, &s, &mut rng).unwrap();
         assert!(out.strike_delivered);
+        if out.golden_equivalent {
+            // The engine proved the corruption died unobserved and
+            // stopped early — masked by construction, the output buffer
+            // is stale past the exit tile and must not be diffed.
+            return;
+        }
         let diffs: Vec<usize> = (0..golden.len())
             .filter(|&i| out.output[i] != golden[i])
             .collect();

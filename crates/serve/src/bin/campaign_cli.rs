@@ -54,7 +54,7 @@ const USAGE: &str =
        [--progress 5] [--summary-out summary.json]
        [--metrics-out metrics.json] [--events-out events.jsonl]
        [--events-sample 1] [--snapshot-stride 0] [--full-execution]
-       [--trace-out trace.json]
+       [--no-batch] [--trace-out trace.json]
    radcrit-campaign obs-report EVENTS_FILE
    radcrit-campaign serve [--addr 127.0.0.1:7117] [--data-dir DIR]
        [--pool 2] [--queue-depth 64] [--cache-mb 64] [--full-execution]
@@ -265,6 +265,7 @@ struct RunArgs {
     events_out: Option<PathBuf>,
     snapshot_stride: usize,
     full_execution: bool,
+    no_batch: bool,
     trace_out: Option<PathBuf>,
 }
 
@@ -287,6 +288,7 @@ fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
             "--events-out" => a.events_out = Some(PathBuf::from(value(&flag, &mut it)?)),
             "--snapshot-stride" => a.snapshot_stride = parsed(&flag, &mut it)?,
             "--full-execution" => a.full_execution = true,
+            "--no-batch" => a.no_batch = true,
             "--trace-out" => a.trace_out = Some(PathBuf::from(value(&flag, &mut it)?)),
             other => return Err(config(format!("unknown flag {other}"))),
         }
@@ -318,6 +320,7 @@ fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
         events_sample: spec.events_sample,
         snapshot_stride: a.snapshot_stride,
         full_execution: a.full_execution,
+        no_batch: a.no_batch,
         trace_out: a.trace_out.clone(),
         ..RunOptions::default()
     };

@@ -111,6 +111,15 @@ pub fn stream_sse(
                 send("event: end\ndata: {}\n\n")?;
                 return Ok(());
             }
+            // A file deleted mid-tail can never complete its stream: the
+            // stale descriptor reads nothing and a recreated file would
+            // restart the ordinals. Surface it as a clean end so clients
+            // close instead of polling (or reconnecting) into the hole —
+            // even when the job never reaches a terminal state.
+            if !progressed && file.is_some() && !events_path.exists() {
+                send("event: end\ndata: {}\n\n")?;
+                return Ok(());
+            }
             if !progressed {
                 std::thread::sleep(TAIL_POLL);
             }
@@ -228,6 +237,31 @@ mod tests {
             "completed torn line must be framed whole: {body}"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deleted_event_file_ends_the_stream_cleanly() {
+        let path = temp_events("deleted", &["{\"e\":\"a\"}"]);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().unwrap();
+                // Never terminal: only the deletion can end the tail.
+                stream_sse(&mut stream, &path, None, &|| false)
+            })
+        };
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Let the tail frame the existing line, then pull the file out
+        // from under it.
+        std::thread::sleep(Duration::from_millis(120));
+        std::fs::remove_file(&path).unwrap();
+        let body = read_response(&mut client).unwrap().body;
+        let result = server.join().unwrap();
+        assert!(result.is_ok(), "deletion must end the tail: {result:?}");
+        assert!(body.contains("id: 0\ndata: {\"e\":\"a\"}\n\n"), "{body}");
+        assert!(body.ends_with("event: end\ndata: {}\n\n"), "{body}");
     }
 
     #[test]
