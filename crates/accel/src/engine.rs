@@ -10,10 +10,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-
 use rand::Rng;
 
 use radcrit_core::DirtyRegion;
+use radcrit_obs::profile::{phase_if, profiling_enabled, PhaseId};
 use radcrit_obs::MetricsRegistry;
 
 use crate::cache::CacheHierarchy;
@@ -566,10 +566,14 @@ impl Engine {
             program.local_mem_per_tile(),
         );
         let advanced = to_tile - warm.next_tile;
+        let prof = profiling_enabled();
         for pos in warm.next_tile..to_tile {
             let unit = plan.unit_of(pos);
             let mut ctx = TileCtx::new(&mut warm.mem, &mut warm.caches, unit, TileFault::none());
-            program.execute_tile(TileId(pos), &mut ctx)?;
+            {
+                let _scope = phase_if(prof, PhaseId::TileExecute);
+                program.execute_tile(TileId(pos), &mut ctx)?;
+            }
             let c = ctx.drain_counters();
             warm.counters.ops += c.ops;
             warm.counters.trans_ops += c.trans_ops;
@@ -703,84 +707,83 @@ impl Engine {
         let forked = req.warm.is_some();
         let resumed = resume.is_some() || forked;
 
-        let (mut mem, mut caches, mut totals, mut l2_resident_samples, start_tile) = if let Some(w) =
-            req.warm
-        {
-            // Fork: copy the bucket's warm state into the scratch spares
-            // (or clone without a scratch). The warm state already sits
-            // at `next_tile`, prefix replay included, so the fork starts
-            // right at the strike instant.
-            let (mem, caches) = match scratch.as_deref_mut() {
-                Some(sc) => {
-                    // Same warm state as the previous fork: only the
-                    // buffers written on either side since that sync can
-                    // differ, so skip the rest of the image copy.
-                    let mem = match (sc.spare_origin == Some(w.gen), sc.spare.take()) {
-                        (true, Some(mut m)) => {
-                            m.restore_written_from(&w.mem);
-                            m
-                        }
-                        (_, spare) => {
-                            sc.spare_origin = Some(w.gen);
-                            sc.spare = spare;
-                            RunScratch::fill(&mut sc.spare, &w.mem)
-                        }
-                    };
-                    (mem, sc.caches_of(&w.caches))
+        let (mut mem, mut caches, mut totals, mut l2_resident_samples, start_tile) =
+            if let Some(w) = req.warm {
+                // Fork: copy the bucket's warm state into the scratch spares
+                // (or clone without a scratch). The warm state already sits
+                // at `next_tile`, prefix replay included, so the fork starts
+                // right at the strike instant.
+                let (mem, caches) = match scratch.as_deref_mut() {
+                    Some(sc) => {
+                        // Same warm state as the previous fork: only the
+                        // buffers written on either side since that sync can
+                        // differ, so skip the rest of the image copy.
+                        let mem = match (sc.spare_origin == Some(w.gen), sc.spare.take()) {
+                            (true, Some(mut m)) => {
+                                m.restore_written_from(&w.mem);
+                                m
+                            }
+                            (_, spare) => {
+                                sc.spare_origin = Some(w.gen);
+                                sc.spare = spare;
+                                RunScratch::fill(&mut sc.spare, &w.mem)
+                            }
+                        };
+                        (mem, sc.caches_of(&w.caches))
+                    }
+                    None => (w.mem.clone(), w.caches.clone()),
+                };
+                (mem, caches, w.counters, w.l2_resident_samples, w.next_tile)
+            } else {
+                match resume {
+                    Some(snap) => {
+                        // Snapshots hold memory as a delta against the
+                        // post-setup image, so resume starts from that image —
+                        // the scratch template when available, else a fresh
+                        // setup — and overlays the buffers the golden prefix
+                        // wrote.
+                        let (mut mem, caches) = match scratch.as_deref_mut() {
+                            Some(sc) => {
+                                sc.ensure_template(program)?;
+                                (sc.image_of_template(), sc.caches_of(&snap.caches))
+                            }
+                            None => {
+                                let mut m = DeviceMemory::new();
+                                program.setup(&mut m)?;
+                                (m, snap.caches.clone())
+                            }
+                        };
+                        mem.apply_delta(&snap.mem_delta)?;
+                        (
+                            mem,
+                            caches,
+                            snap.counters,
+                            snap.l2_resident_samples,
+                            snap.at_tile,
+                        )
+                    }
+                    None => {
+                        let mem = match scratch.as_deref_mut().filter(|_| resumable) {
+                            Some(sc) => {
+                                sc.ensure_template(program)?;
+                                sc.image_of_template()
+                            }
+                            None => {
+                                let mut m = DeviceMemory::new();
+                                program.setup(&mut m)?;
+                                m
+                            }
+                        };
+                        (
+                            mem,
+                            CacheHierarchy::new(&self.cfg),
+                            MachineCounters::default(),
+                            0.0,
+                            0,
+                        )
+                    }
                 }
-                None => (w.mem.clone(), w.caches.clone()),
             };
-            (mem, caches, w.counters, w.l2_resident_samples, w.next_tile)
-        } else {
-            match resume {
-            Some(snap) => {
-                // Snapshots hold memory as a delta against the
-                // post-setup image, so resume starts from that image —
-                // the scratch template when available, else a fresh
-                // setup — and overlays the buffers the golden prefix
-                // wrote.
-                let (mut mem, caches) = match scratch.as_deref_mut() {
-                    Some(sc) => {
-                        sc.ensure_template(program)?;
-                        (sc.image_of_template(), sc.caches_of(&snap.caches))
-                    }
-                    None => {
-                        let mut m = DeviceMemory::new();
-                        program.setup(&mut m)?;
-                        (m, snap.caches.clone())
-                    }
-                };
-                mem.apply_delta(&snap.mem_delta)?;
-                (
-                    mem,
-                    caches,
-                    snap.counters,
-                    snap.l2_resident_samples,
-                    snap.at_tile,
-                )
-            }
-            None => {
-                let mem = match scratch.as_deref_mut().filter(|_| resumable) {
-                    Some(sc) => {
-                        sc.ensure_template(program)?;
-                        sc.image_of_template()
-                    }
-                    None => {
-                        let mut m = DeviceMemory::new();
-                        program.setup(&mut m)?;
-                        m
-                    }
-                };
-                (
-                    mem,
-                    CacheHierarchy::new(&self.cfg),
-                    MachineCounters::default(),
-                    0.0,
-                    0,
-                )
-            }
-            }
-        };
         let plan = DispatchPlan::new(&self.cfg, tiles, launch_tiles, threads_per_tile, local_mem);
 
         if let Some(m) = self.metrics.as_deref() {
@@ -857,10 +860,12 @@ impl Engine {
         // kernels fail via cross-tile engine state this proof ignores).
         let last_strike_tile = req.strikes.iter().map(|s| s.at_tile).max();
         let mut golden_equivalent = false;
+        let prof = profiling_enabled();
 
         for pos in start_tile..tiles {
             if let Some((stride, budget)) = capture_plan {
                 if pos % stride == 0 {
+                    let _scope = phase_if(prof, PhaseId::SnapshotCapture);
                     let captured = set.push(
                         EngineSnapshot {
                             at_tile: pos,
@@ -923,7 +928,10 @@ impl Engine {
             if let Some(log) = store_log.as_mut() {
                 ctx = ctx.with_store_log(log);
             }
-            program.execute_tile(TileId(effective_tile), &mut ctx)?;
+            {
+                let _scope = phase_if(prof, PhaseId::TileExecute);
+                program.execute_tile(TileId(effective_tile), &mut ctx)?;
+            }
             let c = ctx.drain_counters();
             totals.ops += c.ops;
             totals.trans_ops += c.trans_ops;
@@ -1821,7 +1829,11 @@ mod tests {
                     .run_forked(&mut p, &s, &mut rng_fork, w, &spans, &mut scratch)
                     .unwrap();
 
-                assert_eq!(bits(&full.output), bits(&fork.output), "{target:?}@{at_tile}");
+                assert_eq!(
+                    bits(&full.output),
+                    bits(&fork.output),
+                    "{target:?}@{at_tile}"
+                );
                 assert_eq!(full.resolutions, fork.resolutions);
                 assert_eq!(full.profile, fork.profile);
                 assert_eq!(full.strike_delivered, fork.strike_delivered);

@@ -14,6 +14,7 @@
 //! is armed.
 
 use radcrit_core::shape::OutputShape;
+use radcrit_obs::profile::{phase_if, tile_sample, PhaseId};
 
 use crate::error::AccelError;
 use crate::memory::{BufferId, DeviceMemory};
@@ -189,6 +190,10 @@ pub struct TileCtx<'a> {
     pub(crate) last_op: f64,
     pub(crate) garble_anchor: Option<f64>,
     pub(crate) garble_state: u64,
+    // Whether this tile's per-element memory phases are profiled:
+    // decided once per tile (see `TILE_SAMPLE_STRIDE`) so the per-row
+    // load/store scopes cost one register test on unprofiled tiles.
+    pub(crate) prof: bool,
 }
 
 impl<'a> TileCtx<'a> {
@@ -215,6 +220,7 @@ impl<'a> TileCtx<'a> {
             last_op: 0.0,
             garble_anchor: None,
             garble_state: 0x9E37_79B9_7F4A_7C15,
+            prof: tile_sample(),
         }
     }
 
@@ -369,13 +375,17 @@ impl<'a> TileCtx<'a> {
         if dst.is_empty() {
             return Ok(());
         }
+        let _scope = phase_if(self.prof, PhaseId::MemLoad);
         self.loads += dst.len() as u64;
         let base = {
             let (base, window) = self.mem.window(buf, start, dst.len())?;
             dst.copy_from_slice(window);
             base
         };
-        let wbs = self.caches.access(self.unit, base, dst.len() * 8, false);
+        let wbs = {
+            let _scope = phase_if(self.prof, PhaseId::CacheAccess);
+            self.caches.access(self.unit, base, dst.len() * 8, false)
+        };
         if !wbs.is_empty() {
             // Corruption reached DRAM mid-run; the run can no longer be
             // proven golden-equivalent.
@@ -384,6 +394,7 @@ impl<'a> TileCtx<'a> {
         apply_writebacks(self.mem, &wbs, self.store_log.as_deref_mut());
         // Slow path only for elements on struck lines.
         if self.caches.has_pending_corruption() {
+            let _scope = phase_if(self.prof, PhaseId::CorruptionScan);
             for (lo, hi) in self.caches.corrupted_elem_ranges(base, dst.len() * 8) {
                 for (i, v) in dst.iter_mut().enumerate().take(hi).skip(lo) {
                     let mask = self.caches.corruption_for(self.unit, base + i * 8);
@@ -423,6 +434,7 @@ impl<'a> TileCtx<'a> {
         if src.is_empty() {
             return Ok(());
         }
+        let _scope = phase_if(self.prof, PhaseId::MemStore);
         self.stores += src.len() as u64;
         let fault_stores = self.fault.store_at != u64::MAX;
         let base = {
@@ -452,13 +464,17 @@ impl<'a> TileCtx<'a> {
         if let Some(log) = self.store_log.as_deref_mut() {
             log.record(buf, start, src.len());
         }
-        let wbs = self.caches.access(self.unit, base, src.len() * 8, true);
+        let wbs = {
+            let _scope = phase_if(self.prof, PhaseId::CacheAccess);
+            self.caches.access(self.unit, base, src.len() * 8, true)
+        };
         if !wbs.is_empty() {
             self.caches.corruption_touched = true;
         }
         apply_writebacks(self.mem, &wbs, self.store_log.as_deref_mut());
         // A program store supersedes pending corruption of the element.
         if self.caches.has_pending_corruption() {
+            let _scope = phase_if(self.prof, PhaseId::CorruptionScan);
             for (lo, hi) in self.caches.corrupted_elem_ranges(base, src.len() * 8) {
                 for i in lo..hi {
                     self.caches.note_element_write(self.unit, base + i * 8);

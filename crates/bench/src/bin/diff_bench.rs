@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! diff-bench [--injections 60] [--n 256] [--workers 1] [--smoke]
-//!            [--out BENCH_6.json]
+//!            [--out BENCH_6.json] [--history BENCH_HISTORY.jsonl]
 //! ```
 //!
 //! For each paper kernel the same campaign runs three times — with
@@ -19,8 +19,17 @@
 //! below 2.5× the committed pre-batching baseline (`--baseline`, the
 //! `full_inj_per_sec` of the DGEMM row in `BENCH_4.json`) — or, when no
 //! baseline file is present, below a 2.5× in-process speedup over full
-//! execution. `--smoke` relaxes the gate for tiny CI sizes where
+//! execution. `--smoke` relaxes the gates for tiny CI sizes where
 //! constant overheads dominate.
+//!
+//! Every run also appends one fingerprinted row per kernel (host,
+//! commit, rates, top-5 self-time phases of a profiled rep) to the
+//! continuous history file (`--history`, default `BENCH_HISTORY.jsonl`)
+//! and — outside `--smoke` — gates the batched rates against the
+//! committed `--history-baseline` (default the freshly written/committed
+//! `BENCH_6.json`): any kernel more than 10 % below its committed
+//! `batch_inj_per_sec` exits non-zero. See
+//! [`radcrit_bench::history`].
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -28,9 +37,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use radcrit_accel::config::DeviceConfig;
+use radcrit_bench::history::{self, HistoryRow};
 use radcrit_campaign::golden::GoldenCache;
 use radcrit_campaign::{Campaign, KernelSpec, RunOptions};
-use radcrit_obs::MetricsRegistry;
+use radcrit_obs::{MetricsRegistry, ProfileCollector};
 
 struct Args {
     injections: usize,
@@ -40,10 +50,13 @@ struct Args {
     smoke: bool,
     out: PathBuf,
     baseline: PathBuf,
+    history: PathBuf,
+    history_baseline: PathBuf,
 }
 
 const USAGE: &str = "usage: diff-bench [--injections 60] [--n 256] [--workers 1] [--reps 5] \
-                     [--smoke] [--out BENCH_6.json] [--baseline BENCH_4.json]";
+                     [--smoke] [--out BENCH_6.json] [--baseline BENCH_4.json] \
+                     [--history BENCH_HISTORY.jsonl] [--history-baseline BENCH_6.json]";
 
 fn parse_args() -> Args {
     let mut a = Args {
@@ -54,6 +67,8 @@ fn parse_args() -> Args {
         smoke: false,
         out: PathBuf::from("BENCH_6.json"),
         baseline: PathBuf::from("BENCH_4.json"),
+        history: PathBuf::from("BENCH_HISTORY.jsonl"),
+        history_baseline: PathBuf::from("BENCH_6.json"),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -71,6 +86,8 @@ fn parse_args() -> Args {
             "--smoke" => a.smoke = true,
             "--out" => a.out = PathBuf::from(val("--out")),
             "--baseline" => a.baseline = PathBuf::from(val("--baseline")),
+            "--history" => a.history = PathBuf::from(val("--history")),
+            "--history-baseline" => a.history_baseline = PathBuf::from(val("--history-baseline")),
             _ => {
                 eprintln!("{USAGE}");
                 exit(2)
@@ -99,6 +116,8 @@ struct Measurement {
     skipped_tiles: u64,
     snapshot_bytes: f64,
     outcomes_match: bool,
+    /// Top self-time phases of one profiled batched rep, hottest first.
+    top_phases: Vec<(String, u64)>,
 }
 
 impl Measurement {
@@ -177,6 +196,43 @@ fn timed_run(
     (secs, tally.into_iter().collect(), snapshot_bytes)
 }
 
+/// Runs one extra batched rep with the phase profiler on (against a
+/// freshly warmed cache, like the timed reps) and returns the top-5
+/// self-time phases. Untimed: profiled reps never feed the rate
+/// columns, so the ≤5 % enabled-profiler overhead cannot skew them.
+fn profiled_phases(campaign: &Campaign) -> Vec<(String, u64)> {
+    // This rep is untimed, so exhaustive per-element attribution is
+    // free: every memory sub-phase call is timed, not one tile in
+    // TILE_SAMPLE_STRIDE.
+    radcrit_obs::profile::set_tile_sample_stride(1);
+    let cache = Arc::new(GoldenCache::new(GoldenCache::DEFAULT_BYTES));
+    let warm = Campaign {
+        injections: 1,
+        ..campaign.clone()
+    };
+    let options = |profile| RunOptions {
+        golden_cache: Some(Arc::clone(&cache)),
+        profile,
+        ..RunOptions::default()
+    };
+    if warm.run_with(&options(None)).is_err() {
+        return Vec::new();
+    }
+    let collector = Arc::new(ProfileCollector::new());
+    if campaign
+        .run_with(&options(Some(Arc::clone(&collector))))
+        .is_err()
+    {
+        return Vec::new();
+    }
+    collector
+        .snapshot()
+        .hot_phases(5)
+        .into_iter()
+        .map(|(name, self_ns, _count)| (name, self_ns))
+        .collect()
+}
+
 fn measure(
     name: &str,
     spec: KernelSpec,
@@ -212,6 +268,7 @@ fn measure(
         skipped_tiles: per_rep(&diff_metrics, "radcrit_snapshot_skipped_tiles_total"),
         snapshot_bytes,
         outcomes_match: full_tally == diff_tally && full_tally == batch_tally,
+        top_phases: profiled_phases(&campaign),
     }
 }
 
@@ -245,7 +302,15 @@ fn main() {
     );
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>11} {:>11} {:>8} {:>8} {:>8}",
-        "kernel", "full s", "diff s", "batch s", "full inj/s", "batch in/s", "diff", "batch", "forks"
+        "kernel",
+        "full s",
+        "diff s",
+        "batch s",
+        "full inj/s",
+        "batch in/s",
+        "diff",
+        "batch",
+        "forks"
     );
 
     let mut rows = Vec::new();
@@ -294,9 +359,52 @@ fn main() {
     }
     println!("wrote {}", args.out.display());
 
+    // Continuous history: one fingerprinted row per kernel, every run —
+    // smoke included, so the CI runner's trend line exists at all.
+    let host = history::host_fingerprint();
+    let commit = history::commit_fingerprint();
+    let hist: Vec<HistoryRow> = rows
+        .iter()
+        .map(|m| HistoryRow {
+            host: host.clone(),
+            commit: commit.clone(),
+            kernel: m.kernel.clone(),
+            batch_inj_per_sec: m.batch_rate(),
+            full_inj_per_sec: m.full_rate(),
+            top_phases: m.top_phases.clone(),
+        })
+        .collect();
+    if let Err(e) = history::append_rows(&args.history, &hist) {
+        eprintln!("diff-bench: cannot append history: {e}");
+        exit(1)
+    }
+    println!(
+        "appended {} rows to {} (host {host}, commit {commit})",
+        hist.len(),
+        args.history.display()
+    );
+    if let Some((phase, self_ns)) = rows[0].top_phases.first() {
+        println!(
+            "hottest phase on {}: {phase} ({:.1} ms self time)",
+            rows[0].kernel,
+            *self_ns as f64 / 1e6
+        );
+    }
+
     let dgemm = &rows[0];
     if args.smoke {
         return;
+    }
+
+    // Perf-history gate: every kernel in the committed baseline must be
+    // within 10 % of its committed batched rate.
+    for (kernel, base) in history::baseline_batch_rates(&args.history_baseline) {
+        if let Some(m) = rows.iter().find(|m| m.kernel == kernel) {
+            if let Err(msg) = history::check_regression(&kernel, m.batch_rate(), base) {
+                eprintln!("diff-bench: {msg}");
+                exit(1)
+            }
+        }
     }
     // Acceptance floor: 2.5x over the *committed* pre-batching full
     // rate (the baseline the batch scheduler was specified against).
@@ -341,11 +449,7 @@ fn baseline_dgemm_full_rate(path: &std::path::Path) -> Option<f64> {
         .lines()
         .find(|l| l.contains("\"kernel\": \"dgemm-") && l.contains("full_inj_per_sec"))?;
     let tail = line.split("\"full_inj_per_sec\":").nth(1)?;
-    tail.split(|c: char| c == ',' || c == '}')
-        .next()?
-        .trim()
-        .parse()
-        .ok()
+    tail.split([',', '}']).next()?.trim().parse().ok()
 }
 
 fn render_json(args: &Args, rows: &[Measurement]) -> String {

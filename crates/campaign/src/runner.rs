@@ -67,6 +67,7 @@ use radcrit_core::mismatch::Mismatch;
 use radcrit_core::report::ErrorReport;
 use radcrit_faults::sampler::{FaultSampler, InjectionPlan};
 use radcrit_kernels::Workload;
+use radcrit_obs::profile::{self as phase_profile, PhaseId, ProfileCollector};
 use radcrit_obs::{
     AnalyticSample, CriticalityAggregator, Event as ObsEvent, EventBuffer, EventWriter, FieldValue,
     MetricsRegistry, ProvenanceRecord, Span, TraceRecorder,
@@ -150,6 +151,17 @@ pub struct RunOptions {
     /// out when debugging. Ignored under [`RunOptions::full_execution`]
     /// (a full-execution run has no snapshots to batch over).
     pub no_batch: bool,
+    /// Write the merged phase-profile tree here as one-line JSON at end
+    /// of run (see [`radcrit_obs::profile`]). Setting this enables the
+    /// hierarchical profiler on every worker; leaving it (and
+    /// [`RunOptions::profile`]) unset keeps the profiler zero-cost.
+    /// Wall-clock data: lives beside the metrics and trace, never in
+    /// the deterministic event stream.
+    pub profile_out: Option<PathBuf>,
+    /// Merge phase profiles into this shared external collector (e.g. a
+    /// daemon-wide one). Implies profiling even without
+    /// [`RunOptions::profile_out`].
+    pub profile: Option<Arc<ProfileCollector>>,
 }
 
 /// Everything a finished campaign produced.
@@ -206,6 +218,10 @@ struct Shared {
     /// Bucket accounting of the batch scheduler; `Some` exactly when
     /// `pending` was sorted into snapshot buckets.
     buckets: Option<BucketCounters>,
+    /// Phase-profile merge point, when profiling is enabled. Workers
+    /// enable their thread-local accumulator on entry and drain into
+    /// this collector once, at exit.
+    profile: Option<Arc<ProfileCollector>>,
 }
 
 /// Live counters of the batch scheduler, shared between workers (who
@@ -361,6 +377,19 @@ impl Campaign {
         if let Some(m) = &metrics {
             engine = engine.with_metrics(Arc::clone(m));
         }
+        // Phase profiling: per-thread accumulators merged into one
+        // collector. The collector thread (this one) profiles the golden
+        // phase and checkpoint appends; workers profile execution and
+        // compare. Disabled, every scope is a flag check.
+        let profiler = options.profile.clone().or_else(|| {
+            options
+                .profile_out
+                .as_ref()
+                .map(|_| Arc::new(ProfileCollector::new()))
+        });
+        if profiler.is_some() {
+            phase_profile::enable_thread();
+        }
 
         // Golden execution: output, profile, cross sections — and, when
         // differential execution is on (the default), the golden-prefix
@@ -393,6 +422,7 @@ impl Campaign {
             .as_ref()
             .map(|_| Arc::new(TraceRecorder::new()));
         let golden_started = Instant::now();
+        let golden_scope = phase_profile::phase(PhaseId::Golden);
         let mut golden_kernel = self.kernel.build(self.seed)?;
         let (golden_output, golden_profile, snapshots) = match &options.golden_cache {
             Some(cache) => {
@@ -436,6 +466,7 @@ impl Campaign {
             }
             None => compute_golden(&engine, golden_kernel.as_mut())?,
         };
+        drop(golden_scope);
         if let Some(tr) = &trace {
             tr.record("golden", 0, golden_started, &[]);
         }
@@ -483,9 +514,8 @@ impl Campaign {
         // index order at the end of the plan. Budget truncation happens
         // first, so a budgeted run completes the same index subset
         // batched or not.
-        let batched = differential
-            && !options.no_batch
-            && snapshots.as_ref().is_some_and(|s| !s.is_empty());
+        let batched =
+            differential && !options.no_batch && snapshots.as_ref().is_some_and(|s| !s.is_empty());
         if batched {
             let snaps = snapshots.as_ref().expect("batched implies snapshots");
             pending.sort_by_cached_key(|&index| {
@@ -558,6 +588,7 @@ impl Campaign {
                 .map(|_| options.events_sample.max(1)),
             trace: trace.clone(),
             buckets: batched.then(BucketCounters::default),
+            profile: profiler.clone(),
         });
 
         // The collector keeps its own sender alive so the watchdog can
@@ -618,6 +649,7 @@ impl Campaign {
                         m.observe_duration("radcrit_injection_latency", &[], latency);
                     }
                     if let Some(w) = writer.as_mut() {
+                        let _scope = phase_profile::phase(PhaseId::Checkpoint);
                         if let Err(e) = w.append(&record) {
                             shared.stop.store(true, Ordering::SeqCst);
                             return Err(e);
@@ -684,6 +716,7 @@ impl Campaign {
                         m.observe_duration("radcrit_injection_latency", &[], deadline);
                     }
                     if let Some(w) = writer.as_mut() {
+                        let _scope = phase_profile::phase(PhaseId::Checkpoint);
                         if let Err(e) = w.append(&record) {
                             shared.stop.store(true, Ordering::SeqCst);
                             return Err(e);
@@ -730,6 +763,20 @@ impl Campaign {
         }
         shared.stop.store(true, Ordering::SeqCst);
 
+        // Profiling: workers drain their accumulators into the collector
+        // right before their `Exited` event, so wait for the stragglers
+        // (bounded — a worker stuck in a hung kernel is abandoned, its
+        // thread-local profile with it).
+        if profiler.is_some() {
+            while active > 0 {
+                match rx.recv_timeout(Duration::from_secs(5)) {
+                    Ok(Event::Exited) => active -= 1,
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        }
+
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -760,6 +807,18 @@ impl Campaign {
             ));
             std::fs::write(path, json)
                 .map_err(|e| AccelError::Corrupt(format!("trace {}: {e}", path.display())))?;
+            // Capped drops are operational signal, not just trace
+            // metadata: surface them on /metrics too.
+            if let Some(m) = &metrics {
+                tr.export_dropped(m);
+            }
+        }
+        if let Some(pc) = &profiler {
+            pc.merge(&phase_profile::drain_thread());
+            if let Some(path) = &options.profile_out {
+                std::fs::write(path, pc.snapshot().to_json())
+                    .map_err(|e| AccelError::Corrupt(format!("profile {}: {e}", path.display())))?;
+            }
         }
         if let (Some(m), Some(path)) = (&metrics, &options.metrics_out) {
             let snap = m.snapshot();
@@ -895,6 +954,7 @@ impl Campaign {
                         b.state.resume_tile() != resume || b.state.next_tile() > spec.at_tile
                     });
                     if stale {
+                        let _scope = phase_profile::phase(PhaseId::BucketRestore);
                         let reuse = batch
                             .warm
                             .take()
@@ -914,13 +974,17 @@ impl Campaign {
                         });
                     }
                     let bucket = batch.warm.as_mut().expect("bucket was just ensured");
-                    let advanced = engine.warm_advance(kernel, &mut bucket.state, spec.at_tile)?;
+                    let advanced = {
+                        let _scope = phase_profile::phase(PhaseId::WarmAdvance);
+                        engine.warm_advance(kernel, &mut bucket.state, spec.at_tile)?
+                    };
                     counters.forks.fetch_add(1, Ordering::Relaxed);
                     bucket.forks += 1;
                     if let Some(m) = batch.metrics {
                         m.counter_add("radcrit_bucket_forks_total", &[], 1);
                         m.counter_add("radcrit_bucket_advance_tiles_total", &[], advanced as u64);
                     }
+                    let _scope = phase_profile::phase(PhaseId::Fork);
                     if obs.buf.is_enabled() {
                         let (run, trace) = engine.run_forked_traced(
                             kernel,
@@ -979,6 +1043,7 @@ impl Campaign {
                 // else is untouched golden-suffix state, so the diff
                 // only scans the dirty ranges.
                 let compare_started = Instant::now();
+                let compare_scope = phase_profile::phase(PhaseId::Compare);
                 let report = if run.golden_equivalent {
                     // The engine proved the strike died unobserved and
                     // exited early: the completed run's output would be
@@ -994,6 +1059,7 @@ impl Campaign {
                         None => compare_with_logical_coords(golden, &run.output, kernel),
                     }
                 };
+                drop(compare_scope);
                 let mismatches = report.incorrect_elements() as u64;
                 let (outcome, class, mre, critical, fclass) = if report.is_sdc() {
                     let criticality = report.criticality(&self.tolerance, &self.classifier);
@@ -1088,7 +1154,25 @@ fn spawn_worker(shared: &Arc<Shared>, tx: &SyncSender<Event>, tid: u64) -> Arc<M
     slot
 }
 
+/// Merges this worker's thread-local profile into the shared collector
+/// when the worker exits — by any path, including the early returns a
+/// retired slot takes (the watchdog abandoned us; our timings are still
+/// real work worth counting).
+struct ProfileDrain(Option<Arc<ProfileCollector>>);
+
+impl Drop for ProfileDrain {
+    fn drop(&mut self) {
+        if let Some(pc) = &self.0 {
+            pc.merge(&phase_profile::drain_thread());
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event>, tid: u64) {
+    if shared.profile.is_some() {
+        phase_profile::enable_thread();
+    }
+    let _profile_drain = ProfileDrain(shared.profile.clone());
     let mut kernel = match shared.campaign.kernel.build(shared.campaign.seed) {
         Ok(k) => k,
         Err(e) => {
@@ -1209,6 +1293,9 @@ fn worker_loop(shared: Arc<Shared>, slot: Arc<Mutex<Slot>>, tx: SyncSender<Event
     if let Some(b) = batch.warm.take() {
         close_bucket(b, shared.trace.as_deref(), tid);
     }
+    // Merge before `Exited`: the collector snapshots the profile as soon
+    // as the last worker is accounted for.
+    drop(_profile_drain);
     let _ = tx.send(Event::Exited);
 }
 

@@ -309,8 +309,7 @@ fn killed_differential_campaign_resumes_to_an_identical_summary() {
 #[test]
 fn batched_campaigns_are_bit_identical_to_unbatched_across_kernels() {
     for spec in kernels() {
-        let campaign =
-            Campaign::new(DeviceConfig::kepler_k40(), spec.clone(), 50, 7).with_workers(3);
+        let campaign = Campaign::new(DeviceConfig::kepler_k40(), spec, 50, 7).with_workers(3);
         let run = |no_batch: bool, full_execution: bool, tag: &str| {
             let events = temp_path(&format!("batch-events-{tag}"));
             let result = campaign
@@ -334,7 +333,11 @@ fn batched_campaigns_are_bit_identical_to_unbatched_across_kernels() {
         assert_eq!(batched_events, unbatched_events, "{spec:?} event stream");
         assert_eq!(batched_events, full_events, "{spec:?} events vs full");
         assert_eq!(batched.summary(), unbatched.summary(), "{spec:?} summary");
-        assert_eq!(batched.summary(), full.summary(), "{spec:?} summary vs full");
+        assert_eq!(
+            batched.summary(),
+            full.summary(),
+            "{spec:?} summary vs full"
+        );
     }
 }
 

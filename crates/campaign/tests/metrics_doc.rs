@@ -1,0 +1,57 @@
+//! Runtime drift test for `docs/METRICS.md`: every metric a real
+//! campaign actually registers must be documented. The obs-side test
+//! pins the doc to `METRIC_REFERENCE`; this one pins it to the code
+//! paths that call the registry, catching metrics registered under a
+//! name the reference table never heard of.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use radcrit_accel::config::DeviceConfig;
+use radcrit_campaign::{Campaign, KernelSpec, RunOptions};
+use radcrit_obs::metrics::help_for;
+use radcrit_obs::MetricsRegistry;
+
+#[test]
+fn every_runtime_registered_metric_is_documented() {
+    let doc_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/METRICS.md");
+    let doc = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| panic!("docs/METRICS.md missing at {}: {e}", doc_path.display()));
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    Campaign::new(
+        DeviceConfig::kepler_k40(),
+        KernelSpec::Dgemm { n: 32 },
+        16,
+        7,
+    )
+    .with_workers(2)
+    .run_with(&RunOptions {
+        metrics: Some(Arc::clone(&metrics)),
+        ..RunOptions::default()
+    })
+    .unwrap();
+
+    let snap = metrics.snapshot();
+    assert!(!snap.is_empty(), "campaign registered no metrics at all");
+    let mut undocumented = Vec::new();
+    for (key, _) in snap.iter() {
+        if !doc.contains(&format!("`{}`", key.name)) {
+            undocumented.push(key.name.clone());
+        }
+        // Belt and braces: the reference table must know it too, or the
+        // Prometheus export would ship it without HELP text.
+        assert!(
+            help_for(&key.name).is_some(),
+            "{} registered at runtime but absent from METRIC_REFERENCE",
+            key.name
+        );
+    }
+    undocumented.sort_unstable();
+    undocumented.dedup();
+    assert!(
+        undocumented.is_empty(),
+        "metrics registered by a live campaign but missing from docs/METRICS.md: \
+         {undocumented:?}"
+    );
+}

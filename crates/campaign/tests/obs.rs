@@ -90,6 +90,37 @@ fn golden_event_sequence_stays_deterministic() {
 }
 
 #[test]
+fn profiled_run_event_stream_is_byte_identical_to_the_golden_fixture() {
+    // The phase profiler is wall-clock-only observability: running the
+    // blessed 8-injection campaign with profiling on must reproduce the
+    // committed golden event stream byte for byte — and the profile
+    // itself must land beside it.
+    let out = temp_path("profiled-golden");
+    let profile = std::env::temp_dir().join(format!(
+        "radcrit-obs-profiled-golden-{}.json",
+        std::process::id()
+    ));
+    let mut options = events_options(&out);
+    options.profile_out = Some(profile.clone());
+    dgemm_campaign(8, 11, 2).run_with(&options).unwrap();
+    let produced = std::fs::read_to_string(&out).unwrap();
+    std::fs::remove_file(&out).ok();
+
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/events_dgemm_seed11.jsonl");
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        produced, golden,
+        "enabling the profiler must not change a single event byte"
+    );
+
+    let tree =
+        radcrit_obs::ProfileTree::from_json(&std::fs::read_to_string(&profile).unwrap()).unwrap();
+    assert!(!tree.is_empty(), "profile_out must hold a non-empty tree");
+    std::fs::remove_file(&profile).ok();
+}
+
+#[test]
 fn killed_run_resumes_without_duplicating_or_dropping_event_indices() {
     let total = 60;
     let campaign = dgemm_campaign(total, 7, 2);

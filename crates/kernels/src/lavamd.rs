@@ -136,7 +136,8 @@ impl LavaMd {
                         let qb = self.qv[nb * p + j];
                         // Fused like the device FMA chain (single
                         // rounding per term).
-                        let dot = ra[1].mul_add(rb[1], ra[2].mul_add(rb[2], ra[3].mul_add(rb[3], 0.0)));
+                        let dot =
+                            ra[1].mul_add(rb[1], ra[2].mul_add(rb[2], ra[3].mul_add(rb[3], 0.0)));
                         // Same association as the device kernel's
                         // `add(rav, rbv - dot)` so results match bitwise.
                         let r2 = ra[0] + (rb[0] - dot);

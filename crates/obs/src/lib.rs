@@ -38,6 +38,11 @@
 //! * [`trace`] — wall-clock phase timelines ([`trace::TraceRecorder`])
 //!   exported as Chrome trace-event JSON for `chrome://tracing` /
 //!   Perfetto.
+//! * [`profile`] — a hierarchical scoped-phase profiler
+//!   ([`profile::PhaseId`] registry, per-thread lock-free accumulators,
+//!   merged [`profile::ProfileTree`]s) with JSON and collapsed-stack
+//!   flamegraph export; zero-cost when disabled, never in the event
+//!   stream.
 //!
 //! [`json`] is the shared minimal JSON codec (also used by the campaign
 //! checkpoint format): floats use Rust's shortest round-trip formatting,
@@ -52,6 +57,7 @@ pub mod event;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod provenance;
 pub mod trace;
 pub mod writer;
@@ -59,7 +65,8 @@ pub mod writer;
 pub use analytics::{AnalyticSample, CriticalityAggregator};
 pub use event::{Event, EventBuffer, FieldValue, Span};
 pub use hist::Log2Histogram;
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use metrics::{MetricHelp, MetricsRegistry, MetricsSnapshot};
+pub use profile::{PhaseId, ProfileCollector, ProfileNode, ProfileTree};
 pub use provenance::{ProvenanceBreakdown, ProvenanceRecord};
 pub use trace::TraceRecorder;
 pub use writer::EventWriter;

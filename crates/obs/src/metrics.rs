@@ -15,6 +15,192 @@ use std::time::Duration;
 use crate::hist::Log2Histogram;
 use crate::json::{escape, fmt_f64};
 
+/// One entry of the static metric reference: name, exposition kind and
+/// help text. The table backs both the `# HELP` lines of
+/// [`MetricsSnapshot::to_prometheus`] and the generated
+/// `docs/METRICS.md`; a drift test asserts every name registered at
+/// runtime appears here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricHelp {
+    /// Metric base name, e.g. `radcrit_injections_total`.
+    pub name: &'static str,
+    /// Exposition kind: `counter`, `gauge` or `histogram`.
+    pub kind: &'static str,
+    /// One-line help text (no newlines).
+    pub help: &'static str,
+}
+
+/// The static reference of every `radcrit_*` metric the workspace
+/// registers, sorted by name.
+pub const METRIC_REFERENCE: &[MetricHelp] = &[
+    MetricHelp {
+        name: "radcrit_bucket_advance_tiles_total",
+        kind: "counter",
+        help:
+            "Golden tiles replayed while advancing warm bucket states to a strike's resume point.",
+    },
+    MetricHelp {
+        name: "radcrit_bucket_forks_total",
+        kind: "counter",
+        help: "Per-strike executions forked off a warm bucket state.",
+    },
+    MetricHelp {
+        name: "radcrit_bucket_restores_total",
+        kind: "counter",
+        help: "Warm-bucket snapshot restores performed by the batch scheduler.",
+    },
+    MetricHelp {
+        name: "radcrit_campaign_outcomes_total",
+        kind: "counter",
+        help: "Finished injections by outcome label (masked, sdc, crash, hang).",
+    },
+    MetricHelp {
+        name: "radcrit_campaign_replayed_total",
+        kind: "counter",
+        help: "Injection records replayed from a checkpoint on campaign resume.",
+    },
+    MetricHelp {
+        name: "radcrit_campaign_watchdog_hangs_total",
+        kind: "counter",
+        help: "Injections the watchdog declared hung and synthesized a record for.",
+    },
+    MetricHelp {
+        name: "radcrit_engine_forked_runs_total",
+        kind: "counter",
+        help: "Engine executions forked from a warm bucket state.",
+    },
+    MetricHelp {
+        name: "radcrit_engine_phase_us",
+        kind: "histogram",
+        help: "Engine phase wall time in microseconds, by phase label (setup, tiles, flush).",
+    },
+    MetricHelp {
+        name: "radcrit_engine_resumed_runs_total",
+        kind: "counter",
+        help: "Engine executions resumed from a golden-prefix snapshot.",
+    },
+    MetricHelp {
+        name: "radcrit_engine_runs_total",
+        kind: "counter",
+        help: "Engine executions started, in any mode.",
+    },
+    MetricHelp {
+        name: "radcrit_golden_cache_bytes",
+        kind: "gauge",
+        help: "Bytes resident in the daemon's golden-output LRU cache.",
+    },
+    MetricHelp {
+        name: "radcrit_golden_cache_entries",
+        kind: "gauge",
+        help: "Entries resident in the daemon's golden-output LRU cache.",
+    },
+    MetricHelp {
+        name: "radcrit_golden_cache_hits_total",
+        kind: "counter",
+        help: "Golden computations served from the content-addressed cache.",
+    },
+    MetricHelp {
+        name: "radcrit_golden_cache_misses_total",
+        kind: "counter",
+        help: "Golden computations that had to run because the cache missed.",
+    },
+    MetricHelp {
+        name: "radcrit_injection_latency",
+        kind: "histogram",
+        help: "End-to-end wall latency of one injection in microseconds.",
+    },
+    MetricHelp {
+        name: "radcrit_plan_tiles",
+        kind: "gauge",
+        help: "Tiles in the most recent dispatch plan.",
+    },
+    MetricHelp {
+        name: "radcrit_plan_units",
+        kind: "gauge",
+        help: "Execution units in the most recent dispatch plan.",
+    },
+    MetricHelp {
+        name: "radcrit_plan_wave_size",
+        kind: "gauge",
+        help: "Concurrent tile slots per wave in the most recent dispatch plan.",
+    },
+    MetricHelp {
+        name: "radcrit_plan_waves",
+        kind: "gauge",
+        help: "Waves in the most recent dispatch plan.",
+    },
+    MetricHelp {
+        name: "radcrit_queue_depth",
+        kind: "gauge",
+        help: "Jobs queued in the daemon, sampled at scrape time.",
+    },
+    MetricHelp {
+        name: "radcrit_run_dead_strike_exits_total",
+        kind: "counter",
+        help:
+            "Forked runs ended early because the strike's corruption died before reaching output.",
+    },
+    MetricHelp {
+        name: "radcrit_serve_jobs_submitted_total",
+        kind: "counter",
+        help: "Jobs accepted into the daemon's queue.",
+    },
+    MetricHelp {
+        name: "radcrit_serve_jobs_total",
+        kind: "counter",
+        help: "Served jobs reaching a terminal state, by state label (done, failed, cancelled).",
+    },
+    MetricHelp {
+        name: "radcrit_serve_outstanding_jobs",
+        kind: "gauge",
+        help: "Jobs submitted but not yet terminal, sampled at scrape time.",
+    },
+    MetricHelp {
+        name: "radcrit_serve_queue_depth",
+        kind: "gauge",
+        help: "Jobs queued in the daemon (alias of radcrit_queue_depth), sampled at scrape time.",
+    },
+    MetricHelp {
+        name: "radcrit_snapshot_bytes",
+        kind: "gauge",
+        help: "Bytes held by the last run's golden-prefix snapshot set.",
+    },
+    MetricHelp {
+        name: "radcrit_snapshot_skipped_tiles_total",
+        kind: "counter",
+        help: "Snapshot captures skipped because the per-run byte budget was exhausted.",
+    },
+    MetricHelp {
+        name: "radcrit_trace_dropped_spans_total",
+        kind: "counter",
+        help: "Trace spans dropped past the recorder's buffer cap.",
+    },
+    MetricHelp {
+        name: "radcrit_workers_busy",
+        kind: "gauge",
+        help: "Daemon worker threads currently executing a job, sampled at scrape time.",
+    },
+    MetricHelp {
+        name: "radcrit_workers_idle",
+        kind: "gauge",
+        help: "Daemon worker threads currently idle, sampled at scrape time.",
+    },
+];
+
+/// Looks up a metric's reference entry by base name.
+pub fn help_for(name: &str) -> Option<&'static MetricHelp> {
+    METRIC_REFERENCE
+        .binary_search_by(|m| m.name.cmp(name))
+        .ok()
+        .map(|i| &METRIC_REFERENCE[i])
+}
+
+/// Escapes a help text for a `# HELP` line: backslash and newline, per
+/// the Prometheus text exposition format.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
 /// A metric key: base name plus rendered label set.
 ///
 /// Labels are rendered at update time into their exposition form
@@ -263,7 +449,9 @@ impl MetricsSnapshot {
     ///
     /// Histograms emit `_bucket{le=…}` (cumulative, µs), `_sum` (µs) and
     /// `_count` series; the explicit underflow/overflow counts are
-    /// exported as companion `_underflow`/`_overflow` counters.
+    /// exported as companion `_underflow`/`_overflow` counters. Names
+    /// present in [`METRIC_REFERENCE`] get a `# HELP` line immediately
+    /// before their `# TYPE` line.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_typed: Option<(String, &'static str)> = None;
@@ -272,6 +460,9 @@ impl MetricsSnapshot {
                 .as_ref()
                 .is_none_or(|(n, k)| n != name || *k != kind)
             {
+                if let Some(h) = help_for(name) {
+                    out.push_str(&format!("# HELP {name} {}\n", escape_help(h.help)));
+                }
                 out.push_str(&format!("# TYPE {name} {kind}\n"));
                 last_typed = Some((name.to_owned(), kind));
             }
@@ -404,12 +595,50 @@ mod tests {
         assert!(text.contains("radcrit_lat_us_bucket{phase=\"tiles\",le=\"4\"} 1\n"));
         assert!(text.contains("radcrit_lat_us_bucket{phase=\"tiles\",le=\"+Inf\"} 1\n"));
         assert!(text.contains("radcrit_lat_us_count{phase=\"tiles\"} 1\n"));
-        // Every line is `name{labels} value` or a `# TYPE` comment.
+        // Every line is `name{labels} value` or a `# HELP`/`# TYPE`
+        // comment.
         for line in text.lines() {
             assert!(
-                line.starts_with("# TYPE ") || line.split(' ').count() == 2,
+                line.starts_with("# TYPE ")
+                    || line.starts_with("# HELP ")
+                    || line.split(' ').count() == 2,
                 "bad exposition line: {line}"
             );
+        }
+    }
+
+    #[test]
+    fn referenced_names_get_help_lines_before_type_lines() {
+        let m = MetricsRegistry::new();
+        m.counter_add("radcrit_engine_runs_total", &[], 1);
+        m.counter_add("unreferenced_total", &[], 1);
+        let text = m.snapshot().to_prometheus();
+        let help = text.find("# HELP radcrit_engine_runs_total ").unwrap();
+        let typed = text
+            .find("# TYPE radcrit_engine_runs_total counter")
+            .unwrap();
+        assert!(help < typed, "HELP must precede TYPE: {text}");
+        assert!(!text.contains("# HELP unreferenced_total"), "{text}");
+    }
+
+    #[test]
+    fn metric_reference_is_sorted_and_unique() {
+        for pair in METRIC_REFERENCE.windows(2) {
+            assert!(
+                pair[0].name < pair[1].name,
+                "reference must stay sorted: {} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+        for m in METRIC_REFERENCE {
+            assert!(
+                matches!(m.kind, "counter" | "gauge" | "histogram"),
+                "{}",
+                m.name
+            );
+            assert!(!m.help.is_empty() && !m.help.contains('\n'), "{}", m.name);
+            assert_eq!(help_for(m.name), Some(m));
         }
     }
 

@@ -46,6 +46,7 @@ pub struct TraceRecorder {
     epoch: Instant,
     spans: Mutex<Vec<TraceSpan>>,
     dropped: AtomicU64,
+    cap: usize,
 }
 
 impl Default for TraceRecorder {
@@ -57,10 +58,17 @@ impl Default for TraceRecorder {
 impl TraceRecorder {
     /// Creates a recorder whose epoch (`ts = 0`) is now.
     pub fn new() -> Self {
+        Self::with_cap(TRACE_SPAN_CAP)
+    }
+
+    /// Creates a recorder with a custom span cap (tests exercise the
+    /// drop path without recording 100k spans).
+    pub fn with_cap(cap: usize) -> Self {
         TraceRecorder {
             epoch: Instant::now(),
             spans: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
+            cap,
         }
     }
 
@@ -78,11 +86,19 @@ impl TraceRecorder {
             args: args.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
         };
         let mut spans = self.spans.lock().expect("trace lock");
-        if spans.len() >= TRACE_SPAN_CAP {
+        if spans.len() >= self.cap {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         } else {
             spans.push(span);
         }
+    }
+
+    /// Exports the dropped-span count as
+    /// `radcrit_trace_dropped_spans_total` so capped drops are visible
+    /// on `/metrics`, not only in-process. Call once, at trace
+    /// finalization (the counter is cumulative across calls).
+    pub fn export_dropped(&self, metrics: &crate::metrics::MetricsRegistry) {
+        metrics.counter_add("radcrit_trace_dropped_spans_total", &[], self.dropped());
     }
 
     /// Number of spans recorded (excludes dropped ones).
@@ -191,5 +207,26 @@ mod tests {
         assert_eq!(rec.len(), TRACE_SPAN_CAP);
         assert_eq!(rec.dropped(), 3);
         assert!(rec.to_chrome_json(&[]).contains("\"dropped_spans\":3"));
+    }
+
+    #[test]
+    fn dropped_spans_export_to_the_metrics_registry() {
+        let rec = TraceRecorder::with_cap(2);
+        let t0 = Instant::now();
+        for _ in 0..7 {
+            rec.record("x", 0, t0, &[]);
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 5);
+        let m = crate::metrics::MetricsRegistry::new();
+        rec.export_dropped(&m);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counter("radcrit_trace_dropped_spans_total", &[]),
+            Some(5)
+        );
+        assert!(snap
+            .to_prometheus()
+            .contains("radcrit_trace_dropped_spans_total 5\n"));
     }
 }

@@ -1,0 +1,70 @@
+//! Drift test between `METRIC_REFERENCE` and `docs/METRICS.md`: every
+//! registered help entry must have a documented row with the right
+//! exposition type, and the doc must not list metrics that no longer
+//! exist.
+
+use std::path::PathBuf;
+
+use radcrit_obs::metrics::METRIC_REFERENCE;
+
+fn doc_text() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/METRICS.md");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("docs/METRICS.md missing at {}: {e}", path.display()))
+}
+
+#[test]
+fn every_reference_entry_is_documented_with_its_type() {
+    let doc = doc_text();
+    let mut missing = Vec::new();
+    for entry in METRIC_REFERENCE {
+        // A table row pins name and type together on one line.
+        let row = format!("`{}` | {} |", entry.name, entry.kind);
+        if !doc.contains(&row) {
+            missing.push(format!("{} ({})", entry.name, entry.kind));
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "docs/METRICS.md is out of date; add rows `| name | type | meaning |` for: {missing:?}"
+    );
+}
+
+#[test]
+fn the_doc_does_not_list_retired_metrics() {
+    // Every backticked radcrit_* token in the doc must still exist in
+    // the reference table (no stale rows after a rename).
+    let doc = doc_text();
+    let known: Vec<&str> = METRIC_REFERENCE.iter().map(|e| e.name).collect();
+    let mut stale = Vec::new();
+    for token in doc.split('`').skip(1).step_by(2) {
+        // Only metric-shaped tokens count: the prose also backticks the
+        // bare `radcrit_` prefix and module paths like
+        // `radcrit_obs::profile`.
+        let looks_like_metric = token.len() > "radcrit_".len()
+            && token.starts_with("radcrit_")
+            && token
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if looks_like_metric && !known.contains(&token) {
+            stale.push(token.to_owned());
+        }
+    }
+    assert!(
+        stale.is_empty(),
+        "docs/METRICS.md names metrics absent from METRIC_REFERENCE: {stale:?}"
+    );
+}
+
+#[test]
+fn reference_entries_are_unique_and_sorted() {
+    // The table doubles as an index; keep it deterministic.
+    let names: Vec<&str> = METRIC_REFERENCE.iter().map(|e| e.name).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(
+        names, sorted,
+        "METRIC_REFERENCE must be sorted and free of duplicates"
+    );
+}

@@ -1,0 +1,303 @@
+//! Edge-case tests for the Prometheus text exposition: the rendered
+//! snapshot is pushed through a small in-test parser of the format, so
+//! escaping, HELP/TYPE ordering, non-finite floats and histogram
+//! structure are checked against what a scraper would actually see —
+//! not against substring luck.
+
+use std::time::Duration;
+
+use radcrit_obs::metrics::{help_for, METRIC_REFERENCE};
+use radcrit_obs::MetricsRegistry;
+
+/// One parsed line of the exposition text.
+#[derive(Debug, Clone, PartialEq)]
+enum Line {
+    Help {
+        name: String,
+        text: String,
+    },
+    Type {
+        name: String,
+        kind: String,
+    },
+    Sample {
+        name: String,
+        labels: Vec<(String, String)>,
+        value: String,
+    },
+}
+
+/// Reverses the exposition escaping (`\\`, `\"`, `\n`).
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Parses `k="v",k2="v2"` honouring escaped quotes inside values.
+fn parse_labels(s: &str) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").expect("label must be k=\"v\"");
+        let key = rest[..eq].trim_start_matches(',').to_owned();
+        let mut value = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let mut consumed = rest.len();
+        while let Some((i, c)) = chars.next() {
+            if c == '\\' {
+                let (_, escaped) = chars.next().expect("dangling backslash");
+                value.push('\\');
+                value.push(escaped);
+            } else if c == '"' {
+                consumed = eq + 2 + i + 1;
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        labels.push((key, unescape(&value)));
+        rest = &rest[consumed..];
+    }
+    labels
+}
+
+/// Parses the full exposition text, panicking on anything malformed.
+fn parse(text: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    for raw in text.lines() {
+        if let Some(rest) = raw.strip_prefix("# HELP ") {
+            let (name, text) = rest.split_once(' ').expect("HELP needs name + text");
+            lines.push(Line::Help {
+                name: name.to_owned(),
+                text: text.to_owned(),
+            });
+        } else if let Some(rest) = raw.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE needs name + kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE kind {kind:?}"
+            );
+            lines.push(Line::Type {
+                name: name.to_owned(),
+                kind: kind.to_owned(),
+            });
+        } else {
+            let (series, value) = raw.rsplit_once(' ').expect("sample must end in a value");
+            let (name, labels) = match series.split_once('{') {
+                Some((n, l)) => (
+                    n.to_owned(),
+                    parse_labels(l.strip_suffix('}').expect("unterminated label set")),
+                ),
+                None => (series.to_owned(), Vec::new()),
+            };
+            lines.push(Line::Sample {
+                name,
+                labels,
+                value: value.to_owned(),
+            });
+        }
+    }
+    lines
+}
+
+fn samples<'l>(lines: &'l [Line], name: &str) -> Vec<&'l Line> {
+    lines
+        .iter()
+        .filter(|l| matches!(l, Line::Sample { name: n, .. } if n == name))
+        .collect()
+}
+
+#[test]
+fn help_precedes_type_exactly_once_per_name() {
+    let m = MetricsRegistry::new();
+    // Two label sets of the same documented counter: the HELP/TYPE
+    // header must appear once, before the first sample, not per series.
+    m.counter_add("radcrit_campaign_outcomes_total", &[("outcome", "sdc")], 3);
+    m.counter_add(
+        "radcrit_campaign_outcomes_total",
+        &[("outcome", "masked")],
+        9,
+    );
+    m.gauge_set("radcrit_queue_depth", &[], 2.0);
+    let lines = parse(&m.snapshot().to_prometheus());
+
+    for name in ["radcrit_campaign_outcomes_total", "radcrit_queue_depth"] {
+        let help_at = lines
+            .iter()
+            .position(|l| matches!(l, Line::Help { name: n, .. } if n == name))
+            .unwrap_or_else(|| panic!("no HELP for documented metric {name}"));
+        let helps = lines
+            .iter()
+            .filter(|l| matches!(l, Line::Help { name: n, .. } if n == name))
+            .count();
+        assert_eq!(helps, 1, "{name}: HELP must appear exactly once");
+        assert!(
+            matches!(&lines[help_at + 1], Line::Type { name: n, .. } if n == name),
+            "{name}: TYPE must immediately follow HELP"
+        );
+        let first_sample = lines
+            .iter()
+            .position(|l| matches!(l, Line::Sample { name: n, .. } if n == name))
+            .unwrap();
+        assert!(
+            help_at < first_sample,
+            "{name}: header must precede samples"
+        );
+    }
+    assert_eq!(samples(&lines, "radcrit_campaign_outcomes_total").len(), 2);
+}
+
+#[test]
+fn help_text_matches_the_reference_with_exposition_escaping() {
+    let m = MetricsRegistry::new();
+    for entry in METRIC_REFERENCE {
+        match entry.kind {
+            "counter" => m.counter_add(entry.name, &[], 1),
+            "gauge" => m.gauge_set(entry.name, &[], 1.0),
+            _ => m.observe_duration(entry.name, &[], Duration::from_micros(50)),
+        }
+    }
+    let lines = parse(&m.snapshot().to_prometheus());
+    for entry in METRIC_REFERENCE {
+        let text = lines
+            .iter()
+            .find_map(|l| match l {
+                Line::Help { name, text } if name == entry.name => Some(text.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("{}: HELP line missing", entry.name));
+        // The rendered help is one physical line whose unescaped form is
+        // the reference text verbatim.
+        assert!(!text.contains('\n'));
+        assert_eq!(unescape(&text), help_for(entry.name).unwrap().help);
+    }
+}
+
+#[test]
+fn label_values_with_quotes_backslashes_and_newlines_round_trip() {
+    let hostile = "path\\to\"dir\"\nnext line\ttab";
+    let m = MetricsRegistry::new();
+    m.counter_add(
+        "radcrit_campaign_outcomes_total",
+        &[("outcome", hostile)],
+        7,
+    );
+    let text = m.snapshot().to_prometheus();
+
+    // The hostile value must not break the line framing…
+    let sample_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(
+        sample_lines.len(),
+        1,
+        "one logical sample, one physical line"
+    );
+
+    // …and the parsed label must reproduce the original bytes.
+    let lines = parse(&text);
+    let Line::Sample { labels, value, .. } = &lines[lines.len() - 1] else {
+        panic!("last line must be the sample");
+    };
+    assert_eq!(labels, &[("outcome".to_owned(), hostile.to_owned())]);
+    assert_eq!(value, "7");
+}
+
+#[test]
+fn non_finite_gauges_use_canonical_prometheus_spellings() {
+    let m = MetricsRegistry::new();
+    m.gauge_set("radcrit_queue_depth", &[("q", "nan")], f64::NAN);
+    m.gauge_set("radcrit_queue_depth", &[("q", "pinf")], f64::INFINITY);
+    m.gauge_set("radcrit_queue_depth", &[("q", "ninf")], f64::NEG_INFINITY);
+    m.gauge_set("radcrit_queue_depth", &[("q", "finite")], 2.5);
+    let lines = parse(&m.snapshot().to_prometheus());
+
+    let value_of = |tag: &str| -> String {
+        lines
+            .iter()
+            .find_map(|l| match l {
+                Line::Sample { labels, value, .. } if labels.iter().any(|(_, v)| v == tag) => {
+                    Some(value.clone())
+                }
+                _ => None,
+            })
+            .unwrap()
+    };
+    assert_eq!(value_of("nan"), "NaN");
+    assert_eq!(value_of("pinf"), "+Inf");
+    assert_eq!(value_of("ninf"), "-Inf");
+    let finite: f64 = value_of("finite").parse().unwrap();
+    assert_eq!(finite, 2.5);
+}
+
+#[test]
+fn histograms_expose_cumulative_buckets_sum_count_and_companions() {
+    let m = MetricsRegistry::new();
+    for us in [3_u64, 40, 40, 900, 20_000] {
+        m.observe_duration(
+            "radcrit_injection_latency",
+            &[("kernel", "dgemm")],
+            Duration::from_micros(us),
+        );
+    }
+    let lines = parse(&m.snapshot().to_prometheus());
+
+    let buckets = samples(&lines, "radcrit_injection_latency_bucket");
+    assert!(buckets.len() >= 2, "expected several le buckets");
+    let mut last = 0_u64;
+    let mut saw_inf = false;
+    for b in &buckets {
+        let Line::Sample { labels, value, .. } = b else {
+            unreachable!()
+        };
+        // The le label is merged INTO the existing label set, keeping
+        // the kernel label on every bucket line.
+        assert!(labels.iter().any(|(k, v)| k == "kernel" && v == "dgemm"));
+        let le = &labels.iter().find(|(k, _)| k == "le").unwrap().1;
+        let cum: u64 = value.parse().unwrap();
+        assert!(cum >= last, "bucket counts must be cumulative");
+        last = cum;
+        if le == "+Inf" {
+            saw_inf = true;
+            assert_eq!(cum, 5, "+Inf bucket must equal the observation count");
+        }
+    }
+    assert!(saw_inf, "+Inf bucket is mandatory");
+
+    let count = samples(&lines, "radcrit_injection_latency_count");
+    let sum = samples(&lines, "radcrit_injection_latency_sum");
+    assert_eq!(count.len(), 1);
+    assert_eq!(sum.len(), 1);
+    let Line::Sample { value, .. } = count[0] else {
+        unreachable!()
+    };
+    assert_eq!(value, "5");
+    let Line::Sample { value, .. } = sum[0] else {
+        unreachable!()
+    };
+    let sum_us: u64 = value.parse().unwrap();
+    assert_eq!(sum_us, 3 + 40 + 40 + 900 + 20_000);
+    for companion in [
+        "radcrit_injection_latency_underflow",
+        "radcrit_injection_latency_overflow",
+    ] {
+        assert_eq!(samples(&lines, companion).len(), 1, "{companion} missing");
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! radcrit-campaign [run] --device k40|phi --kernel dgemm|lavamd|hotspot|clamr ...
 //! radcrit-campaign obs-report EVENTS_FILE
+//! radcrit-campaign obs-report flamegraph PROFILE_JSON
 //! radcrit-campaign serve   [--addr A] [--data-dir D] [--pool N] [--queue-depth N] [--cache-mb N]
 //! radcrit-campaign submit  --addr A <campaign flags> [--priority P] [--wait [--timeout SECS]]
 //! radcrit-campaign status  --addr A JOB
@@ -54,8 +55,9 @@ const USAGE: &str =
        [--progress 5] [--summary-out summary.json]
        [--metrics-out metrics.json] [--events-out events.jsonl]
        [--events-sample 1] [--snapshot-stride 0] [--full-execution]
-       [--no-batch] [--trace-out trace.json]
+       [--no-batch] [--trace-out trace.json] [--profile-out profile.json]
    radcrit-campaign obs-report EVENTS_FILE
+   radcrit-campaign obs-report flamegraph PROFILE_JSON
    radcrit-campaign serve [--addr 127.0.0.1:7117] [--data-dir DIR]
        [--pool 2] [--queue-depth 64] [--cache-mb 64] [--full-execution]
    radcrit-campaign submit --addr HOST:PORT <campaign flags>
@@ -267,6 +269,7 @@ struct RunArgs {
     full_execution: bool,
     no_batch: bool,
     trace_out: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
 }
 
 fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
@@ -290,6 +293,7 @@ fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
             "--full-execution" => a.full_execution = true,
             "--no-batch" => a.no_batch = true,
             "--trace-out" => a.trace_out = Some(PathBuf::from(value(&flag, &mut it)?)),
+            "--profile-out" => a.profile_out = Some(PathBuf::from(value(&flag, &mut it)?)),
             other => return Err(config(format!("unknown flag {other}"))),
         }
     }
@@ -322,6 +326,7 @@ fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
         full_execution: a.full_execution,
         no_batch: a.no_batch,
         trace_out: a.trace_out.clone(),
+        profile_out: a.profile_out.clone(),
         ..RunOptions::default()
     };
     let result = campaign
@@ -415,6 +420,13 @@ fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
             path.display()
         );
     }
+    if let Some(path) = &a.profile_out {
+        eprintln!(
+            "phase profile written to {} (flamegraph: radcrit-campaign obs-report flamegraph {})",
+            path.display(),
+            path.display()
+        );
+    }
     Ok(())
 }
 
@@ -432,7 +444,27 @@ fn write_text(path: &Path, text: &str) -> Result<(), ServeError> {
 
 /// `obs-report EVENTS_FILE`: aggregate an event stream's provenance
 /// records into the per-site breakdown table.
+///
+/// `obs-report flamegraph PROFILE_JSON`: print a phase profile in
+/// Brendan-Gregg collapsed-stack form (`a;b;c self_us`) for
+/// `flamegraph.pl` / speedscope / inferno.
 fn obs_report(args: &[String]) -> Result<(), ServeError> {
+    if args.first().map(String::as_str) == Some("flamegraph") {
+        let [_, path] = args else {
+            return Err(config(
+                "obs-report flamegraph needs exactly one PROFILE_JSON argument",
+            ));
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::Io(format!("obs-report flamegraph {path}: {e}")))?;
+        let tree = radcrit_obs::ProfileTree::from_json(&text)
+            .map_err(|e| ServeError::Io(format!("obs-report flamegraph {path}: {e}")))?;
+        if tree.is_empty() {
+            return Err(ServeError::Io(format!("no profiled phases in {path}")));
+        }
+        print!("{}", tree.to_collapsed());
+        return Ok(());
+    }
     let [path] = args else {
         return Err(config("obs-report needs exactly one EVENTS_FILE argument"));
     };

@@ -262,6 +262,27 @@ impl Client {
             .body)
     }
 
+    /// Fetches a job's hierarchical phase profile JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 before the job has written a
+    /// profile.
+    pub fn profile(&self, id: &str) -> Result<String, ServeError> {
+        Ok(self
+            .expect_ok("GET", &format!("/jobs/{id}/profile"), None)?
+            .body)
+    }
+
+    /// Fetches the daemon-wide merged phase profile (`GET /profile`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn profile_rollup(&self) -> Result<String, ServeError> {
+        Ok(self.expect_ok("GET", "/profile", None)?.body)
+    }
+
     /// Lists all jobs the daemon knows, as `(id, wire state)` pairs.
     ///
     /// # Errors

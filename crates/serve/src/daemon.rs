@@ -28,6 +28,7 @@
 //! <data_dir>/jobs/<id>/result.json         canonical summary (when done)
 //! <data_dir>/jobs/<id>/metrics.json        job metrics snapshot
 //! <data_dir>/jobs/<id>/trace.json          Chrome trace-event timeline
+//! <data_dir>/jobs/<id>/profile.json        hierarchical phase profile
 //! ```
 //!
 //! ## Live analytics
@@ -346,6 +347,7 @@ fn run_job(
         events_out: Some(job_dir.join("events.jsonl")),
         events_sample: spec.events_sample,
         trace_out: Some(job_dir.join("trace.json")),
+        profile_out: Some(job_dir.join("profile.json")),
         golden_cache: Some(Arc::clone(&core.cache)),
         cancel: Some(Arc::clone(cancel)),
         metrics: Some(Arc::clone(&job_metrics)),
@@ -431,8 +433,10 @@ fn route(core: &Arc<Core>, stream: &mut TcpStream, req: &Request) -> Result<(), 
         ("GET", ["jobs", id, "stream"]) => get_stream(core, stream, id, req),
         ("GET", ["jobs", id, "analytics"]) => get_analytics(core, stream, id),
         ("GET", ["jobs", id, "trace"]) => get_trace(core, stream, id),
+        ("GET", ["jobs", id, "profile"]) => get_profile(core, stream, id),
         ("POST", ["jobs", id, "cancel"]) => post_cancel(core, stream, id),
         ("GET", ["analytics"]) => get_rollup(core, stream),
+        ("GET", ["profile"]) => get_profile_rollup(core, stream),
         ("GET", ["dashboard"]) => respond(
             stream,
             200,
@@ -805,6 +809,78 @@ fn get_trace(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), S
             "{\"error\":\"no trace yet\"}",
         ),
     }
+}
+
+fn get_profile(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), ServeError> {
+    if job_terminal(core, id).is_none() {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"unknown job\"}",
+        );
+    }
+    let path = core
+        .config
+        .data_dir
+        .join("jobs")
+        .join(id)
+        .join("profile.json");
+    match std::fs::read_to_string(&path) {
+        Ok(body) => respond(stream, 200, "application/json", &body),
+        Err(_) => respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"no profile yet\"}",
+        ),
+    }
+}
+
+/// Daemon-wide phase profile: every finished job's `profile.json`
+/// merged into one tree, plus the top self-time phases the dashboard's
+/// hot-phases panel renders directly.
+fn get_profile_rollup(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let ids: Vec<String> = core
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .keys()
+        .cloned()
+        .collect();
+    let mut merged = radcrit_obs::ProfileTree::new();
+    let mut folded = 0usize;
+    for id in &ids {
+        let path = core
+            .config
+            .data_dir
+            .join("jobs")
+            .join(id)
+            .join("profile.json");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(tree) = radcrit_obs::ProfileTree::from_json(&text) {
+                merged.merge(&tree);
+                folded += 1;
+            }
+        }
+    }
+    let hot: Vec<String> = merged
+        .hot_phases(8)
+        .iter()
+        .map(|(phase, self_ns, count)| {
+            format!(
+                "{{\"phase\":\"{}\",\"self_ns\":{self_ns},\"count\":{count}}}",
+                radcrit_obs::json::escape(phase)
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\"jobs\":{},\"folded\":{folded},\"hot\":[{}],\"profile\":{}}}",
+        ids.len(),
+        hot.join(","),
+        merged.to_json()
+    );
+    respond(stream, 200, "application/json", &body)
 }
 
 fn post_cancel(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), ServeError> {

@@ -13,6 +13,10 @@
 //!   [`CriticalityAggregator`](radcrit_obs::CriticalityAggregator) fold:
 //!   converging FIT with its Poisson 95 % CI, outcome bars, and the
 //!   spatial-class breakdown,
+//! * polls `GET /metrics` for the batching-efficiency row (bucket
+//!   restores vs forks, dead-strike early exits) and `GET /profile`
+//!   for the daemon-wide hot-phases panel (top self-time phases of the
+//!   merged hierarchical profile),
 //! * stops cleanly when the stream sends its `end` frame and the fold
 //!   reports `finished`.
 
@@ -67,6 +71,13 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
 <table><thead><tr><th>class</th><th>all</th><th>&gt;tolerance</th></tr></thead>
 <tbody id="classes"></tbody></table>
 
+<h2>Batching</h2>
+<p class="mono muted" id="batching">&ndash;</p>
+
+<h2>Hot phases <span class="muted">(self time, daemon-wide)</span></h2>
+<table><thead><tr><th>phase</th><th>self</th><th>calls</th></tr></thead>
+<tbody id="phases"></tbody></table>
+
 <h2>Event tail</h2>
 <div id="log" class="mono"></div>
 
@@ -117,6 +128,39 @@ function render(a) {
   }
 }
 
+// Prometheus text → {name: value} for the unlabeled series we chart.
+function parseProm(text) {
+  const vals = {};
+  for (const line of text.split("\n")) {
+    if (!line || line.startsWith('#')) continue;
+    const sp = line.lastIndexOf(" ");
+    if (sp > 0 && !line.includes("{")) vals[line.slice(0, sp)] = Number(line.slice(sp + 1));
+  }
+  return vals;
+}
+
+const us = ns => (ns / 1000).toLocaleString("en-US", {maximumFractionDigits: 0});
+
+async function pollDaemon() {
+  try {
+    const m = parseProm(await (await fetch("/metrics")).text());
+    const restores = m.radcrit_bucket_restores_total || 0;
+    const forks = m.radcrit_bucket_forks_total || 0;
+    const dead = m.radcrit_run_dead_strike_exits_total || 0;
+    $("batching").textContent =
+      `${restores} bucket restores · ${forks} forks ` +
+      `(${restores ? (forks / restores).toFixed(1) : "–"} forks/restore) · ` +
+      `${dead} dead-strike early exits`;
+  } catch (e) { /* daemon restarting */ }
+  try {
+    const p = await (await fetch("/profile")).json();
+    $("phases").innerHTML = (p.hot || []).map(h =>
+      `<tr><td>${h.phase}</td><td>${us(h.self_ns)} µs</td><td>${h.count}</td></tr>`
+    ).join("") || `<tr><td class="muted" colspan="3">no profiles yet</td></tr>`;
+  } catch (e) { /* daemon restarting */ }
+  if (!finished) setTimeout(pollDaemon, 5000);
+}
+
 async function poll() {
   try {
     const r = await fetch(`/jobs/${job}/analytics`);
@@ -133,6 +177,7 @@ async function main() {
   es.onmessage = ev => tail(`#${ev.lastEventId} ${ev.data}`);
   es.addEventListener("end", () => { es.close(); poll(); });
   poll();
+  pollDaemon();
 }
 main();
 </script>

@@ -15,8 +15,10 @@
 //! | `GET /jobs/:id/stream` | live SSE tail, resumable via `Last-Event-ID` |
 //! | `GET /jobs/:id/analytics` | rolling criticality fold of the job's events |
 //! | `GET /jobs/:id/trace` | Chrome trace-event timeline of the job |
+//! | `GET /jobs/:id/profile` | hierarchical phase profile of the job |
 //! | `GET /jobs` | job listing |
 //! | `GET /analytics` | daemon-wide criticality rollup |
+//! | `GET /profile` | daemon-wide merged phase profile + hot phases |
 //! | `GET /dashboard` | self-contained live HTML dashboard |
 //! | `POST /jobs/:id/cancel` | cancel queued/running job |
 //! | `GET /metrics` | Prometheus exposition |

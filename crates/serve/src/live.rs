@@ -38,6 +38,14 @@ use crate::http::respond_chunked;
 /// How often the SSE tail re-checks a live event file for new lines.
 pub const TAIL_POLL: Duration = Duration::from_millis(50);
 
+/// How long an SSE stream may stay silent before a `: ping` comment
+/// frame is emitted. Keep-alives defeat idle-connection reaping by
+/// proxies and let clients distinguish "no events yet" from a dead
+/// socket. Comment frames carry no `id:`, so line ordinals — and
+/// `Last-Event-ID` resume — are unaffected by however many pings a
+/// connection saw.
+pub const SSE_PING_INTERVAL: Duration = Duration::from_secs(15);
+
 /// Folds an event file into a [`CriticalityAggregator`].
 ///
 /// # Errors
@@ -57,7 +65,8 @@ pub fn fold_events_file(path: &Path) -> Result<CriticalityAggregator, ServeError
 /// job finished *and* the file is exhausted; a final id-less
 /// `event: end` frame tells well-behaved clients to close instead of
 /// auto-reconnecting. The file may not exist yet (job still queued) —
-/// the tail waits for it to appear.
+/// the tail waits for it to appear. After [`SSE_PING_INTERVAL`] of
+/// silence a `: ping` comment frame keeps the connection warm.
 ///
 /// # Errors
 ///
@@ -68,6 +77,24 @@ pub fn stream_sse(
     events_path: &Path,
     resume_after: Option<u64>,
     is_terminal: &dyn Fn() -> bool,
+) -> Result<(), ServeError> {
+    stream_sse_with_ping(
+        stream,
+        events_path,
+        resume_after,
+        is_terminal,
+        SSE_PING_INTERVAL,
+    )
+}
+
+/// [`stream_sse`] with an explicit keep-alive interval (tests shrink it
+/// to observe pings without waiting 15 s).
+fn stream_sse_with_ping(
+    stream: &mut TcpStream,
+    events_path: &Path,
+    resume_after: Option<u64>,
+    is_terminal: &dyn Fn() -> bool,
+    ping_interval: Duration,
 ) -> Result<(), ServeError> {
     let first = resume_after.map_or(0, |n| n.saturating_add(1));
     let mut client_gone: Option<String> = None;
@@ -81,6 +108,7 @@ pub fn stream_sse(
         let mut file: Option<std::fs::File> = None;
         let mut pos: u64 = 0; // byte offset of the first unframed line
         let mut line_no: u64 = 0; // ordinal of the line starting at pos
+        let mut last_sent = std::time::Instant::now();
         loop {
             // The file appears only once the worker claims the job.
             let settled = is_terminal();
@@ -120,7 +148,13 @@ pub fn stream_sse(
                 send("event: end\ndata: {}\n\n")?;
                 return Ok(());
             }
-            if !progressed {
+            if progressed {
+                last_sent = std::time::Instant::now();
+            } else {
+                if last_sent.elapsed() >= ping_interval {
+                    send(": ping\n\n")?;
+                    last_sent = std::time::Instant::now();
+                }
                 std::thread::sleep(TAIL_POLL);
             }
         }
@@ -300,6 +334,89 @@ mod tests {
             matches!(result, Err(ServeError::Disconnected(_))),
             "expected Disconnected, got {result:?}"
         );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Runs `stream_sse_with_ping` with a tiny ping interval over a
+    /// socket pair, appending `late_line` and flipping terminal after
+    /// `quiet`, and returns the decoded body.
+    fn sse_exchange_with_pings(
+        path: &std::path::Path,
+        resume_after: Option<u64>,
+        quiet: Duration,
+        late_line: &str,
+    ) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let terminal = Arc::new(AtomicBool::new(false));
+        let server = {
+            let path = path.to_path_buf();
+            let terminal = Arc::clone(&terminal);
+            std::thread::spawn(move || {
+                let (mut stream, _) = listener.accept().unwrap();
+                stream_sse_with_ping(
+                    &mut stream,
+                    &path,
+                    resume_after,
+                    &|| terminal.load(Ordering::SeqCst),
+                    Duration::from_millis(30),
+                )
+                .unwrap();
+            })
+        };
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Stay silent long enough for several pings, then append the
+        // late line and let the stream finish.
+        std::thread::sleep(quiet);
+        {
+            use std::fs::OpenOptions;
+            let mut f = OpenOptions::new().append(true).open(path).unwrap();
+            writeln!(f, "{late_line}").unwrap();
+        }
+        terminal.store(true, Ordering::SeqCst);
+        let body = read_response(&mut client).unwrap().body;
+        server.join().unwrap();
+        body
+    }
+
+    #[test]
+    fn idle_stream_interleaves_ping_comment_frames_without_ids() {
+        let path = temp_events("ping", &["{\"e\":\"a\"}"]);
+        let body =
+            sse_exchange_with_pings(&path, None, Duration::from_millis(200), "{\"e\":\"b\"}");
+        // Data frames stay ordinal-addressed around the pings.
+        assert!(body.contains("id: 0\ndata: {\"e\":\"a\"}\n\n"), "{body}");
+        assert!(body.contains("id: 1\ndata: {\"e\":\"b\"}\n\n"), "{body}");
+        // Several keep-alives landed between the two data frames, and
+        // none of them carries an id.
+        let between = &body[body.find("id: 0").unwrap()..body.find("id: 1").unwrap()];
+        assert!(
+            between.matches(": ping\n\n").count() >= 2,
+            "expected >=2 pings in the quiet window: {body}"
+        );
+        for frame in body.split("\n\n") {
+            if frame.contains("ping") {
+                assert!(
+                    !frame.contains("id:"),
+                    "ping frames must not carry ids: {frame}"
+                );
+            }
+        }
+        assert!(body.ends_with("event: end\ndata: {}\n\n"), "{body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn last_event_id_resume_is_unaffected_by_pings() {
+        let path = temp_events("ping-resume", &["{\"e\":\"a\"}", "{\"e\":\"b\"}"]);
+        // A client that saw id 0 (plus any number of pings) reconnects
+        // with Last-Event-ID: 0 and must get exactly ids 1 and 2.
+        let body =
+            sse_exchange_with_pings(&path, Some(0), Duration::from_millis(150), "{\"e\":\"c\"}");
+        assert!(!body.contains("id: 0\n"), "{body}");
+        assert!(body.contains("id: 1\ndata: {\"e\":\"b\"}\n\n"), "{body}");
+        assert!(body.contains("id: 2\ndata: {\"e\":\"c\"}\n\n"), "{body}");
+        assert!(body.contains(": ping\n\n"), "{body}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -131,6 +131,16 @@ fn analytics_rollup_trace_and_gauges_cover_a_finished_job() {
         assert!(names.contains(required), "missing {required}: {names:?}");
     }
 
+    // The profile endpoints serve the job's phase tree and the
+    // daemon-wide merge with its hot-phases ranking.
+    let profile = client.profile(&id).unwrap();
+    assert!(profile.contains("\"radcrit_profile\":1"), "{profile}");
+    assert!(profile.contains("\"phase\":\"golden\""), "{profile}");
+    assert!(profile.contains("\"phase\":\"tile-execute\""), "{profile}");
+    let merged = client.profile_rollup().unwrap();
+    assert!(merged.starts_with("{\"jobs\":1,\"folded\":1,"), "{merged}");
+    assert!(merged.contains("\"hot\":[{\"phase\":"), "{merged}");
+
     // Queue/worker gauges appear in the Prometheus exposition.
     let metrics = client.metrics().unwrap();
     for gauge in [
