@@ -1,0 +1,175 @@
+//! `fabric-bench` — scaling benchmark of the federated campaign fabric.
+//!
+//! ```text
+//! fabric-bench [--n 64] [--injections 600] [--fleets 1,2,3] [--seed 2017]
+//! ```
+//!
+//! Runs the *same* campaign once per fleet size: a coordinator shards
+//! the injection range over `k` in-process worker daemons (one shard
+//! per worker) and merges their live streams back into one summary.
+//! Reports one scaling row per fleet — wall time, throughput in
+//! injections/s, and speedup over the single-worker fleet — and
+//! verifies every merged summary is byte-identical across fleet sizes,
+//! the fabric's core invariant.
+
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use radcrit_campaign::KernelSpec;
+use radcrit_serve::coord::{self, CoordinatorConfig};
+use radcrit_serve::daemon::{self, DaemonConfig};
+use radcrit_serve::{Client, DeviceKind, JobSpec};
+
+const USAGE: &str =
+    "usage: fabric-bench [--n 64] [--injections 600] [--fleets 1,2,3] [--seed 2017]";
+
+struct Args {
+    n: usize,
+    injections: usize,
+    fleets: Vec<usize>,
+    seed: u64,
+}
+
+fn bail(flag: &str) -> ! {
+    eprintln!("{USAGE}");
+    eprintln!("bad or missing value for {flag}");
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        n: 64,
+        injections: 600,
+        fleets: vec![1, 2, 3],
+        seed: 2017,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let raw = match flag.as_str() {
+            "--n" | "--injections" | "--fleets" | "--seed" => {
+                it.next().unwrap_or_else(|| bail(&flag))
+            }
+            _ => {
+                eprintln!("{USAGE}");
+                exit(2)
+            }
+        };
+        match flag.as_str() {
+            "--n" => a.n = raw.parse().unwrap_or_else(|_| bail("--n")),
+            "--injections" => a.injections = raw.parse().unwrap_or_else(|_| bail("--injections")),
+            "--seed" => a.seed = raw.parse().unwrap_or_else(|_| bail("--seed")),
+            "--fleets" => {
+                a.fleets = raw
+                    .split(',')
+                    .map(|p| p.trim().parse().unwrap_or_else(|_| bail("--fleets")))
+                    .collect();
+                if a.fleets.is_empty() || a.fleets.contains(&0) {
+                    bail("--fleets");
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    a
+}
+
+/// One federated run over a `k`-worker fleet; returns (wall, summary).
+fn run_fleet(base: &std::path::Path, spec: &JobSpec, k: usize) -> (Duration, String) {
+    let mut workers = Vec::with_capacity(k);
+    for i in 0..k {
+        let handle = daemon::start(DaemonConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            data_dir: base.join(format!("fleet{k}-w{i}")),
+            pool: 1,
+            queue_depth: 8,
+            ..DaemonConfig::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("fabric-bench: cannot start worker: {e}");
+            exit(1)
+        });
+        workers.push(handle);
+    }
+    let t0 = Instant::now();
+    let coordinator = coord::start(CoordinatorConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        data_dir: base.join(format!("fleet{k}-coord")),
+        spec: spec.clone(),
+        shards: k,
+        workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+        heartbeat_interval: Duration::from_millis(250),
+        heartbeat_timeout: Duration::from_secs(5),
+        summary_out: None,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("fabric-bench: cannot start coordinator: {e}");
+        exit(1)
+    });
+    coordinator
+        .wait_done(Duration::from_secs(600))
+        .unwrap_or_else(|e| {
+            eprintln!("fabric-bench: fleet of {k} did not finish: {e}");
+            exit(1)
+        });
+    let wall = t0.elapsed();
+    let summary = Client::new(coordinator.addr().to_string())
+        .result("merged")
+        .unwrap_or_else(|e| {
+            eprintln!("fabric-bench: merged result fetch failed: {e}");
+            exit(1)
+        });
+    coordinator.shutdown().ok();
+    for handle in workers {
+        Client::new(handle.addr().to_string()).shutdown().ok();
+        handle.join();
+    }
+    (wall, summary)
+}
+
+fn main() {
+    let args = parse_args();
+    let base = std::env::temp_dir().join(format!("radcrit-fabric-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+
+    let mut spec = JobSpec::new(
+        DeviceKind::K40,
+        KernelSpec::Dgemm { n: args.n },
+        args.injections,
+        args.seed,
+    );
+    spec.scale = 8;
+    println!(
+        "fabric scaling: dgemm n={} x {} injections (seed {}), one shard per worker",
+        args.n, args.injections, args.seed
+    );
+
+    let mut rows: Vec<(usize, Duration)> = Vec::new();
+    let mut reference: Option<String> = None;
+    for &k in &args.fleets {
+        let (wall, summary) = run_fleet(&base, &spec, k);
+        match &reference {
+            None => reference = Some(summary),
+            Some(r) if *r == summary => {}
+            Some(_) => {
+                eprintln!("fabric-bench: fleet of {k} produced a DIFFERENT merged summary");
+                exit(1)
+            }
+        }
+        rows.push((k, wall));
+    }
+
+    let base_wall = rows[0].1.as_secs_f64();
+    println!("----");
+    println!("workers |  wall (s) |  inj/s | speedup");
+    for (k, wall) in &rows {
+        let secs = wall.as_secs_f64();
+        println!(
+            "{k:>7} | {secs:>9.2} | {:>6.0} | {:>6.2}x",
+            args.injections as f64 / secs,
+            base_wall / secs,
+        );
+    }
+    println!("merged summaries byte-identical across all fleet sizes");
+
+    std::fs::remove_dir_all(&base).ok();
+}

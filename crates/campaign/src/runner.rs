@@ -162,6 +162,15 @@ pub struct RunOptions {
     /// daemon-wide one). Implies profiling even without
     /// [`RunOptions::profile_out`].
     pub profile: Option<Arc<ProfileCollector>>,
+    /// Run only injection indices in `start..end` of the campaign's
+    /// `0..injections` range — one shard of a federated campaign. The
+    /// golden execution, sampler table and per-index RNG streams are
+    /// those of the *whole* campaign (a shard's records are bit-identical
+    /// to the same indices of a one-shot run), and the `run_begin`
+    /// header still declares the full campaign size so shard event
+    /// streams fold into one aggregate with the campaign's context.
+    /// `None` runs the whole range.
+    pub shard: Option<(usize, usize)>,
 }
 
 /// Everything a finished campaign produced.
@@ -180,6 +189,9 @@ pub struct CampaignResult {
     pub records: Vec<InjectionRecord>,
     /// How the run went: throughput, latency, watchdog activity.
     pub telemetry: TelemetrySnapshot,
+    /// The shard range this run covered ([`RunOptions::shard`]), when it
+    /// was a shard of a federated campaign.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl CampaignResult {
@@ -189,9 +201,14 @@ impl CampaignResult {
         CampaignSummary::from_result(self)
     }
 
-    /// Whether every injection of the campaign has a record.
+    /// Whether every injection the run was asked for has a record — all
+    /// of `0..injections`, or the shard range for a shard run.
     pub fn is_complete(&self) -> bool {
-        self.records.len() == self.campaign.injections
+        let asked = match self.shard {
+            Some((start, end)) => end - start,
+            None => self.campaign.injections,
+        };
+        self.records.len() == asked
     }
 }
 
@@ -367,6 +384,20 @@ impl Campaign {
     /// As [`Campaign::run`], plus [`AccelError::Corrupt`] for checkpoint
     /// I/O and validation failures.
     pub fn run_with(&self, options: &RunOptions) -> Result<CampaignResult, AccelError> {
+        // Shard bounds are validated before any expensive work: an
+        // empty or out-of-range shard is a caller bug, not a campaign.
+        let (shard_start, shard_end) = match options.shard {
+            Some((start, end)) => {
+                if start >= end || end > self.injections {
+                    return Err(AccelError::Corrupt(format!(
+                        "shard {start}..{end} out of range for {} injections",
+                        self.injections
+                    )));
+                }
+                (start, end)
+            }
+            None => (0, self.injections),
+        };
         let metrics = options.metrics.clone().or_else(|| {
             options
                 .metrics_out
@@ -496,7 +527,9 @@ impl Campaign {
             }
         }
         let done: HashSet<usize> = records.iter().map(|r| r.index).collect();
-        let mut pending: Vec<usize> = (0..self.injections).filter(|i| !done.contains(i)).collect();
+        let mut pending: Vec<usize> = (shard_start..shard_end)
+            .filter(|i| !done.contains(i))
+            .collect();
         let target = options
             .budget
             .map_or(pending.len(), |b| b.min(pending.len()));
@@ -538,13 +571,15 @@ impl Campaign {
         if let Some(path) = &options.events_out {
             let sample = options.events_sample.max(1);
             if options.resume {
-                let (w, have) = EventWriter::resume(path, self.injections as u64, sample)
-                    .map_err(|e| events_corrupt(path, e))?;
+                let (w, have) =
+                    EventWriter::resume_range(path, shard_start as u64, shard_end as u64, sample)
+                        .map_err(|e| events_corrupt(path, e))?;
                 events_have = have;
                 events = Some((w, path.clone()));
             } else {
-                let mut w = EventWriter::create(path, self.injections as u64, sample)
-                    .map_err(|e| events_corrupt(path, e))?;
+                let mut w =
+                    EventWriter::create_range(path, shard_start as u64, shard_end as u64, sample)
+                        .map_err(|e| events_corrupt(path, e))?;
                 w.emit_top(&run_begin_event(self, golden_kernel.as_ref(), sigma_total))
                     .map_err(|e| events_corrupt(path, e))?;
                 events = Some((w, path.clone()));
@@ -836,6 +871,7 @@ impl Campaign {
             output_len: golden_output.len(),
             records,
             telemetry: telemetry.snapshot(),
+            shard: options.shard,
         })
     }
 

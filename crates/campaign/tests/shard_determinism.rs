@@ -1,0 +1,210 @@
+//! Shard-range determinism: the invariant the federated fabric rests
+//! on. A campaign split into K contiguous index ranges and run shard by
+//! shard must (a) produce per-record results bit-identical to the same
+//! indices of the one-shot run, and (b) fold — all shard event streams
+//! into one `CriticalityAggregator` — to the byte-identical one-shot
+//! `CampaignSummary`. Checked for K ∈ {1, 2, 3, 7} and, as a property,
+//! for arbitrary contiguous partitions and fold orders.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use radcrit_accel::config::DeviceConfig;
+use radcrit_campaign::{Campaign, CampaignResult, CampaignSummary, KernelSpec, RunOptions};
+use radcrit_obs::CriticalityAggregator;
+
+const INJECTIONS: usize = 40;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "radcrit-shard-det-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn campaign() -> Campaign {
+    Campaign::new(
+        DeviceConfig::kepler_k40(),
+        KernelSpec::Dgemm { n: 32 },
+        INJECTIONS,
+        23,
+    )
+    .with_workers(2)
+}
+
+/// Splits `0..n` into `k` contiguous near-equal ranges.
+fn split(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let base = n / k;
+    let extra = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    assert_eq!(start, n);
+    ranges
+}
+
+/// The one-shot baseline, generated once per process: the full result
+/// plus its event stream's lines.
+fn baseline() -> &'static (CampaignResult, Vec<String>) {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<(CampaignResult, Vec<String>)> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let events = temp_path("baseline");
+        let result = campaign()
+            .run_with(&RunOptions {
+                events_out: Some(events.clone()),
+                events_sample: 1,
+                ..RunOptions::default()
+            })
+            .unwrap();
+        let text = std::fs::read_to_string(&events).unwrap();
+        std::fs::remove_file(&events).ok();
+        (result, text.lines().map(str::to_owned).collect())
+    })
+}
+
+/// Runs one shard with its own event stream, returning the result and
+/// the stream's lines.
+fn run_shard(range: (usize, usize), tag: &str) -> (CampaignResult, Vec<String>) {
+    let events = temp_path(tag);
+    let result = campaign()
+        .run_with(&RunOptions {
+            events_out: Some(events.clone()),
+            events_sample: 1,
+            shard: Some(range),
+            ..RunOptions::default()
+        })
+        .unwrap();
+    let text = std::fs::read_to_string(&events).unwrap();
+    std::fs::remove_file(&events).ok();
+    (result, text.lines().map(str::to_owned).collect())
+}
+
+/// Folds shard streams (in the given order) into one aggregate summary.
+fn merged_summary(shards: &[Vec<String>]) -> CampaignSummary {
+    let mut agg = CriticalityAggregator::new();
+    for lines in shards {
+        for line in lines {
+            agg.fold_line(line).unwrap();
+        }
+    }
+    CampaignSummary::from_analytics(&agg)
+}
+
+#[test]
+fn k_way_sharded_runs_fold_to_the_one_shot_summary() {
+    let (full, _) = baseline();
+    let one_shot = full.summary().to_json();
+    for k in [1usize, 2, 3, 7] {
+        let mut shard_streams = Vec::new();
+        for (s, range) in split(INJECTIONS, k).into_iter().enumerate() {
+            let (result, lines) = run_shard(range, &format!("k{k}s{s}"));
+            assert!(result.is_complete(), "shard {range:?} of K={k} incomplete");
+            assert_eq!(
+                result.records.len(),
+                range.1 - range.0,
+                "shard {range:?} record count"
+            );
+            // Per-record bit-identity against the one-shot run's slice.
+            assert_eq!(
+                result.records,
+                full.records[range.0..range.1],
+                "shard {range:?} records differ from the one-shot slice"
+            );
+            shard_streams.push(lines);
+        }
+        assert_eq!(
+            merged_summary(&shard_streams).to_json(),
+            one_shot,
+            "K={k} sharded fold must equal the one-shot summary byte for byte"
+        );
+    }
+}
+
+#[test]
+fn shard_runs_resume_through_the_checkpoint_path() {
+    // The fabric's redispatch path: a shard budget-stopped mid-range
+    // resumes (possibly on another host) via checkpoint + events files
+    // and still completes to the exact slice.
+    let (full, _) = baseline();
+    let range = (10usize, 30usize);
+    let checkpoint = temp_path("resume-ckpt");
+    let events = temp_path("resume-events");
+    let partial = campaign()
+        .run_with(&RunOptions {
+            checkpoint: Some(checkpoint.clone()),
+            events_out: Some(events.clone()),
+            events_sample: 1,
+            shard: Some(range),
+            budget: Some(8),
+            ..RunOptions::default()
+        })
+        .unwrap();
+    assert!(!partial.is_complete());
+    assert_eq!(partial.records.len(), 8);
+    let resumed = campaign()
+        .run_with(&RunOptions {
+            checkpoint: Some(checkpoint.clone()),
+            events_out: Some(events.clone()),
+            events_sample: 1,
+            shard: Some(range),
+            resume: true,
+            ..RunOptions::default()
+        })
+        .unwrap();
+    assert!(resumed.is_complete(), "resumed shard must complete");
+    assert_eq!(resumed.records, full.records[range.0..range.1]);
+    std::fs::remove_file(&checkpoint).ok();
+    std::fs::remove_file(&events).ok();
+}
+
+#[test]
+fn out_of_range_shards_are_rejected() {
+    for bad in [(5usize, 5usize), (30, 10), (0, INJECTIONS + 1)] {
+        let err = campaign().run_with(&RunOptions {
+            shard: Some(bad),
+            ..RunOptions::default()
+        });
+        assert!(err.is_err(), "shard {bad:?} must be rejected");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any contiguous 3-way partition, folded in any of the 6 shard
+    /// orders, reproduces the one-shot summary — the coordinator merges
+    /// streams in arrival order, which the fold must not care about.
+    #[test]
+    fn arbitrary_partition_and_fold_order_reproduce_the_summary(
+        a in 1usize..INJECTIONS - 1,
+        b in 1usize..INJECTIONS - 1,
+        perm in 0usize..6,
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assume!(lo > 0 && hi < INJECTIONS && lo != hi);
+        let ranges = [(0, lo), (lo, hi), (hi, INJECTIONS)];
+        let (full, _) = baseline();
+        let one_shot = full.summary().to_json();
+        let streams: Vec<Vec<String>> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| run_shard(r, &format!("prop{lo}-{hi}-{i}")).1)
+            .collect();
+        let orders = [
+            [0usize, 1, 2], [0, 2, 1], [1, 0, 2],
+            [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let order = orders[perm];
+        let shuffled: Vec<Vec<String>> =
+            order.iter().map(|&i| streams[i].clone()).collect();
+        prop_assert_eq!(merged_summary(&shuffled).to_json(), one_shot);
+    }
+}

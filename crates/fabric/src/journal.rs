@@ -1,0 +1,289 @@
+//! The coordinator's crash-safe shard journal.
+//!
+//! Append-only JSONL, mirroring the daemon's job journal: a versioned
+//! header line pinning the campaign, then one record per shard state
+//! transition, each flushed before the transition is acted on. On open,
+//! a torn final line (the coordinator died mid-append) is truncated
+//! away and the surviving lines replay to the latest state per shard —
+//! so a restarted coordinator knows which shards were dispatched where
+//! and which completed, and can resume tailing / re-dispatch the rest.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use radcrit_obs::json::{self, escape};
+
+/// Journal format version, written in the header line.
+pub const FABRIC_JOURNAL_VERSION: u64 = 1;
+
+/// Lifecycle state of one shard, as journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// First assignment to a worker.
+    Dispatched,
+    /// Remaining range re-assigned after its worker died.
+    Redispatched,
+    /// The shard's whole index range is covered by the merged stream.
+    Completed,
+}
+
+impl ShardState {
+    /// The state's wire name.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            ShardState::Dispatched => "dispatched",
+            ShardState::Redispatched => "redispatched",
+            ShardState::Completed => "completed",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "dispatched" => Ok(ShardState::Dispatched),
+            "redispatched" => Ok(ShardState::Redispatched),
+            "completed" => Ok(ShardState::Completed),
+            other => Err(format!("unknown shard state {other:?}")),
+        }
+    }
+}
+
+/// One journaled shard state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// Shard ordinal within the campaign's plan.
+    pub shard: usize,
+    /// Shard range start (inclusive, global injection index).
+    pub start: u64,
+    /// Shard range end (exclusive).
+    pub end: u64,
+    /// Worker address the shard is (or was last) assigned to.
+    pub worker: String,
+    /// Job id on that worker, empty until known.
+    pub job: String,
+    /// The transition.
+    pub state: ShardState,
+    /// First index not yet covered by the merged stream at the time of
+    /// this transition — where a re-dispatch resumes from.
+    pub resume_from: u64,
+}
+
+impl ShardRecord {
+    fn render(&self) -> String {
+        format!(
+            "{{\"shard\":{},\"start\":{},\"end\":{},\"worker\":\"{}\",\
+             \"job\":\"{}\",\"state\":\"{}\",\"resume_from\":{}}}",
+            self.shard,
+            self.start,
+            self.end,
+            escape(&self.worker),
+            escape(&self.job),
+            self.state.wire_name(),
+            self.resume_from,
+        )
+    }
+
+    fn parse(line: &str) -> Result<Self, String> {
+        let v = json::parse_line(line)?;
+        let obj = json::as_obj(&v)?;
+        Ok(ShardRecord {
+            shard: json::get_usize(obj, "shard")?,
+            start: json::get_usize(obj, "start")? as u64,
+            end: json::get_usize(obj, "end")? as u64,
+            worker: json::get_str(obj, "worker")?.to_owned(),
+            job: json::get_str(obj, "job")?.to_owned(),
+            state: ShardState::parse(json::get_str(obj, "state")?)?,
+            resume_from: json::get_usize(obj, "resume_from")? as u64,
+        })
+    }
+}
+
+/// The append-only shard journal.
+#[derive(Debug)]
+pub struct FabricJournal {
+    out: BufWriter<File>,
+}
+
+impl FabricJournal {
+    /// Opens (or creates) the journal at `path` for the campaign whose
+    /// canonical spec line is `campaign_json`, returning the journal
+    /// and the latest replayed state per shard (empty for a fresh
+    /// file). A torn final line is truncated; a journal written for a
+    /// *different* campaign is an error — re-dispatching another
+    /// campaign's shards would corrupt both.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a bad header, or a campaign mismatch.
+    pub fn open(path: &Path, campaign_json: &str) -> Result<(Self, Vec<ShardRecord>), String> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+
+        let mut latest: BTreeMap<usize, ShardRecord> = BTreeMap::new();
+        let mut valid_len = 0usize;
+        let mut saw_header = false;
+        for line in text.split_inclusive('\n') {
+            let Some(body) = line.strip_suffix('\n') else {
+                break; // torn final line: the append died mid-write
+            };
+            if !saw_header {
+                let v = json::parse_line(body).map_err(|e| format!("journal header: {e}"))?;
+                let obj = json::as_obj(&v).map_err(|e| format!("journal header: {e}"))?;
+                let version = json::get_usize(obj, "radcrit_fabric_journal")
+                    .map_err(|e| format!("journal header: {e}"))?;
+                if version as u64 != FABRIC_JOURNAL_VERSION {
+                    return Err(format!("unsupported fabric journal version {version}"));
+                }
+                let stored =
+                    json::get_str(obj, "campaign").map_err(|e| format!("journal header: {e}"))?;
+                if stored != campaign_json {
+                    return Err(format!(
+                        "journal {} belongs to a different campaign",
+                        path.display()
+                    ));
+                }
+                saw_header = true;
+                valid_len += line.len();
+                continue;
+            }
+            match ShardRecord::parse(body) {
+                Ok(rec) => {
+                    latest.insert(rec.shard, rec);
+                    valid_len += line.len();
+                }
+                Err(_) => break, // torn mid-file write; drop the tail
+            }
+        }
+
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        file.set_len(valid_len as u64)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        file.seek(SeekFrom::Start(valid_len as u64))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut journal = FabricJournal {
+            out: BufWriter::new(file),
+        };
+        if !saw_header {
+            journal
+                .write_line(&format!(
+                    "{{\"radcrit_fabric_journal\":{FABRIC_JOURNAL_VERSION},\
+                     \"campaign\":\"{}\"}}",
+                    escape(campaign_json)
+                ))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        Ok((journal, latest.into_values().collect()))
+    }
+
+    /// Appends one shard transition, flushed to the OS before return —
+    /// the coordinator acts on a transition only after it is journaled.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or flushing.
+    pub fn append(&mut self, record: &ShardRecord) -> std::io::Result<()> {
+        self.write_line(&record.render())
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const CAMPAIGN: &str = r#"{"spec":1,"kernel":"dgemm","n":32,"injections":40,"seed":23}"#;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "radcrit_fabric_journal_{tag}_{}_{}.jsonl",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn rec(shard: usize, state: ShardState, worker: &str, resume_from: u64) -> ShardRecord {
+        ShardRecord {
+            shard,
+            start: shard as u64 * 10,
+            end: shard as u64 * 10 + 10,
+            worker: worker.to_owned(),
+            job: format!("job-{shard:06}"),
+            state,
+            resume_from,
+        }
+    }
+
+    #[test]
+    fn replay_returns_the_latest_state_per_shard() {
+        let path = temp_path("replay");
+        {
+            let (mut j, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+            assert!(replayed.is_empty());
+            j.append(&rec(0, ShardState::Dispatched, "a:1", 0)).unwrap();
+            j.append(&rec(1, ShardState::Dispatched, "b:2", 10))
+                .unwrap();
+            j.append(&rec(0, ShardState::Completed, "a:1", 10)).unwrap();
+            j.append(&rec(1, ShardState::Redispatched, "a:1", 14))
+                .unwrap();
+        }
+        let (_, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].state, ShardState::Completed);
+        assert_eq!(replayed[1].state, ShardState::Redispatched);
+        assert_eq!(replayed[1].worker, "a:1");
+        assert_eq!(replayed[1].resume_from, 14);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_continues() {
+        let path = temp_path("torn");
+        {
+            let (mut j, _) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+            j.append(&rec(0, ShardState::Dispatched, "a:1", 0)).unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"shard\":1,\"start\":10,\"en").unwrap();
+        }
+        let (mut j, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+        assert_eq!(replayed.len(), 1, "torn record dropped");
+        j.append(&rec(1, ShardState::Dispatched, "b:2", 10))
+            .unwrap();
+        drop(j);
+        let (_, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+        assert_eq!(replayed.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_journal_for_another_campaign_is_rejected() {
+        let path = temp_path("mismatch");
+        drop(FabricJournal::open(&path, CAMPAIGN).unwrap());
+        let err = FabricJournal::open(&path, r#"{"spec":1,"kernel":"lava"}"#);
+        assert!(err.is_err(), "campaign mismatch must refuse to open");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,145 @@
+//! Shard planning and rendezvous placement.
+
+/// Splits the injection range `0..total` into at most `shards`
+/// contiguous, non-empty, near-equal ranges covering the whole range.
+/// The first `total % shards` ranges are one longer, so any two ranges
+/// differ in length by at most one. Asking for more shards than
+/// injections yields one single-index shard per injection.
+pub fn plan_shards(total: u64, shards: usize) -> Vec<(u64, u64)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let k = (shards.max(1) as u64).min(total);
+    let base = total / k;
+    let extra = total % k;
+    let mut ranges = Vec::with_capacity(k as usize);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + u64::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    ranges
+}
+
+/// FNV-1a over a byte string — the fabric's placement hash. Not
+/// cryptographic; it only needs to be stable across processes and well
+/// spread over worker identities.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Ranks workers for a content key by highest-random-weight (rendezvous)
+/// hashing: returns indices into `workers` ordered best-first. Every
+/// participant computing this rank for the same key and worker set gets
+/// the same order, and removing a worker only reshuffles the keys that
+/// ranked it first — so a campaign's shards land on the same daemons
+/// across coordinator restarts, and their golden caches stay warm.
+///
+/// Ties (identical scores) break by worker identity, keeping the order
+/// total and deterministic.
+pub fn rendezvous_rank(key: &str, workers: &[String]) -> Vec<usize> {
+    let mut scored: Vec<(u64, &str, usize)> = workers
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let score = fnv1a(key.bytes().chain(std::iter::once(0xff)).chain(w.bytes()));
+            (score, w.as_str(), i)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+    scored.into_iter().map(|(_, _, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shards_partition_the_range() {
+        for (total, k) in [(10u64, 3usize), (7, 7), (5, 9), (100, 1), (1, 1)] {
+            let ranges = plan_shards(total, k);
+            assert!(ranges.len() <= k);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, total);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+            }
+            for &(s, e) in &ranges {
+                assert!(s < e, "non-empty");
+            }
+        }
+        assert!(plan_shards(0, 3).is_empty());
+    }
+
+    #[test]
+    fn more_shards_than_injections_degrades_to_singletons() {
+        let ranges = plan_shards(3, 8);
+        assert_eq!(ranges, [(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn rendezvous_is_stable_and_total() {
+        let workers: Vec<String> = (0..5).map(|i| format!("127.0.0.1:90{i}")).collect();
+        let rank = rendezvous_rank("golden:dgemm-32-seed7", &workers);
+        assert_eq!(rank, rendezvous_rank("golden:dgemm-32-seed7", &workers));
+        let mut sorted = rank.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2, 3, 4], "a permutation of all workers");
+        // Distinct keys spread: across a handful of keys, at least two
+        // must rank the fleet differently.
+        let ranks: Vec<Vec<usize>> = (0..8)
+            .map(|i| rendezvous_rank(&format!("golden:kernel-{i}"), &workers))
+            .collect();
+        assert!(
+            ranks.iter().any(|r| *r != ranks[0]),
+            "8 distinct keys all ranked identically: {ranks:?}"
+        );
+    }
+
+    #[test]
+    fn removing_a_loser_does_not_move_the_winner() {
+        let workers: Vec<String> = (0..4).map(|i| format!("w{i}")).collect();
+        let rank = rendezvous_rank("k", &workers);
+        let winner = workers[rank[0]].clone();
+        let loser = rank[3];
+        let survivors: Vec<String> = workers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != loser)
+            .map(|(_, w)| w.clone())
+            .collect();
+        let new_rank = rendezvous_rank("k", &survivors);
+        assert_eq!(survivors[new_rank[0]], winner);
+    }
+
+    proptest! {
+        #[test]
+        fn plan_always_partitions(total in 1u64..10_000, k in 1usize..64) {
+            let ranges = plan_shards(total, k);
+            let mut cursor = 0;
+            for (s, e) in ranges {
+                prop_assert_eq!(s, cursor);
+                prop_assert!(e > s);
+                cursor = e;
+            }
+            prop_assert_eq!(cursor, total);
+        }
+
+        #[test]
+        fn shard_lengths_differ_by_at_most_one(total in 1u64..10_000, k in 1usize..64) {
+            let lens: Vec<u64> =
+                plan_shards(total, k).iter().map(|(s, e)| e - s).collect();
+            let min = *lens.iter().min().unwrap();
+            let max = *lens.iter().max().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Worker health tracking: registration, heartbeat recency and the
+//! sweep that declares silent workers dead.
+//!
+//! All time flows in through explicit [`Instant`] parameters — the
+//! registry never reads the clock itself — so the heartbeat-timeout
+//! state machine is testable without sleeping.
+
+use std::time::{Duration, Instant};
+
+/// One registered worker daemon.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// The worker's HTTP address, `host:port` — its identity.
+    pub addr: String,
+    /// Last successful heartbeat (or registration) time.
+    pub last_seen: Instant,
+    /// Whether the worker is currently considered alive.
+    pub alive: bool,
+}
+
+/// The coordinator's view of its worker fleet.
+#[derive(Debug)]
+pub struct WorkerRegistry {
+    workers: Vec<Worker>,
+    timeout: Duration,
+}
+
+impl WorkerRegistry {
+    /// An empty registry declaring workers dead after `timeout` without
+    /// a heartbeat.
+    pub fn new(timeout: Duration) -> Self {
+        WorkerRegistry {
+            workers: Vec::new(),
+            timeout,
+        }
+    }
+
+    /// The configured heartbeat timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Registers a worker (idempotent by address). Re-registering a
+    /// dead worker revives it — a restarted daemon re-joins the fleet.
+    /// Returns the worker's index.
+    pub fn register(&mut self, addr: &str, now: Instant) -> usize {
+        if let Some(i) = self.workers.iter().position(|w| w.addr == addr) {
+            self.workers[i].last_seen = now;
+            self.workers[i].alive = true;
+            return i;
+        }
+        self.workers.push(Worker {
+            addr: addr.to_owned(),
+            last_seen: now,
+            alive: true,
+        });
+        self.workers.len() - 1
+    }
+
+    /// Records a successful heartbeat for `addr` (no-op for unknown
+    /// addresses). A heartbeat does *not* revive a worker already swept
+    /// dead: its shards are being re-dispatched, and a zombie answering
+    /// probes must not be handed work until it re-registers.
+    pub fn mark_seen(&mut self, addr: &str, now: Instant) {
+        if let Some(w) = self.workers.iter_mut().find(|w| w.addr == addr) {
+            if w.alive {
+                w.last_seen = now;
+            }
+        }
+    }
+
+    /// Declares a worker dead immediately (a connection actively
+    /// refused is stronger evidence than a missed heartbeat).
+    pub fn mark_dead(&mut self, addr: &str) {
+        if let Some(w) = self.workers.iter_mut().find(|w| w.addr == addr) {
+            w.alive = false;
+        }
+    }
+
+    /// Sweeps the fleet at time `now`: every live worker whose last
+    /// heartbeat is older than the timeout flips to dead, and the newly
+    /// dead addresses are returned (each exactly once) so the caller can
+    /// re-dispatch their shards.
+    pub fn sweep_at(&mut self, now: Instant) -> Vec<String> {
+        let mut newly_dead = Vec::new();
+        for w in &mut self.workers {
+            if w.alive && now.duration_since(w.last_seen) > self.timeout {
+                w.alive = false;
+                newly_dead.push(w.addr.clone());
+            }
+        }
+        newly_dead
+    }
+
+    /// Addresses of all currently live workers, in registration order.
+    pub fn alive(&self) -> Vec<String> {
+        self.workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.addr.clone())
+            .collect()
+    }
+
+    /// Number of currently live workers.
+    pub fn alive_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.alive).count()
+    }
+
+    /// Whether `addr` is registered and live.
+    pub fn is_alive(&self, addr: &str) -> bool {
+        self.workers.iter().any(|w| w.addr == addr && w.alive)
+    }
+
+    /// All workers, live and dead, in registration order.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn registration_is_idempotent_by_address() {
+        let now = Instant::now();
+        let mut reg = WorkerRegistry::new(T);
+        assert_eq!(reg.register("a:1", now), 0);
+        assert_eq!(reg.register("b:2", now), 1);
+        assert_eq!(reg.register("a:1", now), 0, "same index on re-register");
+        assert_eq!(reg.alive_count(), 2);
+    }
+
+    #[test]
+    fn sweep_kills_silent_workers_once() {
+        let t0 = Instant::now();
+        let mut reg = WorkerRegistry::new(T);
+        reg.register("a:1", t0);
+        reg.register("b:2", t0);
+        reg.mark_seen("b:2", t0 + Duration::from_secs(3));
+        let dead = reg.sweep_at(t0 + Duration::from_secs(4));
+        assert_eq!(dead, ["a:1"], "only the silent worker dies");
+        assert!(!reg.is_alive("a:1"));
+        assert!(reg.is_alive("b:2"));
+        assert!(
+            reg.sweep_at(t0 + Duration::from_secs(5)).is_empty(),
+            "a dead worker is reported exactly once"
+        );
+    }
+
+    #[test]
+    fn heartbeats_do_not_revive_the_dead_but_reregistration_does() {
+        let t0 = Instant::now();
+        let mut reg = WorkerRegistry::new(T);
+        reg.register("a:1", t0);
+        reg.mark_dead("a:1");
+        reg.mark_seen("a:1", t0 + Duration::from_secs(1));
+        assert!(!reg.is_alive("a:1"), "zombie heartbeat must not revive");
+        reg.register("a:1", t0 + Duration::from_secs(1));
+        assert!(reg.is_alive("a:1"), "explicit re-registration revives");
+        assert_eq!(reg.workers().len(), 1);
+    }
+
+    #[test]
+    fn alive_listing_follows_registration_order() {
+        let t0 = Instant::now();
+        let mut reg = WorkerRegistry::new(T);
+        reg.register("c:3", t0);
+        reg.register("a:1", t0);
+        reg.register("b:2", t0);
+        reg.mark_dead("a:1");
+        assert_eq!(reg.alive(), ["c:3", "b:2"]);
+    }
+}

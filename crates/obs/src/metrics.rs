@@ -85,6 +85,26 @@ pub const METRIC_REFERENCE: &[MetricHelp] = &[
         help: "Engine executions started, in any mode.",
     },
     MetricHelp {
+        name: "radcrit_fabric_shards_completed_total",
+        kind: "counter",
+        help: "Shards whose full index range the coordinator has confirmed complete.",
+    },
+    MetricHelp {
+        name: "radcrit_fabric_shards_dispatched_total",
+        kind: "counter",
+        help: "Shard jobs dispatched to workers by the coordinator (first assignments only).",
+    },
+    MetricHelp {
+        name: "radcrit_fabric_shards_redispatched_total",
+        kind: "counter",
+        help: "Shard remainders re-dispatched to a surviving worker after a worker died.",
+    },
+    MetricHelp {
+        name: "radcrit_fabric_workers_alive",
+        kind: "gauge",
+        help: "Registered workers currently passing the coordinator's heartbeat check.",
+    },
+    MetricHelp {
         name: "radcrit_golden_cache_bytes",
         kind: "gauge",
         help: "Bytes resident in the daemon's golden-output LRU cache.",
@@ -159,6 +179,17 @@ pub const METRIC_REFERENCE: &[MetricHelp] = &[
         name: "radcrit_serve_queue_depth",
         kind: "gauge",
         help: "Jobs queued in the daemon (alias of radcrit_queue_depth), sampled at scrape time.",
+    },
+    MetricHelp {
+        name: "radcrit_shard_covered",
+        kind: "gauge",
+        help:
+            "Injection indices of one shard the coordinator's merged stream covers, by shard label.",
+    },
+    MetricHelp {
+        name: "radcrit_shard_events_total",
+        kind: "counter",
+        help: "Event-stream lines merged from one shard's tail, by shard label.",
     },
     MetricHelp {
         name: "radcrit_snapshot_bytes",
@@ -357,6 +388,31 @@ impl MetricsRegistry {
             }
         }
     }
+
+    /// [`MetricsRegistry::merge_snapshot`], with an extra label appended
+    /// to every merged key — how a coordinator folds per-shard or
+    /// per-worker snapshots into one registry without their series
+    /// colliding (e.g. `("shard", "2")` keeps two workers'
+    /// `radcrit_campaign_outcomes_total` apart).
+    pub fn merge_snapshot_labelled(&self, snapshot: &MetricsSnapshot, extra: (&str, &str)) {
+        let rendered = format!("{}=\"{}\"", extra.0, escape(extra.1));
+        let relabelled = MetricsSnapshot {
+            entries: snapshot
+                .entries
+                .iter()
+                .map(|(key, metric)| {
+                    (
+                        MetricKey {
+                            name: key.name.clone(),
+                            labels: merge_labels(&key.labels, &rendered),
+                        },
+                        metric.clone(),
+                    )
+                })
+                .collect(),
+        };
+        self.merge_snapshot(&relabelled);
+    }
 }
 
 /// An immutable point-in-time copy of a [`MetricsRegistry`].
@@ -443,6 +499,59 @@ impl MetricsSnapshot {
             gauges.join(","),
             histograms.join(","),
         )
+    }
+
+    /// Parses the scalar half of a [`MetricsSnapshot::to_json`] line
+    /// back into a snapshot: counters and gauges round-trip exactly;
+    /// histograms are *not* reconstructed (their bucket encoding is
+    /// lossy about the underlying `Log2Histogram`) and are skipped.
+    /// This is what lets a coordinator fold a remote daemon's `/metrics`
+    /// JSON into its own registry.
+    ///
+    /// # Errors
+    ///
+    /// A line that is not a `radcrit_metrics` v1 object, or counter /
+    /// gauge values of the wrong type.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        let parsed = crate::json::parse_line(line)?;
+        let top = crate::json::as_obj(&parsed)?;
+        if crate::json::get_usize(top, "radcrit_metrics") != Ok(1) {
+            return Err("not a radcrit_metrics v1 snapshot".into());
+        }
+        // Keys were rendered as `name{k="v",…}`: split at the first
+        // brace; the label part round-trips verbatim.
+        let split_key = |k: &str| -> MetricKey {
+            match k.find('{') {
+                Some(at) => MetricKey {
+                    name: k[..at].to_owned(),
+                    labels: k[at..].to_owned(),
+                },
+                None => MetricKey {
+                    name: k.to_owned(),
+                    labels: String::new(),
+                },
+            }
+        };
+        let mut entries = BTreeMap::new();
+        for (k, v) in crate::json::as_obj(crate::json::get(top, "counters")?)? {
+            match v {
+                crate::json::Json::Num(n) => {
+                    let c = n.parse().map_err(|_| format!("counter {k:?}: {n:?}"))?;
+                    entries.insert(split_key(k), Metric::Counter(c));
+                }
+                _ => return Err(format!("counter {k:?} is not a number")),
+            }
+        }
+        for (k, v) in crate::json::as_obj(crate::json::get(top, "gauges")?)? {
+            match v {
+                crate::json::Json::Num(n) => {
+                    let g = n.parse().map_err(|_| format!("gauge {k:?}: {n:?}"))?;
+                    entries.insert(split_key(k), Metric::Gauge(g));
+                }
+                _ => return Err(format!("gauge {k:?} is not a number")),
+            }
+        }
+        Ok(MetricsSnapshot { entries })
     }
 
     /// Renders the snapshot in the Prometheus text exposition format.
@@ -680,6 +789,52 @@ mod tests {
         assert_eq!(s.counter("outcomes_total", &[("outcome", "sdc")]), Some(3));
         assert_eq!(s.gauge("last_sigma", &[]), Some(2.0), "last write wins");
         assert_eq!(s.histogram("lat_us", &[]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn labelled_merge_keeps_per_shard_series_apart() {
+        let worker_a = MetricsRegistry::new();
+        worker_a.counter_add("outcomes_total", &[("outcome", "sdc")], 3);
+        worker_a.gauge_set("sigma", &[], 1.0);
+        let worker_b = MetricsRegistry::new();
+        worker_b.counter_add("outcomes_total", &[("outcome", "sdc")], 5);
+
+        let coord = MetricsRegistry::new();
+        coord.merge_snapshot_labelled(&worker_a.snapshot(), ("shard", "0"));
+        coord.merge_snapshot_labelled(&worker_b.snapshot(), ("shard", "1"));
+        let s = coord.snapshot();
+        assert_eq!(
+            s.counter("outcomes_total", &[("outcome", "sdc"), ("shard", "0")]),
+            Some(3)
+        );
+        assert_eq!(
+            s.counter("outcomes_total", &[("outcome", "sdc"), ("shard", "1")]),
+            Some(5)
+        );
+        assert_eq!(s.gauge("sigma", &[("shard", "0")]), Some(1.0));
+        assert_eq!(
+            s.counter("outcomes_total", &[("outcome", "sdc")]),
+            None,
+            "unlabelled series must not exist"
+        );
+    }
+
+    #[test]
+    fn scalar_snapshot_round_trips_through_json() {
+        let m = MetricsRegistry::new();
+        m.counter_add("c_total", &[("k", "v")], 7);
+        m.counter_add("plain_total", &[], 2);
+        m.gauge_set("g", &[], 1.25);
+        m.observe_duration("h_us", &[], Duration::from_micros(9));
+        let parsed = MetricsSnapshot::from_json(&m.snapshot().to_json()).unwrap();
+        assert_eq!(parsed.counter("c_total", &[("k", "v")]), Some(7));
+        assert_eq!(parsed.counter("plain_total", &[]), Some(2));
+        assert_eq!(parsed.gauge("g", &[]), Some(1.25));
+        assert!(
+            parsed.histogram("h_us", &[]).is_none(),
+            "histograms are deliberately not reconstructed"
+        );
+        assert!(MetricsSnapshot::from_json("{\"nope\":1}").is_err());
     }
 
     #[test]

@@ -39,10 +39,22 @@ impl EventWriter {
     ///
     /// Any I/O error creating the file.
     pub fn create(path: &Path, total: u64, sample: u64) -> std::io::Result<Self> {
+        Self::create_range(path, 0, total, sample)
+    }
+
+    /// Creates a fresh stream expecting only injections `start..end` —
+    /// the shard-range variant. Blocks for the shard flush as soon as
+    /// they are contiguous with the shard front, so a live tailer sees
+    /// the stream grow instead of everything gapping until `finish`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    pub fn create_range(path: &Path, start: u64, end: u64, sample: u64) -> std::io::Result<Self> {
         let file = File::create(path)?;
         Ok(EventWriter {
             out: BufWriter::new(file),
-            expected: (0..total).collect(),
+            expected: (start..end).collect(),
             buffered: BTreeMap::new(),
             sample: sample.max(1),
         })
@@ -59,6 +71,22 @@ impl EventWriter {
     ///
     /// Any I/O error reading or truncating the file.
     pub fn resume(path: &Path, total: u64, sample: u64) -> std::io::Result<(Self, HashSet<u64>)> {
+        Self::resume_range(path, 0, total, sample)
+    }
+
+    /// Shard-range variant of [`EventWriter::resume`]: only indices in
+    /// `start..end` are awaited; everything already in the file is
+    /// reported back regardless of range.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error reading or truncating the file.
+    pub fn resume_range(
+        path: &Path,
+        start: u64,
+        end: u64,
+        sample: u64,
+    ) -> std::io::Result<(Self, HashSet<u64>)> {
         let mut text = String::new();
         match File::open(path) {
             Ok(mut f) => {
@@ -92,7 +120,7 @@ impl EventWriter {
         file.set_len(valid_len as u64)?;
         file.seek(SeekFrom::Start(valid_len as u64))?;
         let out = BufWriter::new(file);
-        let expected = (0..total).filter(|i| !have.contains(i)).collect();
+        let expected = (start..end).filter(|i| !have.contains(i)).collect();
         Ok((
             EventWriter {
                 out,

@@ -11,6 +11,10 @@
 //! radcrit-campaign fetch   --addr A JOB [--out FILE]
 //! radcrit-campaign cancel  --addr A JOB
 //! radcrit-campaign shutdown --addr A
+//! radcrit-campaign coordinate --addr A --data-dir D --worker W [--worker W ...]
+//!     [--shards K] <campaign flags> [--summary-out FILE]
+//! radcrit-campaign register --addr COORD WORKER
+//! radcrit-campaign shards  --addr COORD
 //! ```
 //!
 //! The default (no subcommand / `run`) executes one campaign in-process
@@ -19,7 +23,11 @@
 //! campaign through the same [`JobSpec::campaign`] constructor, so a
 //! daemon job and a direct run of the same spec produce bit-for-bit
 //! identical summaries (`--summary-out` writes the canonical JSON form
-//! for comparison).
+//! for comparison). `coordinate` federates one campaign across several
+//! `serve` daemons: it shards the injection range, dispatches shard
+//! jobs, merges every shard's live stream, survives worker death by
+//! re-dispatching the remaining range, and writes the same canonical
+//! summary a single-node run of the spec would.
 //!
 //! ## Exit codes
 //!
@@ -42,6 +50,7 @@ use radcrit_campaign::{HardeningAnalysis, KernelSpec, RunOptions};
 use radcrit_core::filter::ToleranceFilter;
 use radcrit_core::locality::SpatialClass;
 use radcrit_obs::ProvenanceBreakdown;
+use radcrit_serve::coord::{self, CoordinatorConfig};
 use radcrit_serve::daemon::{self, DaemonConfig};
 use radcrit_serve::{Client, DeviceKind, JobSpec, Priority, ServeError};
 
@@ -66,6 +75,12 @@ const USAGE: &str =
    radcrit-campaign fetch --addr HOST:PORT JOB [--out FILE]
    radcrit-campaign cancel --addr HOST:PORT JOB
    radcrit-campaign shutdown --addr HOST:PORT
+   radcrit-campaign coordinate --addr 127.0.0.1:7118 --data-dir DIR
+       --worker HOST:PORT [--worker HOST:PORT ...] [--shards K]
+       <campaign flags> [--summary-out FILE]
+       [--heartbeat-ms 500] [--heartbeat-timeout-ms 5000]
+   radcrit-campaign register --addr COORD_HOST:PORT WORKER_HOST:PORT
+   radcrit-campaign shards --addr COORD_HOST:PORT
 
 exit codes: 0 success | 1 runtime failure | 2 config/usage error
             130 interrupted (--wait timeout)";
@@ -93,6 +108,9 @@ fn main() {
         Some("fetch") => cmd_fetch(&argv[1..]),
         Some("cancel") => cmd_cancel(&argv[1..]),
         Some("shutdown") => cmd_shutdown(&argv[1..]),
+        Some("coordinate") => cmd_coordinate(&argv[1..]),
+        Some("register") => cmd_register(&argv[1..]),
+        Some("shards") => cmd_shards(&argv[1..]),
         Some("run") => cmd_run(&argv[1..]),
         _ => cmd_run(&argv),
     };
@@ -243,6 +261,7 @@ impl CampaignArgs {
             deadline_ms: self.deadline_ms,
             priority: Priority::Normal,
             events_sample: self.events_sample,
+            shard: None,
         };
         spec.validate()?;
         Ok(spec)
@@ -673,5 +692,90 @@ fn cmd_shutdown(argv: &[String]) -> Result<(), ServeError> {
     let (client, _) = client_args(argv, &mut |_, _| Ok(false), None)?;
     client.shutdown()?;
     eprintln!("daemon at {} is draining", client.addr());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// coordinator subcommands
+// ---------------------------------------------------------------------
+
+fn cmd_coordinate(argv: &[String]) -> Result<(), ServeError> {
+    let mut campaign = CampaignArgs::default();
+    let mut addr = "127.0.0.1:7118".to_owned();
+    let mut data_dir: Option<PathBuf> = None;
+    let mut workers: Vec<String> = Vec::new();
+    let mut shards = 0usize;
+    let mut summary_out: Option<PathBuf> = None;
+    let mut heartbeat_ms = 500u64;
+    let mut heartbeat_timeout_ms = 5000u64;
+    let mut it = argv.iter().cloned();
+    while let Some(flag) = it.next() {
+        if campaign.accept(&flag, &mut it)? {
+            continue;
+        }
+        match flag.as_str() {
+            "--addr" => addr = value(&flag, &mut it)?,
+            "--data-dir" => data_dir = Some(PathBuf::from(value(&flag, &mut it)?)),
+            "--worker" => workers.push(value(&flag, &mut it)?),
+            "--shards" => shards = parsed(&flag, &mut it)?,
+            "--summary-out" => summary_out = Some(PathBuf::from(value(&flag, &mut it)?)),
+            "--heartbeat-ms" => heartbeat_ms = parsed(&flag, &mut it)?,
+            "--heartbeat-timeout-ms" => heartbeat_timeout_ms = parsed(&flag, &mut it)?,
+            other => return Err(config(format!("unknown flag {other}"))),
+        }
+    }
+    let data_dir = data_dir.ok_or_else(|| config("--data-dir DIR is required"))?;
+    if workers.is_empty() && shards == 0 {
+        return Err(config(
+            "coordinate needs at least one --worker (or --shards K plus later POST /register)",
+        ));
+    }
+    if heartbeat_ms == 0 || heartbeat_timeout_ms == 0 {
+        return Err(config("heartbeat periods must be > 0 ms"));
+    }
+    let spec = campaign.spec()?;
+    let cfg = CoordinatorConfig {
+        addr,
+        data_dir,
+        spec,
+        shards,
+        workers,
+        heartbeat_interval: Duration::from_millis(heartbeat_ms),
+        heartbeat_timeout: Duration::from_millis(heartbeat_timeout_ms),
+        summary_out: summary_out.clone(),
+    };
+    let handle = coord::start(cfg)?;
+    eprintln!(
+        "radcrit-coordinator listening on {} (register workers with: \
+         radcrit-campaign register --addr {} HOST:PORT)",
+        handle.addr(),
+        handle.addr()
+    );
+    // Run to completion: the coordinator exits once the merged campaign
+    // is done (the HTTP API stays up until then).
+    let forever = Duration::from_secs(u64::MAX / 4);
+    handle.wait_done(forever)?;
+    let client = Client::new(handle.addr().to_string());
+    let result = client.result("merged")?;
+    handle.shutdown()?;
+    print!("{result}");
+    std::io::stdout().flush().ok();
+    if let Some(path) = summary_out {
+        eprintln!("merged summary written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_register(argv: &[String]) -> Result<(), ServeError> {
+    let (client, worker) = client_args(argv, &mut |_, _| Ok(false), Some("WORKER"))?;
+    let worker = worker.expect("positional enforced");
+    let body = client.register_worker(&worker)?;
+    println!("{body}");
+    Ok(())
+}
+
+fn cmd_shards(argv: &[String]) -> Result<(), ServeError> {
+    let (client, _) = client_args(argv, &mut |_, _| Ok(false), None)?;
+    println!("{}", client.shards()?);
     Ok(())
 }

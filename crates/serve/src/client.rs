@@ -5,8 +5,8 @@
 //! Non-2xx responses surface as [`ServeError::Http`] carrying the status
 //! and the server's JSON error body.
 
-use std::io::Write;
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 use radcrit_obs::json;
@@ -14,6 +14,56 @@ use radcrit_obs::json;
 use crate::error::ServeError;
 use crate::http::{read_response, Response};
 use crate::spec::JobSpec;
+
+/// Default connection-establishment timeout.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default per-read socket timeout. Live SSE streams stay under it
+/// because the server pings every 15 s.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Runs `op` up to `attempts` times, sleeping `base`, `2·base`,
+/// `4·base`, … between tries, and retries **only** connection-level
+/// failures ([`ServeError::Io`]). Protocol and HTTP errors mean the
+/// server answered — retrying those would just repeat the answer — and
+/// they surface immediately.
+///
+/// Use this only around requests that are safe to repeat: an I/O error
+/// can strike *after* the server acted (e.g. a submit that was accepted
+/// but whose response was lost), so wrapping a non-idempotent POST can
+/// duplicate work.
+///
+/// # Errors
+///
+/// The last error once `attempts` are exhausted.
+///
+/// # Panics
+///
+/// When `attempts` is zero.
+pub fn retry_with_backoff<T>(
+    attempts: usize,
+    base: Duration,
+    mut op: impl FnMut() -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    assert!(
+        attempts > 0,
+        "retry_with_backoff needs at least one attempt"
+    );
+    let mut delay = base;
+    let mut last = None;
+    for attempt in 0..attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e @ ServeError::Io(_)) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+        if attempt + 1 < attempts {
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
 
 /// One job's state as reported by `GET /jobs/:id`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,17 +86,63 @@ impl JobStatus {
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    connect_timeout: Duration,
+    read_timeout: Duration,
 }
 
 impl Client {
-    /// Creates a client for the daemon at `addr` (`host:port`).
+    /// Creates a client for the daemon at `addr` (`host:port`) with the
+    /// default timeouts.
     pub fn new(addr: impl Into<String>) -> Self {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+        }
+    }
+
+    /// Sets the connection-establishment timeout; a daemon that cannot
+    /// even accept within it counts as down.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-read socket timeout. Health probes against possibly
+    /// dead workers want this short; bulk downloads may want it longer.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
     }
 
     /// The daemon address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Opens a fresh connection under the configured timeouts.
+    fn connect(&self) -> Result<TcpStream, ServeError> {
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Io(format!("resolve {}: {e}", self.addr)))?;
+        let mut last = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.read_timeout))?;
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ServeError::Io(format!(
+            "connect {}: {}",
+            self.addr,
+            last.map_or_else(|| "no addresses resolved".to_owned(), |e| e.to_string())
+        )))
     }
 
     fn request(
@@ -65,9 +161,7 @@ impl Client {
         body: Option<&str>,
         extra_headers: &[(&str, String)],
     ) -> Result<Response, ServeError> {
-        let mut stream = TcpStream::connect(&self.addr)
-            .map_err(|e| ServeError::Io(format!("connect {}: {e}", self.addr)))?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut stream = self.connect()?;
         let body = body.unwrap_or("");
         let mut head = format!(
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n",
@@ -200,33 +294,148 @@ impl Client {
         id: &str,
         resume_after: Option<u64>,
     ) -> Result<Vec<(u64, String)>, ServeError> {
-        let headers: Vec<(&str, String)> = resume_after
-            .map(|n| ("Last-Event-ID", n.to_string()))
-            .into_iter()
-            .collect();
-        let response = self.request_with("GET", &format!("/jobs/{id}/stream"), None, &headers)?;
-        if !(200..300).contains(&response.status) {
-            return Err(ServeError::Http {
-                status: response.status,
-                body: response.body,
-            });
-        }
         let mut frames = Vec::new();
-        for frame in response.body.split("\n\n").filter(|f| !f.trim().is_empty()) {
-            let mut id = None;
-            let mut data = None;
-            for line in frame.lines() {
-                if let Some(v) = line.strip_prefix("id: ") {
-                    id = v.trim().parse::<u64>().ok();
-                } else if let Some(v) = line.strip_prefix("data: ") {
-                    data = Some(v.to_owned());
+        self.stream_with(id, resume_after, &mut |ordinal, data| {
+            frames.push((ordinal, data.to_owned()));
+            true
+        })?;
+        Ok(frames)
+    }
+
+    /// Tails the job's event stream as Server-Sent Events, delivering
+    /// each `(id, data)` frame to `on_frame` **as it arrives** instead
+    /// of buffering the whole stream. Ping comments and the final
+    /// id-less `end` frame are consumed silently. Returns when the
+    /// server ends the stream, or early (still `Ok`) when `on_frame`
+    /// returns `false`.
+    ///
+    /// `resume_after` is sent as `Last-Event-ID`: only frames with a
+    /// larger line ordinal arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 for unknown jobs; [`ServeError::Io`]
+    /// when the connection drops mid-stream (including a read timeout —
+    /// a live server pings inside it).
+    pub fn stream_with(
+        &self,
+        id: &str,
+        resume_after: Option<u64>,
+        on_frame: &mut dyn FnMut(u64, &str) -> bool,
+    ) -> Result<(), ServeError> {
+        let mut stream = self.connect()?;
+        let mut head = format!(
+            "GET /jobs/{id}/stream HTTP/1.1\r\nHost: {}\r\nContent-Length: 0\r\n",
+            self.addr
+        );
+        if let Some(n) = resume_after {
+            head.push_str(&format!("Last-Event-ID: {n}\r\n"));
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ServeError::Protocol(format!("bad status line {status_line:?}")))?;
+        let mut chunked = false;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                } else if name.eq_ignore_ascii_case("transfer-encoding")
+                    && value.trim().eq_ignore_ascii_case("chunked")
+                {
+                    chunked = true;
                 }
             }
-            if let (Some(id), Some(data)) = (id, data) {
-                frames.push((id, data));
+        }
+        if !(200..300).contains(&status) {
+            let mut body = Vec::new();
+            if let Some(n) = content_length {
+                body = vec![0u8; n];
+                reader.read_exact(&mut body)?;
+            } else {
+                reader.read_to_end(&mut body)?;
+            }
+            return Err(ServeError::Http {
+                status,
+                body: String::from_utf8_lossy(&body).into_owned(),
+            });
+        }
+
+        // Accumulate body bytes, peeling complete `\n\n`-terminated SSE
+        // frames off the front as they land.
+        let mut buffer: Vec<u8> = Vec::new();
+        let mut deliver = |buffer: &mut Vec<u8>| -> Result<bool, ServeError> {
+            while let Some(at) = buffer.windows(2).position(|w| w == b"\n\n") {
+                let frame: Vec<u8> = buffer.drain(..at + 2).collect();
+                let frame = std::str::from_utf8(&frame[..at])
+                    .map_err(|_| ServeError::Protocol("SSE frame is not UTF-8".into()))?;
+                let mut ordinal = None;
+                let mut data = None;
+                for line in frame.lines() {
+                    if let Some(v) = line.strip_prefix("id: ") {
+                        ordinal = v.trim().parse::<u64>().ok();
+                    } else if let Some(v) = line.strip_prefix("data: ") {
+                        data = Some(v.to_owned());
+                    }
+                }
+                if let (Some(ordinal), Some(data)) = (ordinal, data) {
+                    if !on_frame(ordinal, &data) {
+                        return Ok(false);
+                    }
+                }
+            }
+            Ok(true)
+        };
+        if chunked {
+            loop {
+                let mut size_line = String::new();
+                reader.read_line(&mut size_line)?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| ServeError::Protocol(format!("bad chunk size {size_line:?}")))?;
+                if size == 0 {
+                    let mut trailer = String::new();
+                    reader.read_line(&mut trailer)?;
+                    break;
+                }
+                let mut chunk = vec![0u8; size + 2]; // data + CRLF
+                reader.read_exact(&mut chunk)?;
+                chunk.truncate(size);
+                buffer.extend_from_slice(&chunk);
+                if !deliver(&mut buffer)? {
+                    return Ok(());
+                }
+            }
+        } else {
+            loop {
+                let block = reader.fill_buf()?;
+                if block.is_empty() {
+                    break;
+                }
+                let n = block.len();
+                buffer.extend_from_slice(block);
+                reader.consume(n);
+                if !deliver(&mut buffer)? {
+                    return Ok(());
+                }
             }
         }
-        Ok(frames)
+        deliver(&mut buffer)?;
+        Ok(())
     }
 
     /// Fetches the rolling criticality fold of one job's event stream
@@ -331,6 +540,39 @@ impl Client {
             .map_err(ServeError::Protocol)
     }
 
+    /// Fetches a finished job's metrics snapshot JSON
+    /// (`GET /jobs/:id/metrics`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Http`] with 404 for unknown jobs or before the
+    /// snapshot exists.
+    pub fn job_metrics(&self, id: &str) -> Result<String, ServeError> {
+        Ok(self
+            .expect_ok("GET", &format!("/jobs/{id}/metrics"), None)?
+            .body)
+    }
+
+    /// Registers a worker daemon with a coordinator (`POST /register`);
+    /// returns the coordinator's JSON acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn register_worker(&self, worker_addr: &str) -> Result<String, ServeError> {
+        let body = format!("{{\"worker\":\"{}\"}}", json::escape(worker_addr));
+        Ok(self.expect_ok("POST", "/register", Some(&body))?.body)
+    }
+
+    /// Fetches a coordinator's shard table (`GET /shards`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn shards(&self) -> Result<String, ServeError> {
+        Ok(self.expect_ok("GET", "/shards", None)?.body)
+    }
+
     /// Fetches the Prometheus metrics exposition.
     ///
     /// # Errors
@@ -357,5 +599,96 @@ impl Client {
     /// Propagates connection and protocol failures.
     pub fn shutdown(&self) -> Result<(), ServeError> {
         self.expect_ok("POST", "/shutdown", None).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn a_stalled_server_times_out_instead_of_hanging() {
+        // Accept the connection but never write a byte: the read
+        // timeout, not a 30 s default, must bound the call.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stall = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let client = Client::new(addr.to_string())
+            .with_connect_timeout(Duration::from_millis(500))
+            .with_read_timeout(Duration::from_millis(100));
+        let started = Instant::now();
+        let result = client.healthz();
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(result, Err(ServeError::Io(_))),
+            "expected an I/O timeout, got {result:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "timed out in {elapsed:?}, not at the configured 100ms"
+        );
+        stall.join().unwrap();
+    }
+
+    #[test]
+    fn a_refused_connection_fails_fast() {
+        // Bind then immediately drop: the port exists but refuses.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let client = Client::new(addr.to_string()).with_connect_timeout(Duration::from_millis(500));
+        let started = Instant::now();
+        assert!(matches!(client.healthz(), Err(ServeError::Io(_))));
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_io_errors() {
+        let calls = AtomicUsize::new(0);
+        let result = retry_with_backoff(3, Duration::from_millis(1), || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(ServeError::Io("transient".into()))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_attempt_budget() {
+        let calls = AtomicUsize::new(0);
+        let result: Result<(), _> = retry_with_backoff(3, Duration::from_millis(1), || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Io("down".into()))
+        });
+        assert!(matches!(result, Err(ServeError::Io(_))));
+        assert_eq!(calls.load(Ordering::Relaxed), 3, "bounded, not infinite");
+    }
+
+    #[test]
+    fn retry_does_not_repeat_requests_the_server_answered() {
+        let calls = AtomicUsize::new(0);
+        let result: Result<(), _> = retry_with_backoff(5, Duration::from_millis(1), || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Http {
+                status: 429,
+                body: "{\"error\":\"queue full\"}".into(),
+            })
+        });
+        assert!(matches!(result, Err(ServeError::Http { status: 429, .. })));
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "an answered request must not be replayed"
+        );
     }
 }

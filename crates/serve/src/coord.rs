@@ -1,0 +1,998 @@
+//! The campaign coordinator: one campaign, many worker daemons.
+//!
+//! ## Architecture
+//!
+//! A coordinator owns exactly one campaign. It splits the injection
+//! index range `0..injections` into contiguous shards
+//! ([`radcrit_fabric::plan_shards`]), dispatches each shard as a normal
+//! [`JobSpec`] (with its `shard` range set) to a registered worker
+//! daemon, and tails every shard job's SSE stream back into one
+//! [`MergedStream`] — the idempotent per-index fold that backs the
+//! coordinator's merged `/analytics`, `/dashboard`, `/metrics` and
+//! federated `/jobs/:id/stream` endpoints. Shard placement is
+//! rendezvous-hashed over the campaign's golden content address
+//! ([`radcrit_fabric::rendezvous_rank`]), so a coordinator restart
+//! re-dispatches every shard to the worker that already holds its
+//! golden cache entry and checkpoint.
+//!
+//! ## Fault tolerance
+//!
+//! Workers are health-checked by heartbeat probes; a worker silent past
+//! the timeout (or actively refusing connections) is swept dead and
+//! every one of its incomplete shards is re-dispatched to a surviving
+//! worker — as a *new* job covering only the shard's remaining index
+//! range `[next_uncovered, end)`, because the merged stream already
+//! holds the dead worker's streamed prefix. Every shard transition is
+//! journaled ([`radcrit_fabric::FabricJournal`]) before it is acted on,
+//! mirroring the daemon's job journal, so a killed coordinator restarted
+//! on the same data directory resumes tailing and re-dispatching where
+//! it left off. Stream idempotence makes all of this safe: re-delivered
+//! indices are duplicates, not double counts, and the merged summary
+//! stays bit-identical to a single-node run of the same spec.
+//!
+//! ## Data layout
+//!
+//! ```text
+//! <data_dir>/fabric.jsonl    shard-transition journal
+//! <data_dir>/merged.jsonl    merged analytic event skeleton
+//! ```
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use radcrit_campaign::golden::GoldenKey;
+use radcrit_campaign::CampaignSummary;
+use radcrit_fabric::{
+    plan_shards, rendezvous_rank, FabricJournal, IngestOutcome, MergedStream, ShardRecord,
+    ShardState, WorkerRegistry,
+};
+use radcrit_obs::{json, MetricsRegistry, MetricsSnapshot};
+
+use crate::client::Client;
+use crate::error::ServeError;
+use crate::http::{read_request, respond, respond_chunked, Request};
+use crate::spec::JobSpec;
+
+/// How a coordinator is launched.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Data directory for the fabric journal and merged stream.
+    pub data_dir: PathBuf,
+    /// The campaign to federate. Its `shard` must be `None` — the
+    /// coordinator owns the split.
+    pub spec: JobSpec,
+    /// Shard count; `0` means one shard per initially known worker.
+    pub shards: usize,
+    /// Initially known worker daemon addresses (more can join via
+    /// `POST /register`).
+    pub workers: Vec<String>,
+    /// Heartbeat probe period.
+    pub heartbeat_interval: Duration,
+    /// Silence past this declares a worker dead.
+    pub heartbeat_timeout: Duration,
+    /// Where to write the merged canonical summary once complete.
+    pub summary_out: Option<PathBuf>,
+}
+
+impl CoordinatorConfig {
+    /// A default-tuned config for `spec` (heartbeats every 500 ms,
+    /// death after 5 s of silence).
+    pub fn new(spec: JobSpec) -> Self {
+        CoordinatorConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            data_dir: PathBuf::from("radcrit-fabric-data"),
+            spec,
+            shards: 0,
+            workers: Vec::new(),
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_secs(5),
+            summary_out: None,
+        }
+    }
+}
+
+/// Where one shard currently stands.
+#[derive(Debug, Clone)]
+struct ShardSlot {
+    start: u64,
+    end: u64,
+    /// Worker the shard is currently assigned to (empty until first
+    /// dispatch).
+    worker: String,
+    /// Job id on that worker (empty until dispatched).
+    job: String,
+    state: SlotState,
+    /// Dispatch generation; stale tailer endings are recognised by it.
+    generation: u64,
+    /// Whether a tailer thread is attached to the current dispatch.
+    tailing: bool,
+    /// Times this shard was dispatched after its first assignment.
+    redispatches: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Not yet (or no longer) assigned; the next planner pass
+    /// dispatches it.
+    Pending,
+    /// Assigned and (presumed) running on `worker` as `job`.
+    Dispatched,
+    /// Every index of the shard's range is covered by the merge.
+    Completed,
+}
+
+/// A shard tailer's exit report.
+#[derive(Debug)]
+struct TailEnd {
+    shard: usize,
+    generation: u64,
+    result: Result<(), ServeError>,
+}
+
+/// Shared coordinator state.
+#[derive(Debug)]
+struct Core {
+    config: CoordinatorConfig,
+    /// Canonical one-shot spec JSON (`shard: null`) — the journal's
+    /// campaign identity and the workers' spec template.
+    campaign_json: String,
+    /// The golden content address shards are placed by.
+    golden_key: String,
+    total: u64,
+    registry: Mutex<WorkerRegistry>,
+    journal: Mutex<FabricJournal>,
+    merged: Mutex<MergedStream>,
+    merged_path: PathBuf,
+    slots: Mutex<Vec<ShardSlot>>,
+    metrics: Arc<MetricsRegistry>,
+    /// Set by `POST /shutdown` (or the handle): stop orchestrating and
+    /// accepting.
+    stop: AtomicBool,
+    /// Every shard completed and the merged summary written.
+    done: AtomicBool,
+}
+
+/// A running coordinator: its address plus the thread handles to join.
+#[derive(Debug)]
+pub struct CoordinatorHandle {
+    core: Arc<Core>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    orchestrator: Option<JoinHandle<Result<(), ServeError>>>,
+}
+
+impl CoordinatorHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the merged campaign has completed.
+    pub fn is_done(&self) -> bool {
+        self.core.done.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the campaign completes (or `timeout` elapses).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Interrupted`] on timeout.
+    pub fn wait_done(&self, timeout: Duration) -> Result<(), ServeError> {
+        let deadline = Instant::now() + timeout;
+        while !self.is_done() {
+            if Instant::now() >= deadline {
+                return Err(ServeError::Interrupted(format!(
+                    "campaign still federating after {:.1}s",
+                    timeout.as_secs_f64()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        Ok(())
+    }
+
+    /// Stops the coordinator and joins its threads, returning the
+    /// orchestrator's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Whatever error stopped the orchestrator first.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.core.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        match self.orchestrator.take() {
+            Some(t) => t.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Starts a coordinator from `config`.
+///
+/// # Errors
+///
+/// [`ServeError::Config`] for a spec that already carries a shard
+/// range; [`ServeError::Io`] for data-dir, journal or listener
+/// problems.
+pub fn start(config: CoordinatorConfig) -> Result<CoordinatorHandle, ServeError> {
+    if config.spec.shard.is_some() {
+        return Err(ServeError::Config(
+            "coordinator spec must not carry a shard range — the coordinator plans the split"
+                .into(),
+        ));
+    }
+    config.spec.validate()?;
+    std::fs::create_dir_all(&config.data_dir)
+        .map_err(|e| ServeError::Io(format!("data dir {}: {e}", config.data_dir.display())))?;
+    let campaign = config.spec.campaign()?;
+    let campaign_json = config.spec.to_json();
+    let golden_key = GoldenKey::for_campaign(&campaign).as_str().to_owned();
+    let total = config.spec.injections as u64;
+
+    let merged_path = config.data_dir.join("merged.jsonl");
+    let merged = MergedStream::resume(total, &merged_path).map_err(ServeError::Io)?;
+    let (journal, replayed) =
+        FabricJournal::open(&config.data_dir.join("fabric.jsonl"), &campaign_json)
+            .map_err(ServeError::Protocol)?;
+
+    // The shard plan: journaled ranges win over a fresh plan, so a
+    // restarted coordinator keeps the exact split it journaled even if
+    // the shard-count flag changed.
+    let shard_count = if config.shards > 0 {
+        config.shards
+    } else {
+        config.workers.len().max(1)
+    };
+    let mut slots: Vec<ShardSlot> = plan_shards(total, shard_count)
+        .into_iter()
+        .map(|(start, end)| ShardSlot {
+            start,
+            end,
+            worker: String::new(),
+            job: String::new(),
+            state: SlotState::Pending,
+            generation: 0,
+            tailing: false,
+            redispatches: 0,
+        })
+        .collect();
+    if !replayed.is_empty() {
+        slots = replayed
+            .iter()
+            .map(|rec| ShardSlot {
+                start: rec.start,
+                end: rec.end,
+                worker: rec.worker.clone(),
+                job: rec.job.clone(),
+                // Everything incomplete is re-dispatched from the merged
+                // stream's coverage — the journaled assignment may point
+                // at a worker that died with the previous coordinator.
+                state: match rec.state {
+                    ShardState::Completed => SlotState::Completed,
+                    _ => SlotState::Pending,
+                },
+                generation: 0,
+                tailing: false,
+                redispatches: u64::from(rec.state == ShardState::Redispatched),
+            })
+            .collect();
+    }
+
+    let now = Instant::now();
+    let mut registry = WorkerRegistry::new(config.heartbeat_timeout);
+    for worker in &config.workers {
+        registry.register(worker, now);
+    }
+
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| ServeError::Io(format!("bind {}: {e}", config.addr)))?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let core = Arc::new(Core {
+        campaign_json,
+        golden_key,
+        total,
+        registry: Mutex::new(registry),
+        journal: Mutex::new(journal),
+        merged: Mutex::new(merged),
+        merged_path,
+        slots: Mutex::new(slots),
+        metrics: Arc::new(MetricsRegistry::new()),
+        stop: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        config,
+    });
+
+    let accept = {
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || accept_loop(&core, &listener))
+    };
+    let orchestrator = {
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || orchestrate(&core))
+    };
+
+    Ok(CoordinatorHandle {
+        core,
+        addr,
+        accept: Some(accept),
+        orchestrator: Some(orchestrator),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------
+
+const ORCHESTRATE_TICK: Duration = Duration::from_millis(25);
+
+fn orchestrate(core: &Arc<Core>) -> Result<(), ServeError> {
+    let (tx, rx) = std::sync::mpsc::channel::<TailEnd>();
+    let mut last_beat: Option<Instant> = None;
+    loop {
+        if core.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        dispatch_pending(core, &tx);
+        drain_tail_endings(core, &rx);
+        let now = Instant::now();
+        if last_beat.is_none_or(|t| now.duration_since(t) >= core.config.heartbeat_interval) {
+            last_beat = Some(now);
+            heartbeat(core);
+        }
+        complete_covered_shards(core);
+        if finish_if_done(core)? {
+            return Ok(());
+        }
+        std::thread::sleep(ORCHESTRATE_TICK);
+    }
+}
+
+/// Dispatches every pending shard whose range still has uncovered
+/// indices, placing each by rendezvous rank over the live fleet.
+fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) {
+    let pending: Vec<usize> = {
+        let slots = core.slots.lock().expect("slots lock");
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == SlotState::Pending && !s.tailing)
+            .map(|(i, _)| i)
+            .collect()
+    };
+    for shard in pending {
+        let (start, end, prior_worker, had_assignment) = {
+            let slots = core.slots.lock().expect("slots lock");
+            let s = &slots[shard];
+            (s.start, s.end, s.worker.clone(), !s.job.is_empty())
+        };
+        let resume_from = {
+            let merged = core.merged.lock().expect("merged lock");
+            merged.next_uncovered(start, end)
+        };
+        if resume_from == end {
+            // The dead worker had streamed the whole shard before dying;
+            // nothing to re-run.
+            mark_completed(core, shard);
+            continue;
+        }
+        let alive = core.registry.lock().expect("registry lock").alive();
+        if alive.is_empty() {
+            return; // nobody to dispatch to; retry next tick
+        }
+        // Rendezvous placement over the golden content address: shard i
+        // of this campaign ranks the fleet the same way on every
+        // coordinator run. On re-dispatch the (dead) prior worker is
+        // skipped when any alternative exists.
+        let key = format!("{}#{shard}", core.golden_key);
+        let rank = rendezvous_rank(&key, &alive);
+        let candidates: Vec<&String> = rank
+            .iter()
+            .map(|&i| &alive[i])
+            .filter(|w| !(had_assignment && alive.len() > 1 && **w == prior_worker))
+            .collect();
+        let mut spec = JobSpec::parse(&core.campaign_json).expect("own canonical spec");
+        spec.shard = Some((resume_from as usize, end as usize));
+        for worker in candidates {
+            let client = Client::new(worker.clone())
+                .with_connect_timeout(Duration::from_secs(2))
+                .with_read_timeout(Duration::from_secs(10));
+            match client.submit(&spec) {
+                Ok(job) => {
+                    let state = if had_assignment {
+                        ShardState::Redispatched
+                    } else {
+                        ShardState::Dispatched
+                    };
+                    journal_append(
+                        core,
+                        &ShardRecord {
+                            shard,
+                            start,
+                            end,
+                            worker: worker.clone(),
+                            job: job.clone(),
+                            state,
+                            resume_from,
+                        },
+                    );
+                    core.metrics.counter_add(
+                        match state {
+                            ShardState::Redispatched => "radcrit_fabric_shards_redispatched_total",
+                            _ => "radcrit_fabric_shards_dispatched_total",
+                        },
+                        &[],
+                        1,
+                    );
+                    let generation = {
+                        let mut slots = core.slots.lock().expect("slots lock");
+                        let s = &mut slots[shard];
+                        s.worker = worker.clone();
+                        s.job = job.clone();
+                        s.state = SlotState::Dispatched;
+                        s.generation += 1;
+                        s.tailing = true;
+                        s.redispatches += u64::from(state == ShardState::Redispatched);
+                        s.generation
+                    };
+                    spawn_tailer(core, shard, generation, worker.clone(), job, tx.clone());
+                    break;
+                }
+                Err(ServeError::Io(_)) => {
+                    // Can't even connect: dead now, try the next rank.
+                    core.registry
+                        .lock()
+                        .expect("registry lock")
+                        .mark_dead(worker);
+                }
+                Err(_) => {
+                    // The worker answered but refused (queue full,
+                    // draining): leave it alive, try the next rank.
+                }
+            }
+        }
+    }
+}
+
+/// One tailer per dispatched shard: feeds the worker's SSE frames into
+/// the merged stream, reconnecting (with `Last-Event-ID`) over transient
+/// drops, and reports back when the stream ends or the worker dies.
+fn spawn_tailer(
+    core: &Arc<Core>,
+    shard: usize,
+    generation: u64,
+    worker: String,
+    job: String,
+    tx: Sender<TailEnd>,
+) {
+    let core = Arc::clone(core);
+    std::thread::spawn(move || {
+        let client = Client::new(worker.clone())
+            .with_connect_timeout(Duration::from_secs(2))
+            .with_read_timeout(Duration::from_secs(60));
+        let shard_label = shard.to_string();
+        let mut last: Option<u64> = None;
+        let mut failures = 0u32;
+        let result = loop {
+            let mut progressed = false;
+            let outcome = client.stream_with(&job, last, &mut |ordinal, data| {
+                progressed = true;
+                last = Some(ordinal);
+                {
+                    let mut merged = core.merged.lock().expect("merged lock");
+                    if let Ok(IngestOutcome::NewIndex(_)) = merged.ingest_line(data) {
+                        core.metrics.counter_add(
+                            "radcrit_shard_events_total",
+                            &[("shard", &shard_label)],
+                            1,
+                        );
+                        // Flush so the federated SSE tail sees the line.
+                        let _ = merged.finish_if_complete();
+                    }
+                }
+                // Frames flowing are better evidence than any probe.
+                core.registry
+                    .lock()
+                    .expect("registry lock")
+                    .mark_seen(&worker, Instant::now());
+                !core.stop.load(Ordering::SeqCst)
+            });
+            match outcome {
+                Ok(()) => break Ok(()),
+                Err(e @ ServeError::Io(_)) => {
+                    failures = if progressed { 1 } else { failures + 1 };
+                    if failures > 3 {
+                        break Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(100 << failures));
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        let _ = tx.send(TailEnd {
+            shard,
+            generation,
+            result,
+        });
+    });
+}
+
+fn drain_tail_endings(core: &Arc<Core>, rx: &Receiver<TailEnd>) {
+    while let Ok(end) = rx.try_recv() {
+        let worker = {
+            let mut slots = core.slots.lock().expect("slots lock");
+            let s = &mut slots[end.shard];
+            if s.generation != end.generation {
+                continue; // a stale tailer from before a re-dispatch
+            }
+            s.tailing = false;
+            s.worker.clone()
+        };
+        let covered = {
+            let merged = core.merged.lock().expect("merged lock");
+            let slots = core.slots.lock().expect("slots lock");
+            let s = &slots[end.shard];
+            merged.covered_in(s.start, s.end) == s.end - s.start
+        };
+        if covered {
+            mark_completed(core, end.shard);
+            continue;
+        }
+        // The stream ended but the shard is not covered: either the
+        // worker died mid-stream, or its job ended without finishing
+        // (cancelled / failed). Both paths re-dispatch the remainder;
+        // a dead worker is also struck from the fleet immediately.
+        if end.result.is_err() {
+            core.registry
+                .lock()
+                .expect("registry lock")
+                .mark_dead(&worker);
+        }
+        let mut slots = core.slots.lock().expect("slots lock");
+        slots[end.shard].state = SlotState::Pending;
+    }
+}
+
+/// Probes every registered worker's `/healthz`, then sweeps the fleet:
+/// newly dead workers get their incomplete shards re-dispatched (by
+/// flipping them pending; the next planner pass does the rest).
+fn heartbeat(core: &Arc<Core>) {
+    let workers: Vec<String> = {
+        let registry = core.registry.lock().expect("registry lock");
+        registry.alive()
+    };
+    for worker in &workers {
+        let client = Client::new(worker.clone())
+            .with_connect_timeout(Duration::from_millis(500))
+            .with_read_timeout(Duration::from_millis(500));
+        if client.healthz().is_ok() {
+            core.registry
+                .lock()
+                .expect("registry lock")
+                .mark_seen(worker, Instant::now());
+        }
+    }
+    let newly_dead = core
+        .registry
+        .lock()
+        .expect("registry lock")
+        .sweep_at(Instant::now());
+    if !newly_dead.is_empty() {
+        let mut slots = core.slots.lock().expect("slots lock");
+        for s in slots.iter_mut() {
+            if s.state == SlotState::Dispatched && newly_dead.contains(&s.worker) {
+                s.state = SlotState::Pending;
+                // The tailer will error out on its own; its ending is
+                // recognised as stale once the shard is re-dispatched.
+                s.tailing = false;
+            }
+        }
+    }
+    core.metrics.gauge_set(
+        "radcrit_fabric_workers_alive",
+        &[],
+        core.registry.lock().expect("registry lock").alive_count() as f64,
+    );
+}
+
+/// Journals and records completion for shards whose whole range became
+/// covered (the tailer may still be attached when coverage arrives via
+/// another shard's re-delivered prefix).
+fn complete_covered_shards(core: &Arc<Core>) {
+    let candidates: Vec<usize> = {
+        let slots = core.slots.lock().expect("slots lock");
+        let merged = core.merged.lock().expect("merged lock");
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.state == SlotState::Dispatched
+                    && merged.covered_in(s.start, s.end) == s.end - s.start
+            })
+            .map(|(i, _)| i)
+            .collect()
+    };
+    for shard in candidates {
+        mark_completed(core, shard);
+    }
+}
+
+/// Transitions one shard to completed: journal first, then metrics,
+/// then (best-effort) the worker's per-job metrics snapshot merged into
+/// the coordinator registry under a `shard` label.
+fn mark_completed(core: &Arc<Core>, shard: usize) {
+    let (record, worker, job) = {
+        let mut slots = core.slots.lock().expect("slots lock");
+        let s = &mut slots[shard];
+        if s.state == SlotState::Completed {
+            return;
+        }
+        s.state = SlotState::Completed;
+        s.tailing = false;
+        (
+            ShardRecord {
+                shard,
+                start: s.start,
+                end: s.end,
+                worker: s.worker.clone(),
+                job: s.job.clone(),
+                state: ShardState::Completed,
+                resume_from: s.end,
+            },
+            s.worker.clone(),
+            s.job.clone(),
+        )
+    };
+    // The merged prefix must be durable before the journal claims the
+    // shard complete — a crash between the two must re-tail, not skip.
+    {
+        let mut merged = core.merged.lock().expect("merged lock");
+        let _ = merged.finish_if_complete();
+    }
+    journal_append(core, &record);
+    core.metrics
+        .counter_add("radcrit_fabric_shards_completed_total", &[], 1);
+    if !worker.is_empty() && !job.is_empty() {
+        let client = Client::new(worker)
+            .with_connect_timeout(Duration::from_secs(2))
+            .with_read_timeout(Duration::from_secs(10));
+        if let Ok(text) = client.job_metrics(&job) {
+            if let Ok(snapshot) = MetricsSnapshot::from_json(text.trim()) {
+                core.metrics
+                    .merge_snapshot_labelled(&snapshot, ("shard", &shard.to_string()));
+            }
+        }
+    }
+}
+
+/// Once every shard completed: synthesize the merged `run_end`, write
+/// the canonical summary, and flip the done flag.
+fn finish_if_done(core: &Arc<Core>) -> Result<bool, ServeError> {
+    let all_done = {
+        let slots = core.slots.lock().expect("slots lock");
+        !slots.is_empty() && slots.iter().all(|s| s.state == SlotState::Completed)
+    };
+    if !all_done {
+        return Ok(false);
+    }
+    let summary = {
+        let mut merged = core.merged.lock().expect("merged lock");
+        merged.finish_if_complete().map_err(ServeError::Io)?;
+        CampaignSummary::from_analytics(merged.aggregator())
+    };
+    if let Some(path) = &core.config.summary_out {
+        std::fs::write(path, format!("{}\n", summary.to_json()))
+            .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+    }
+    core.done.store(true, Ordering::SeqCst);
+    Ok(true)
+}
+
+fn journal_append(core: &Arc<Core>, record: &ShardRecord) {
+    if let Err(e) = core.journal.lock().expect("journal lock").append(record) {
+        eprintln!("radcrit-coordinator: journal write failed: {e}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP routing
+// ---------------------------------------------------------------------
+
+fn accept_loop(core: &Arc<Core>, listener: &TcpListener) {
+    loop {
+        if core.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let core = Arc::clone(core);
+                std::thread::spawn(move || {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                    let _ = handle_connection(&core, &mut stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(_) => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                "{\"error\":\"bad request\"}",
+            );
+        }
+    };
+    route(core, stream, &request)
+}
+
+fn route(core: &Arc<Core>, stream: &mut TcpStream, req: &Request) -> Result<(), ServeError> {
+    let path = req.path.split('?').next().unwrap_or(&req.path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["register"]) => post_register(core, stream, &req.body),
+        ("GET", ["shards"]) => get_shards(core, stream),
+        ("GET", ["analytics"]) => get_analytics(core, stream),
+        ("GET", ["jobs"]) => get_jobs(core, stream),
+        ("GET", ["jobs", _id]) => get_status(core, stream),
+        ("GET", ["jobs", _id, "stream"]) => get_stream(core, stream, req),
+        ("GET", ["jobs", _id, "events"]) => get_events(core, stream),
+        ("GET", ["jobs", _id, "analytics"]) => {
+            let merged = core.merged.lock().expect("merged lock");
+            let body = merged.aggregator().to_json();
+            drop(merged);
+            respond(stream, 200, "application/json", &body)
+        }
+        ("GET", ["jobs", _id, "result"]) => get_result(core, stream),
+        ("GET", ["dashboard"]) => respond(
+            stream,
+            200,
+            "text/html; charset=utf-8",
+            crate::dashboard::DASHBOARD_HTML,
+        ),
+        ("GET", ["metrics"]) => get_metrics(core, stream),
+        ("GET", ["healthz"]) => get_healthz(core, stream),
+        ("POST", ["shutdown"]) => {
+            core.stop.store(true, Ordering::SeqCst);
+            respond(stream, 200, "application/json", "{\"draining\":true}")
+        }
+        (method, _) if !matches!(method, "GET" | "POST") => respond(
+            stream,
+            405,
+            "application/json",
+            "{\"error\":\"method not allowed\"}",
+        ),
+        _ => respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"no such route\"}",
+        ),
+    }
+}
+
+fn post_register(core: &Arc<Core>, stream: &mut TcpStream, body: &str) -> Result<(), ServeError> {
+    let worker = json::parse_line(body)
+        .and_then(|v| json::as_obj(&v).map(<[_]>::to_vec))
+        .and_then(|obj| json::get_str(&obj, "worker").map(str::to_owned));
+    let worker = match worker {
+        Ok(w) if !w.is_empty() => w,
+        _ => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                "{\"error\":\"body must be {\\\"worker\\\":\\\"host:port\\\"}\"}",
+            );
+        }
+    };
+    let alive = {
+        let mut registry = core.registry.lock().expect("registry lock");
+        registry.register(&worker, Instant::now());
+        registry.alive_count()
+    };
+    let body = format!(
+        "{{\"registered\":\"{}\",\"workers_alive\":{alive}}}",
+        json::escape(&worker)
+    );
+    respond(stream, 200, "application/json", &body)
+}
+
+fn get_shards(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let rows: Vec<String> = {
+        let slots = core.slots.lock().expect("slots lock");
+        let merged = core.merged.lock().expect("merged lock");
+        slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "{{\"shard\":{i},\"start\":{},\"end\":{},\"worker\":\"{}\",\
+                     \"job\":\"{}\",\"state\":\"{}\",\"covered\":{},\"redispatches\":{}}}",
+                    s.start,
+                    s.end,
+                    json::escape(&s.worker),
+                    json::escape(&s.job),
+                    match s.state {
+                        SlotState::Pending => "pending",
+                        SlotState::Dispatched => "dispatched",
+                        SlotState::Completed => "completed",
+                    },
+                    merged.covered_in(s.start, s.end),
+                    s.redispatches,
+                )
+            })
+            .collect()
+    };
+    let body = format!("{{\"shards\":[{}]}}", rows.join(","));
+    respond(stream, 200, "application/json", &body)
+}
+
+/// Merged rollup in the daemon's `GET /analytics` body shape, so the
+/// shared dashboard renders a coordinator unchanged.
+fn get_analytics(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let (shards, completed) = {
+        let slots = core.slots.lock().expect("slots lock");
+        (
+            slots.len(),
+            slots
+                .iter()
+                .filter(|s| s.state == SlotState::Completed)
+                .count(),
+        )
+    };
+    let rollup = {
+        let merged = core.merged.lock().expect("merged lock");
+        merged.aggregator().to_json()
+    };
+    let body = format!("{{\"jobs\":{shards},\"folded\":{completed},\"rollup\":{rollup}}}");
+    respond(stream, 200, "application/json", &body)
+}
+
+fn get_jobs(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let status = if core.done.load(Ordering::SeqCst) {
+        "done"
+    } else {
+        "running"
+    };
+    let body = format!("{{\"jobs\":[{{\"job\":\"merged\",\"status\":\"{status}\"}}]}}");
+    respond(stream, 200, "application/json", &body)
+}
+
+fn get_status(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let status = if core.done.load(Ordering::SeqCst) {
+        "done"
+    } else {
+        "running"
+    };
+    let body = format!("{{\"job\":\"merged\",\"status\":\"{status}\"}}");
+    respond(stream, 200, "application/json", &body)
+}
+
+/// The federated stream: the merged analytic skeleton tailed as SSE,
+/// resumable via `Last-Event-ID` exactly like a single daemon's stream.
+fn get_stream(core: &Arc<Core>, stream: &mut TcpStream, req: &Request) -> Result<(), ServeError> {
+    let resume_after = crate::live::parse_last_event_id(req.header("last-event-id"));
+    let core_for_poll = Arc::clone(core);
+    match crate::live::stream_sse(stream, &core.merged_path, resume_after, &move || {
+        core_for_poll.done.load(Ordering::SeqCst) || core_for_poll.stop.load(Ordering::SeqCst)
+    }) {
+        Err(ServeError::Disconnected(_)) => Ok(()),
+        other => other,
+    }
+}
+
+fn get_events(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let mut file = match std::fs::File::open(&core.merged_path) {
+        Ok(f) => f,
+        Err(_) => {
+            return respond(
+                stream,
+                404,
+                "application/json",
+                "{\"error\":\"no events yet\"}",
+            );
+        }
+    };
+    respond_chunked(stream, 200, "application/jsonl", |write| {
+        use std::io::Read;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let n = file.read(&mut buf)?;
+            if n == 0 {
+                return Ok(());
+            }
+            write(&buf[..n])?;
+        }
+    })
+}
+
+fn get_result(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    if !core.done.load(Ordering::SeqCst) {
+        return respond(
+            stream,
+            409,
+            "application/json",
+            "{\"error\":\"job is running, result not available\"}",
+        );
+    }
+    let body = {
+        let merged = core.merged.lock().expect("merged lock");
+        format!(
+            "{}\n",
+            CampaignSummary::from_analytics(merged.aggregator()).to_json()
+        )
+    };
+    respond(stream, 200, "application/json", &body)
+}
+
+fn get_metrics(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    // Scrape-time gauges: fleet health and per-shard coverage.
+    core.metrics.gauge_set(
+        "radcrit_fabric_workers_alive",
+        &[],
+        core.registry.lock().expect("registry lock").alive_count() as f64,
+    );
+    {
+        let slots = core.slots.lock().expect("slots lock");
+        let merged = core.merged.lock().expect("merged lock");
+        for (i, s) in slots.iter().enumerate() {
+            core.metrics.gauge_set(
+                "radcrit_shard_covered",
+                &[("shard", &i.to_string())],
+                merged.covered_in(s.start, s.end) as f64,
+            );
+        }
+    }
+    respond(
+        stream,
+        200,
+        "text/plain; version=0.0.4",
+        &core.metrics.snapshot().to_prometheus(),
+    )
+}
+
+fn get_healthz(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let (shards, completed) = {
+        let slots = core.slots.lock().expect("slots lock");
+        (
+            slots.len(),
+            slots
+                .iter()
+                .filter(|s| s.state == SlotState::Completed)
+                .count(),
+        )
+    };
+    let covered = core
+        .merged
+        .lock()
+        .expect("merged lock")
+        .covered_in(0, core.total);
+    let body = format!(
+        "{{\"ok\":true,\"workers_alive\":{},\"shards\":{shards},\
+         \"completed\":{completed},\"covered\":{covered},\"injections\":{},\"done\":{}}}",
+        core.registry.lock().expect("registry lock").alive_count(),
+        core.total,
+        core.done.load(Ordering::SeqCst),
+    );
+    respond(stream, 200, "application/json", &body)
+}

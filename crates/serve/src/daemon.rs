@@ -352,6 +352,7 @@ fn run_job(
         cancel: Some(Arc::clone(cancel)),
         metrics: Some(Arc::clone(&job_metrics)),
         full_execution: core.config.full_execution,
+        shard: spec.shard,
         ..RunOptions::default()
     };
     let result = campaign
@@ -434,6 +435,7 @@ fn route(core: &Arc<Core>, stream: &mut TcpStream, req: &Request) -> Result<(), 
         ("GET", ["jobs", id, "analytics"]) => get_analytics(core, stream, id),
         ("GET", ["jobs", id, "trace"]) => get_trace(core, stream, id),
         ("GET", ["jobs", id, "profile"]) => get_profile(core, stream, id),
+        ("GET", ["jobs", id, "metrics"]) => get_job_metrics(core, stream, id),
         ("POST", ["jobs", id, "cancel"]) => post_cancel(core, stream, id),
         ("GET", ["analytics"]) => get_rollup(core, stream),
         ("GET", ["profile"]) => get_profile_rollup(core, stream),
@@ -833,6 +835,34 @@ fn get_profile(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(),
             404,
             "application/json",
             "{\"error\":\"no profile yet\"}",
+        ),
+    }
+}
+
+/// One finished job's metrics snapshot (the JSON the coordinator pulls
+/// per shard to build its labelled federation-wide exposition).
+fn get_job_metrics(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(), ServeError> {
+    if job_terminal(core, id).is_none() {
+        return respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"unknown job\"}",
+        );
+    }
+    let path = core
+        .config
+        .data_dir
+        .join("jobs")
+        .join(id)
+        .join("metrics.json");
+    match std::fs::read_to_string(&path) {
+        Ok(body) => respond(stream, 200, "application/json", &body),
+        Err(_) => respond(
+            stream,
+            404,
+            "application/json",
+            "{\"error\":\"no metrics yet\"}",
         ),
     }
 }

@@ -21,18 +21,31 @@
 //! | `GET /profile` | daemon-wide merged phase profile + hot phases |
 //! | `GET /dashboard` | self-contained live HTML dashboard |
 //! | `POST /jobs/:id/cancel` | cancel queued/running job |
+//! | `GET /jobs/:id/metrics` | the finished job's metrics snapshot JSON |
 //! | `GET /metrics` | Prometheus exposition |
 //! | `GET /healthz` | liveness |
 //! | `POST /shutdown` | graceful drain |
 //!
+//! The [`coord`] module federates many such daemons under one
+//! coordinator for a single sharded campaign. The coordinator speaks a
+//! compatible read API — `GET /analytics`, `/dashboard`, `/metrics`,
+//! `/healthz` and the federated `GET /jobs/:id/stream` — plus:
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /register` | `{"worker":"host:port"}` joins the fleet |
+//! | `GET /shards` | shard table: range, worker, state, coverage |
+//!
 //! The crate also owns the `radcrit-campaign` binary (daemon + client +
-//! one-shot subcommands), moved here so the service and CLI share one
-//! spec-to-[`Campaign`](radcrit_campaign::Campaign) construction path.
+//! coordinator + one-shot subcommands), moved here so the service and
+//! CLI share one spec-to-[`Campaign`](radcrit_campaign::Campaign)
+//! construction path.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod client;
+pub mod coord;
 pub mod daemon;
 pub mod dashboard;
 pub mod error;
@@ -43,6 +56,7 @@ pub mod queue;
 pub mod spec;
 
 pub use client::{Client, JobStatus};
+pub use coord::{CoordinatorConfig, CoordinatorHandle};
 pub use daemon::{start, DaemonConfig, DaemonHandle};
 pub use error::ServeError;
 pub use journal::{JobState, Journal};

@@ -120,6 +120,12 @@ pub struct JobSpec {
     pub priority: Priority,
     /// Detail-event sampling stride for the job's event stream.
     pub events_sample: u64,
+    /// Injection index range `[start, end)` this job runs — one shard
+    /// of a federated campaign. `None` (the wire's `null`) runs the
+    /// whole `0..injections` range. The golden execution and per-index
+    /// RNG streams stay those of the full campaign, so a shard's records
+    /// are bit-identical to the same indices of an unsharded run.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl JobSpec {
@@ -137,6 +143,7 @@ impl JobSpec {
             deadline_ms: None,
             priority: Priority::Normal,
             events_sample: 1,
+            shard: None,
         }
     }
 
@@ -168,7 +175,8 @@ impl JobSpec {
                 ",\"device\":\"{}\",\"scale\":{},\"kernel\":{}",
                 ",\"injections\":{},\"seed\":{},\"tolerance_pct\":{}",
                 ",\"workers\":{},\"deadline_ms\":{}",
-                ",\"priority\":\"{}\",\"events_sample\":{}}}"
+                ",\"priority\":\"{}\",\"events_sample\":{}",
+                ",\"shard\":{}}}"
             ),
             SPEC_VERSION,
             self.device.wire_name(),
@@ -182,6 +190,10 @@ impl JobSpec {
                 .map_or_else(|| "null".to_owned(), |ms| ms.to_string()),
             self.priority.wire_name(),
             self.events_sample,
+            self.shard.map_or_else(
+                || "null".to_owned(),
+                |(start, end)| format!("[{start},{end}]")
+            ),
         )
     }
 
@@ -233,6 +245,7 @@ impl JobSpec {
             events_sample: opt_usize(obj, "events_sample")
                 .map_err(bad)?
                 .map_or(1, |v| v as u64),
+            shard: opt_shard(obj).map_err(bad)?,
         };
         spec.validate()?;
         Ok(spec)
@@ -261,6 +274,14 @@ impl JobSpec {
             if t.is_nan() || t < 0.0 {
                 return Err(ServeError::Config(format!(
                     "job spec: tolerance_pct {t} is not a valid percentage"
+                )));
+            }
+        }
+        if let Some((start, end)) = self.shard {
+            if start >= end || end > self.injections {
+                return Err(ServeError::Config(format!(
+                    "job spec: shard [{start},{end}) out of range for {} injections",
+                    self.injections
                 )));
             }
         }
@@ -326,6 +347,33 @@ fn opt_f64(obj: &[(String, Json)], key: &str) -> Result<Option<f64>, String> {
             .map(Some)
             .map_err(|_| format!("field {key:?} is not a float")),
         Ok(_) => Err(format!("field {key:?} is not a number or null")),
+    }
+}
+
+/// The optional shard range: absent and `null` both read as `None`;
+/// otherwise a two-element `[start, end]` array.
+fn opt_shard(obj: &[(String, Json)]) -> Result<Option<(usize, usize)>, String> {
+    match json::get(obj, "shard") {
+        Err(_) => Ok(None),
+        Ok(Json::Null) => Ok(None),
+        Ok(Json::Arr(items)) => {
+            let num = |v: &Json| -> Result<usize, String> {
+                match v {
+                    Json::Num(n) => n
+                        .parse()
+                        .map_err(|_| "shard bound is not an integer".to_owned()),
+                    _ => Err("shard bound is not a number".into()),
+                }
+            };
+            match items.as_slice() {
+                [start, end] => Ok(Some((num(start)?, num(end)?))),
+                _ => Err(format!(
+                    "field \"shard\" must be a [start, end] pair, got {} elements",
+                    items.len()
+                )),
+            }
+        }
+        Ok(_) => Err("field \"shard\" is not an array or null".into()),
     }
 }
 

@@ -163,6 +163,56 @@ fn analytics_rollup_trace_and_gauges_cover_a_finished_job() {
 }
 
 #[test]
+fn torn_event_tails_are_skipped_by_analytics_like_the_sse_tailer() {
+    let dir = temp_dir("torn");
+    let handle = daemon::start(config(&dir, 1)).unwrap();
+    let client = Client::new(handle.addr().to_string());
+    let id = client.submit(&dgemm_spec(32, 20, 7)).unwrap();
+    assert_eq!(client.wait(&id, POLL, WAIT).unwrap().state, "done");
+    let analytics_before = client.analytics(&id).unwrap();
+    let rollup_before = client.rollup().unwrap();
+
+    // Simulate a writer caught mid-append: first a complete JSON event
+    // line that has not received its newline yet (the treacherous case —
+    // it *parses*, but the SSE tailer would not serve it), then raw
+    // garbage on the same unterminated line.
+    let events_path = dir.join("jobs").join(&id).join("events.jsonl");
+    let torn_but_parseable = "{\"e\":\"provenance\",\"i\":999,\"site\":\"fpu\",\
+         \"delivered\":true,\"touched\":[],\"outcome\":\"masked\",\"mismatches\":0,\
+         \"class\":\"none\",\"critical\":false}";
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&events_path)
+        .unwrap();
+    f.write_all(torn_but_parseable.as_bytes()).unwrap();
+    f.flush().unwrap();
+    assert_eq!(
+        client.analytics(&id).unwrap(),
+        analytics_before,
+        "a torn-but-parseable tail must not leak a phantom injection"
+    );
+    assert_eq!(
+        client.rollup().unwrap(),
+        rollup_before,
+        "the daemon rollup must frame torn tails like the SSE tailer"
+    );
+
+    f.write_all(b"{\"e\":\"prov").unwrap();
+    f.flush().unwrap();
+    drop(f);
+    assert_eq!(
+        client.analytics(&id).unwrap(),
+        analytics_before,
+        "an unparseable torn tail must be skipped, not an error"
+    );
+    assert_eq!(client.rollup().unwrap(), rollup_before);
+
+    client.shutdown().unwrap();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn analytics_invariant_survives_abrupt_restart() {
     let dir = temp_dir("resume");
     // First daemon: submit, wait for checkpoint progress, then die hard.

@@ -60,6 +60,17 @@ fn deadlines() -> impl Strategy<Value = Option<u64>> {
     prop_oneof![Just(None), (1u64..3_600_000).prop_map(Some)]
 }
 
+/// Derives a shard range valid for `injections` from raw entropy: none,
+/// or a non-empty in-range `[start, end)` slice.
+fn shard_for(injections: usize, pick: usize, a: u64, b: u64) -> Option<(usize, usize)> {
+    if pick == 0 {
+        return None;
+    }
+    let x = (a as usize) % injections;
+    let y = (b as usize) % injections;
+    Some((x.min(y), x.max(y) + 1))
+}
+
 proptest! {
     /// `parse(to_json(spec)) == spec` for every representable spec.
     #[test]
@@ -70,8 +81,10 @@ proptest! {
         injections in 1usize..100_000,
         seed in 0u64..u64::MAX,
         knobs in (tolerances(), 0usize..17, deadlines(), priorities(), 0u64..64),
+        shard_entropy in (0usize..3, 0u64..u64::MAX, 0u64..u64::MAX),
     ) {
         let (tolerance_pct, workers, deadline_ms, priority, events_sample) = knobs;
+        let shard = shard_for(injections, shard_entropy.0, shard_entropy.1, shard_entropy.2);
         let spec = JobSpec {
             device,
             scale,
@@ -83,6 +96,7 @@ proptest! {
             deadline_ms,
             priority,
             events_sample,
+            shard,
         };
         let wire = spec.to_json();
         let parsed = JobSpec::parse(&wire).unwrap();
@@ -103,6 +117,10 @@ fn bad_specs_are_rejected() {
         good.replace("\"k40\"", "\"gtx480\""),
         good.replace("\"injections\":10", "\"injections\":0"),
         good.replace("\"dgemm\"", "\"fft\""),
+        good.replace("\"shard\":null", "\"shard\":[4,4]"),
+        good.replace("\"shard\":null", "\"shard\":[0,11]"),
+        good.replace("\"shard\":null", "\"shard\":[3]"),
+        good.replace("\"shard\":null", "\"shard\":\"0-5\""),
     ] {
         assert!(
             matches!(
