@@ -89,12 +89,12 @@ impl ShardRecord {
         let obj = json::as_obj(&v)?;
         Ok(ShardRecord {
             shard: json::get_usize(obj, "shard")?,
-            start: json::get_usize(obj, "start")? as u64,
-            end: json::get_usize(obj, "end")? as u64,
+            start: json::get_u64(obj, "start")?,
+            end: json::get_u64(obj, "end")?,
             worker: json::get_str(obj, "worker")?.to_owned(),
             job: json::get_str(obj, "job")?.to_owned(),
             state: ShardState::parse(json::get_str(obj, "state")?)?,
-            resume_from: json::get_usize(obj, "resume_from")? as u64,
+            resume_from: json::get_u64(obj, "resume_from")?,
         })
     }
 }
@@ -107,16 +107,27 @@ pub struct FabricJournal {
 
 impl FabricJournal {
     /// Opens (or creates) the journal at `path` for the campaign whose
-    /// canonical spec line is `campaign_json`, returning the journal
-    /// and the latest replayed state per shard (empty for a fresh
-    /// file). A torn final line is truncated; a journal written for a
+    /// canonical spec line is `campaign_json`, returning the journal,
+    /// the campaign's pinned shard count, and the latest replayed state
+    /// per shard (empty for a fresh file).
+    ///
+    /// A fresh journal writes `planned_shards` into its header; an
+    /// existing journal returns the count *it* recorded, ignoring
+    /// `planned_shards` — so a restarted coordinator re-derives exactly
+    /// the split it first journaled even if the shard-count flag
+    /// changed, and replayed records always line up with the plan by
+    /// ordinal. A torn final line is truncated; a journal written for a
     /// *different* campaign is an error — re-dispatching another
     /// campaign's shards would corrupt both.
     ///
     /// # Errors
     ///
     /// I/O failures, a bad header, or a campaign mismatch.
-    pub fn open(path: &Path, campaign_json: &str) -> Result<(Self, Vec<ShardRecord>), String> {
+    pub fn open(
+        path: &Path,
+        campaign_json: &str,
+        planned_shards: usize,
+    ) -> Result<(Self, usize, Vec<ShardRecord>), String> {
         let mut text = String::new();
         match File::open(path) {
             Ok(mut f) => {
@@ -130,6 +141,7 @@ impl FabricJournal {
         let mut latest: BTreeMap<usize, ShardRecord> = BTreeMap::new();
         let mut valid_len = 0usize;
         let mut saw_header = false;
+        let mut shards = planned_shards;
         for line in text.split_inclusive('\n') {
             let Some(body) = line.strip_suffix('\n') else {
                 break; // torn final line: the append died mid-write
@@ -150,6 +162,8 @@ impl FabricJournal {
                         path.display()
                     ));
                 }
+                shards =
+                    json::get_usize(obj, "shards").map_err(|e| format!("journal header: {e}"))?;
                 saw_header = true;
                 valid_len += line.len();
                 continue;
@@ -181,12 +195,12 @@ impl FabricJournal {
             journal
                 .write_line(&format!(
                     "{{\"radcrit_fabric_journal\":{FABRIC_JOURNAL_VERSION},\
-                     \"campaign\":\"{}\"}}",
+                     \"campaign\":\"{}\",\"shards\":{planned_shards}}}",
                     escape(campaign_json)
                 ))
                 .map_err(|e| format!("{}: {e}", path.display()))?;
         }
-        Ok((journal, latest.into_values().collect()))
+        Ok((journal, shards, latest.into_values().collect()))
     }
 
     /// Appends one shard transition, flushed to the OS before return —
@@ -238,7 +252,8 @@ mod tests {
     fn replay_returns_the_latest_state_per_shard() {
         let path = temp_path("replay");
         {
-            let (mut j, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+            let (mut j, shards, replayed) = FabricJournal::open(&path, CAMPAIGN, 4).unwrap();
+            assert_eq!(shards, 4);
             assert!(replayed.is_empty());
             j.append(&rec(0, ShardState::Dispatched, "a:1", 0)).unwrap();
             j.append(&rec(1, ShardState::Dispatched, "b:2", 10))
@@ -247,7 +262,7 @@ mod tests {
             j.append(&rec(1, ShardState::Redispatched, "a:1", 14))
                 .unwrap();
         }
-        let (_, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+        let (_, _, replayed) = FabricJournal::open(&path, CAMPAIGN, 4).unwrap();
         assert_eq!(replayed.len(), 2);
         assert_eq!(replayed[0].state, ShardState::Completed);
         assert_eq!(replayed[1].state, ShardState::Redispatched);
@@ -260,7 +275,7 @@ mod tests {
     fn torn_tail_is_truncated_and_appending_continues() {
         let path = temp_path("torn");
         {
-            let (mut j, _) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+            let (mut j, _, _) = FabricJournal::open(&path, CAMPAIGN, 2).unwrap();
             j.append(&rec(0, ShardState::Dispatched, "a:1", 0)).unwrap();
         }
         {
@@ -268,12 +283,12 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             f.write_all(b"{\"shard\":1,\"start\":10,\"en").unwrap();
         }
-        let (mut j, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+        let (mut j, _, replayed) = FabricJournal::open(&path, CAMPAIGN, 2).unwrap();
         assert_eq!(replayed.len(), 1, "torn record dropped");
         j.append(&rec(1, ShardState::Dispatched, "b:2", 10))
             .unwrap();
         drop(j);
-        let (_, replayed) = FabricJournal::open(&path, CAMPAIGN).unwrap();
+        let (_, _, replayed) = FabricJournal::open(&path, CAMPAIGN, 2).unwrap();
         assert_eq!(replayed.len(), 2);
         std::fs::remove_file(&path).ok();
     }
@@ -281,9 +296,42 @@ mod tests {
     #[test]
     fn a_journal_for_another_campaign_is_rejected() {
         let path = temp_path("mismatch");
-        drop(FabricJournal::open(&path, CAMPAIGN).unwrap());
-        let err = FabricJournal::open(&path, r#"{"spec":1,"kernel":"lava"}"#);
+        drop(FabricJournal::open(&path, CAMPAIGN, 2).unwrap());
+        let err = FabricJournal::open(&path, r#"{"spec":1,"kernel":"lava"}"#, 2);
         assert!(err.is_err(), "campaign mismatch must refuse to open");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn the_header_pins_the_shard_count_across_reopens() {
+        let path = temp_path("pinned");
+        drop(FabricJournal::open(&path, CAMPAIGN, 3).unwrap());
+        // A restart with a different shard-count flag keeps the
+        // journaled split — otherwise replayed ordinals would index a
+        // different plan.
+        let (_, shards, _) = FabricJournal::open(&path, CAMPAIGN, 7).unwrap();
+        assert_eq!(shards, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ranges_beyond_u32_survive_a_round_trip() {
+        let path = temp_path("u64");
+        let big = ShardRecord {
+            shard: 0,
+            start: 1 << 40,
+            end: (1 << 40) + 10,
+            worker: "a:1".to_owned(),
+            job: "job-000000".to_owned(),
+            state: ShardState::Dispatched,
+            resume_from: (1 << 40) + 3,
+        };
+        {
+            let (mut j, _, _) = FabricJournal::open(&path, CAMPAIGN, 1).unwrap();
+            j.append(&big).unwrap();
+        }
+        let (_, _, replayed) = FabricJournal::open(&path, CAMPAIGN, 1).unwrap();
+        assert_eq!(replayed, vec![big]);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -296,6 +296,22 @@ pub fn get_usize(obj: &[(String, Json)], key: &str) -> Result<usize, String> {
     }
 }
 
+/// Reads an unsigned 64-bit integer field. Unlike [`get_usize`], the
+/// value never round-trips through `usize`, so 32-bit builds cannot
+/// silently truncate journaled ranges.
+///
+/// # Errors
+///
+/// When the field is absent or not an integer.
+pub fn get_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match get(obj, key)? {
+        Json::Num(n) => n
+            .parse()
+            .map_err(|_| format!("field {key:?} is not an integer")),
+        _ => Err(format!("field {key:?} is not a number")),
+    }
+}
+
 /// Reads an `f64` field (shortest round-trip source text).
 ///
 /// # Errors
@@ -355,6 +371,14 @@ mod tests {
         assert!(get_bool(obj, "c").unwrap());
         assert_eq!(get(obj, "d").unwrap(), &Json::Null);
         assert_eq!(get_f64(obj, "e").unwrap(), -2.5);
+    }
+
+    #[test]
+    fn get_u64_reads_values_beyond_u32() {
+        let v = parse_line(r#"{"big":4294967297}"#).unwrap();
+        let obj = as_obj(&v).unwrap();
+        assert_eq!(get_u64(obj, "big").unwrap(), 4_294_967_297);
+        assert!(get_u64(obj, "missing").is_err());
     }
 
     #[test]

@@ -24,9 +24,9 @@ pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Runs `op` up to `attempts` times, sleeping `base`, `2·base`,
 /// `4·base`, … between tries, and retries **only** connection-level
-/// failures ([`ServeError::Io`]). Protocol and HTTP errors mean the
-/// server answered — retrying those would just repeat the answer — and
-/// they surface immediately.
+/// failures ([`ServeError::Unreachable`], [`ServeError::Io`]).
+/// Protocol and HTTP errors mean the server answered — retrying those
+/// would just repeat the answer — and they surface immediately.
 ///
 /// Use this only around requests that are safe to repeat: an I/O error
 /// can strike *after* the server acted (e.g. a submit that was accepted
@@ -54,7 +54,7 @@ pub fn retry_with_backoff<T>(
     for attempt in 0..attempts {
         match op() {
             Ok(v) => return Ok(v),
-            Err(e @ ServeError::Io(_)) => last = Some(e),
+            Err(e @ (ServeError::Io(_) | ServeError::Unreachable(_))) => last = Some(e),
             Err(e) => return Err(e),
         }
         if attempt + 1 < attempts {
@@ -122,12 +122,14 @@ impl Client {
         &self.addr
     }
 
-    /// Opens a fresh connection under the configured timeouts.
+    /// Opens a fresh connection under the configured timeouts. Failures
+    /// here surface as [`ServeError::Unreachable`]: the request never
+    /// reached the server, so the caller may safely retry elsewhere.
     fn connect(&self) -> Result<TcpStream, ServeError> {
         let addrs = self
             .addr
             .to_socket_addrs()
-            .map_err(|e| ServeError::Io(format!("resolve {}: {e}", self.addr)))?;
+            .map_err(|e| ServeError::Unreachable(format!("resolve {}: {e}", self.addr)))?;
         let mut last = None;
         for addr in addrs {
             match TcpStream::connect_timeout(&addr, self.connect_timeout) {
@@ -138,7 +140,7 @@ impl Client {
                 Err(e) => last = Some(e),
             }
         }
-        Err(ServeError::Io(format!(
+        Err(ServeError::Unreachable(format!(
             "connect {}: {}",
             self.addr,
             last.map_or_else(|| "no addresses resolved".to_owned(), |e| e.to_string())
@@ -201,7 +203,10 @@ impl Client {
     /// # Errors
     ///
     /// [`ServeError::Http`] with 400 (invalid spec), 429 (queue full) or
-    /// 503 (draining); [`ServeError::Io`] on connection problems.
+    /// 503 (draining); [`ServeError::Unreachable`] when the daemon
+    /// cannot be connected to at all; [`ServeError::Io`] when the
+    /// connection failed after the request may have been sent (the job
+    /// may exist on the daemon despite the error).
     pub fn submit(&self, spec: &JobSpec) -> Result<String, ServeError> {
         let response = self.expect_ok("POST", "/jobs", Some(&spec.to_json()))?;
         let v = json::parse_line(&response.body).map_err(ServeError::Protocol)?;
@@ -645,7 +650,10 @@ mod tests {
         };
         let client = Client::new(addr.to_string()).with_connect_timeout(Duration::from_millis(500));
         let started = Instant::now();
-        assert!(matches!(client.healthz(), Err(ServeError::Io(_))));
+        assert!(
+            matches!(client.healthz(), Err(ServeError::Unreachable(_))),
+            "a refused connection never reached the server"
+        );
         assert!(started.elapsed() < Duration::from_secs(2));
     }
 

@@ -137,6 +137,13 @@ struct TailEnd {
 }
 
 /// Shared coordinator state.
+///
+/// Lock order: `slots` **before** `merged`, everywhere — the HTTP
+/// handlers (`/shards`, `/metrics`), the completion scan, and the tail
+/// drain all nest them that way, and a single inverted pair would
+/// AB-BA deadlock the orchestrator against a dashboard poll. `registry`
+/// and `journal` are only ever locked on their own (no other core lock
+/// held), so they impose no ordering.
 #[derive(Debug)]
 struct Core {
     config: CoordinatorConfig,
@@ -240,52 +247,26 @@ pub fn start(config: CoordinatorConfig) -> Result<CoordinatorHandle, ServeError>
 
     let merged_path = config.data_dir.join("merged.jsonl");
     let merged = MergedStream::resume(total, &merged_path).map_err(ServeError::Io)?;
-    let (journal, replayed) =
-        FabricJournal::open(&config.data_dir.join("fabric.jsonl"), &campaign_json)
-            .map_err(ServeError::Protocol)?;
-
-    // The shard plan: journaled ranges win over a fresh plan, so a
-    // restarted coordinator keeps the exact split it journaled even if
-    // the shard-count flag changed.
-    let shard_count = if config.shards > 0 {
+    let requested_shards = if config.shards > 0 {
         config.shards
     } else {
         config.workers.len().max(1)
     };
-    let mut slots: Vec<ShardSlot> = plan_shards(total, shard_count)
-        .into_iter()
-        .map(|(start, end)| ShardSlot {
-            start,
-            end,
-            worker: String::new(),
-            job: String::new(),
-            state: SlotState::Pending,
-            generation: 0,
-            tailing: false,
-            redispatches: 0,
-        })
-        .collect();
-    if !replayed.is_empty() {
-        slots = replayed
-            .iter()
-            .map(|rec| ShardSlot {
-                start: rec.start,
-                end: rec.end,
-                worker: rec.worker.clone(),
-                job: rec.job.clone(),
-                // Everything incomplete is re-dispatched from the merged
-                // stream's coverage — the journaled assignment may point
-                // at a worker that died with the previous coordinator.
-                state: match rec.state {
-                    ShardState::Completed => SlotState::Completed,
-                    _ => SlotState::Pending,
-                },
-                generation: 0,
-                tailing: false,
-                redispatches: u64::from(rec.state == ShardState::Redispatched),
-            })
-            .collect();
-    }
+    let (journal, shard_count, replayed) = FabricJournal::open(
+        &config.data_dir.join("fabric.jsonl"),
+        &campaign_json,
+        requested_shards,
+    )
+    .map_err(ServeError::Protocol)?;
+
+    // The shard plan. The journal header pins the campaign's shard
+    // count, so a restarted coordinator re-derives exactly the split it
+    // first journaled even if the shard-count flag changed; replayed
+    // records then overlay their slots by ordinal. Shards with no
+    // record — the crash predated their first dispatch — keep their
+    // planned ranges and stay pending, so no index range is silently
+    // dropped from the campaign.
+    let slots = build_slots(total, shard_count, &replayed);
 
     let now = Instant::now();
     let mut registry = WorkerRegistry::new(config.heartbeat_timeout);
@@ -330,6 +311,47 @@ pub fn start(config: CoordinatorConfig) -> Result<CoordinatorHandle, ServeError>
     })
 }
 
+/// Plans the campaign's slot table and overlays journal-replayed state
+/// by shard ordinal, so slot positions always equal shard ordinals even
+/// when only some shards were journaled before a crash. The planned
+/// ranges are authoritative — the plan is pinned by the journal header,
+/// and a record whose range disagrees with it (a corrupt or foreign
+/// line) is ignored rather than smuggled into the table.
+fn build_slots(total: u64, shard_count: usize, replayed: &[ShardRecord]) -> Vec<ShardSlot> {
+    let mut slots: Vec<ShardSlot> = plan_shards(total, shard_count)
+        .into_iter()
+        .map(|(start, end)| ShardSlot {
+            start,
+            end,
+            worker: String::new(),
+            job: String::new(),
+            state: SlotState::Pending,
+            generation: 0,
+            tailing: false,
+            redispatches: 0,
+        })
+        .collect();
+    for rec in replayed {
+        let Some(s) = slots.get_mut(rec.shard) else {
+            continue;
+        };
+        if (rec.start, rec.end) != (s.start, s.end) {
+            continue;
+        }
+        s.worker = rec.worker.clone();
+        s.job = rec.job.clone();
+        // Everything incomplete is re-dispatched from the merged
+        // stream's coverage — the journaled assignment may point at a
+        // worker that died with the previous coordinator.
+        s.state = match rec.state {
+            ShardState::Completed => SlotState::Completed,
+            _ => SlotState::Pending,
+        };
+        s.redispatches = u64::from(rec.state == ShardState::Redispatched);
+    }
+    slots
+}
+
 // ---------------------------------------------------------------------
 // Orchestration
 // ---------------------------------------------------------------------
@@ -337,20 +359,33 @@ pub fn start(config: CoordinatorConfig) -> Result<CoordinatorHandle, ServeError>
 const ORCHESTRATE_TICK: Duration = Duration::from_millis(25);
 
 fn orchestrate(core: &Arc<Core>) -> Result<(), ServeError> {
+    let result = orchestrate_loop(core);
+    if let Err(e) = &result {
+        // A failed journal write (or summary write) must halt the
+        // orchestrator loudly: continuing would act on transitions the
+        // journal never recorded, and a later restart would replay
+        // stale state as if it were current.
+        eprintln!("radcrit-coordinator: orchestrator stopped: {e}");
+        core.stop.store(true, Ordering::SeqCst);
+    }
+    result
+}
+
+fn orchestrate_loop(core: &Arc<Core>) -> Result<(), ServeError> {
     let (tx, rx) = std::sync::mpsc::channel::<TailEnd>();
     let mut last_beat: Option<Instant> = None;
     loop {
         if core.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
-        dispatch_pending(core, &tx);
-        drain_tail_endings(core, &rx);
+        dispatch_pending(core, &tx)?;
+        drain_tail_endings(core, &rx)?;
         let now = Instant::now();
         if last_beat.is_none_or(|t| now.duration_since(t) >= core.config.heartbeat_interval) {
             last_beat = Some(now);
             heartbeat(core);
         }
-        complete_covered_shards(core);
+        complete_covered_shards(core)?;
         if finish_if_done(core)? {
             return Ok(());
         }
@@ -360,7 +395,13 @@ fn orchestrate(core: &Arc<Core>) -> Result<(), ServeError> {
 
 /// Dispatches every pending shard whose range still has uncovered
 /// indices, placing each by rendezvous rank over the live fleet.
-fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) {
+///
+/// # Errors
+///
+/// A journal write failure — the dispatch is abandoned (the shard slot
+/// is untouched, still pending) and the orchestrator stops rather than
+/// running a dispatch its journal never recorded.
+fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) -> Result<(), ServeError> {
     let pending: Vec<usize> = {
         let slots = core.slots.lock().expect("slots lock");
         slots
@@ -383,12 +424,12 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) {
         if resume_from == end {
             // The dead worker had streamed the whole shard before dying;
             // nothing to re-run.
-            mark_completed(core, shard);
+            mark_completed(core, shard)?;
             continue;
         }
         let alive = core.registry.lock().expect("registry lock").alive();
         if alive.is_empty() {
-            return; // nobody to dispatch to; retry next tick
+            return Ok(()); // nobody to dispatch to; retry next tick
         }
         // Rendezvous placement over the golden content address: shard i
         // of this campaign ranks the fleet the same way on every
@@ -425,7 +466,7 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) {
                             state,
                             resume_from,
                         },
-                    );
+                    )?;
                     core.metrics.counter_add(
                         match state {
                             ShardState::Redispatched => "radcrit_fabric_shards_redispatched_total",
@@ -448,12 +489,21 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) {
                     spawn_tailer(core, shard, generation, worker.clone(), job, tx.clone());
                     break;
                 }
-                Err(ServeError::Io(_)) => {
+                Err(ServeError::Unreachable(_)) => {
                     // Can't even connect: dead now, try the next rank.
                     core.registry
                         .lock()
                         .expect("registry lock")
                         .mark_dead(worker);
+                }
+                Err(ServeError::Io(_)) => {
+                    // The connection was established, so the worker may
+                    // have accepted the job before the failure (a read
+                    // timeout on a slow-but-live daemon, say). Don't
+                    // strike it from the fleet — skip to the next rank
+                    // and let the heartbeat sweep decide liveness. A
+                    // possibly orphaned duplicate is safe: the merge is
+                    // idempotent per injection index.
                 }
                 Err(_) => {
                     // The worker answered but refused (queue full,
@@ -462,6 +512,7 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) {
             }
         }
     }
+    Ok(())
 }
 
 /// One tailer per dispatched shard: feeds the worker's SSE frames into
@@ -509,7 +560,7 @@ fn spawn_tailer(
             });
             match outcome {
                 Ok(()) => break Ok(()),
-                Err(e @ ServeError::Io(_)) => {
+                Err(e @ (ServeError::Io(_) | ServeError::Unreachable(_))) => {
                     failures = if progressed { 1 } else { failures + 1 };
                     if failures > 3 {
                         break Err(e);
@@ -527,25 +578,26 @@ fn spawn_tailer(
     });
 }
 
-fn drain_tail_endings(core: &Arc<Core>, rx: &Receiver<TailEnd>) {
+fn drain_tail_endings(core: &Arc<Core>, rx: &Receiver<TailEnd>) -> Result<(), ServeError> {
     while let Ok(end) = rx.try_recv() {
-        let worker = {
+        // Global lock order is slots before merged (everywhere: the
+        // completion scan, /shards, /metrics) — copy the range out
+        // while holding slots, then consult coverage.
+        let (worker, start, stop) = {
             let mut slots = core.slots.lock().expect("slots lock");
             let s = &mut slots[end.shard];
             if s.generation != end.generation {
                 continue; // a stale tailer from before a re-dispatch
             }
             s.tailing = false;
-            s.worker.clone()
+            (s.worker.clone(), s.start, s.end)
         };
         let covered = {
             let merged = core.merged.lock().expect("merged lock");
-            let slots = core.slots.lock().expect("slots lock");
-            let s = &slots[end.shard];
-            merged.covered_in(s.start, s.end) == s.end - s.start
+            merged.covered_in(start, stop) == stop - start
         };
         if covered {
-            mark_completed(core, end.shard);
+            mark_completed(core, end.shard)?;
             continue;
         }
         // The stream ended but the shard is not covered: either the
@@ -561,6 +613,7 @@ fn drain_tail_endings(core: &Arc<Core>, rx: &Receiver<TailEnd>) {
         let mut slots = core.slots.lock().expect("slots lock");
         slots[end.shard].state = SlotState::Pending;
     }
+    Ok(())
 }
 
 /// Probes every registered worker's `/healthz`, then sweeps the fleet:
@@ -608,7 +661,7 @@ fn heartbeat(core: &Arc<Core>) {
 /// Journals and records completion for shards whose whole range became
 /// covered (the tailer may still be attached when coverage arrives via
 /// another shard's re-delivered prefix).
-fn complete_covered_shards(core: &Arc<Core>) {
+fn complete_covered_shards(core: &Arc<Core>) -> Result<(), ServeError> {
     let candidates: Vec<usize> = {
         let slots = core.slots.lock().expect("slots lock");
         let merged = core.merged.lock().expect("merged lock");
@@ -623,22 +676,28 @@ fn complete_covered_shards(core: &Arc<Core>) {
             .collect()
     };
     for shard in candidates {
-        mark_completed(core, shard);
+        mark_completed(core, shard)?;
     }
+    Ok(())
 }
 
-/// Transitions one shard to completed: journal first, then metrics,
-/// then (best-effort) the worker's per-job metrics snapshot merged into
-/// the coordinator registry under a `shard` label.
-fn mark_completed(core: &Arc<Core>, shard: usize) {
+/// Transitions one shard to completed: merged stream flushed, then the
+/// journal record, then the in-memory slot flip and metrics, then
+/// (best-effort) the worker's per-job metrics snapshot merged into the
+/// coordinator registry under a `shard` label.
+///
+/// # Errors
+///
+/// A merged-stream flush or journal write failure — the slot is left
+/// untouched (still dispatched/pending) so a restart re-tails the shard
+/// instead of trusting a completion that was never made durable.
+fn mark_completed(core: &Arc<Core>, shard: usize) -> Result<(), ServeError> {
     let (record, worker, job) = {
-        let mut slots = core.slots.lock().expect("slots lock");
-        let s = &mut slots[shard];
+        let slots = core.slots.lock().expect("slots lock");
+        let s = &slots[shard];
         if s.state == SlotState::Completed {
-            return;
+            return Ok(());
         }
-        s.state = SlotState::Completed;
-        s.tailing = false;
         (
             ShardRecord {
                 shard,
@@ -654,12 +713,21 @@ fn mark_completed(core: &Arc<Core>, shard: usize) {
         )
     };
     // The merged prefix must be durable before the journal claims the
-    // shard complete — a crash between the two must re-tail, not skip.
+    // shard complete — a crash between the two must re-tail, not skip —
+    // and the journal must hold the transition before the slot acts on
+    // it.
+    core.merged
+        .lock()
+        .expect("merged lock")
+        .finish_if_complete()
+        .map_err(ServeError::Io)?;
+    journal_append(core, &record)?;
     {
-        let mut merged = core.merged.lock().expect("merged lock");
-        let _ = merged.finish_if_complete();
+        let mut slots = core.slots.lock().expect("slots lock");
+        let s = &mut slots[shard];
+        s.state = SlotState::Completed;
+        s.tailing = false;
     }
-    journal_append(core, &record);
     core.metrics
         .counter_add("radcrit_fabric_shards_completed_total", &[], 1);
     if !worker.is_empty() && !job.is_empty() {
@@ -673,6 +741,7 @@ fn mark_completed(core: &Arc<Core>, shard: usize) {
             }
         }
     }
+    Ok(())
 }
 
 /// Once every shard completed: synthesize the merged `run_end`, write
@@ -698,10 +767,16 @@ fn finish_if_done(core: &Arc<Core>) -> Result<bool, ServeError> {
     Ok(true)
 }
 
-fn journal_append(core: &Arc<Core>, record: &ShardRecord) {
-    if let Err(e) = core.journal.lock().expect("journal lock").append(record) {
-        eprintln!("radcrit-coordinator: journal write failed: {e}");
-    }
+/// Appends one shard transition to the fabric journal. A write failure
+/// is an error the caller must treat as fatal for the transition: the
+/// invariant is journal-before-act, so an unjournaled transition must
+/// not proceed (a restart would otherwise replay stale state).
+fn journal_append(core: &Arc<Core>, record: &ShardRecord) -> Result<(), ServeError> {
+    core.journal
+        .lock()
+        .expect("journal lock")
+        .append(record)
+        .map_err(|e| ServeError::Io(format!("fabric journal append: {e}")))
 }
 
 // ---------------------------------------------------------------------
@@ -995,4 +1070,75 @@ fn get_healthz(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeErro
         core.done.load(Ordering::SeqCst),
     );
     respond(stream, 200, "application/json", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(shard: usize, start: u64, end: u64, state: ShardState) -> ShardRecord {
+        ShardRecord {
+            shard,
+            start,
+            end,
+            worker: format!("w{shard}:1"),
+            job: format!("job-{shard:06}"),
+            state,
+            resume_from: start,
+        }
+    }
+
+    #[test]
+    fn unjournaled_shards_keep_their_planned_ranges() {
+        // Only shard 1 of 4 was journaled before the crash: the other
+        // three must survive the rebuild as pending planned ranges, not
+        // vanish (which would "complete" the campaign with uncovered
+        // indices).
+        let planned = plan_shards(40, 4);
+        let replayed = vec![rec(1, planned[1].0, planned[1].1, ShardState::Dispatched)];
+        let slots = build_slots(40, 4, &replayed);
+        assert_eq!(slots.len(), 4);
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!((s.start, s.end), planned[i]);
+            assert_eq!(s.state, SlotState::Pending);
+        }
+        assert_eq!(slots[1].worker, "w1:1", "replayed slot keeps its ordinal");
+        assert_eq!(slots[1].job, "job-000001");
+        assert!(slots[0].worker.is_empty());
+        assert!(slots[2].worker.is_empty());
+    }
+
+    #[test]
+    fn replayed_completions_overlay_by_ordinal() {
+        let planned = plan_shards(30, 3);
+        let replayed = vec![
+            rec(0, planned[0].0, planned[0].1, ShardState::Completed),
+            rec(2, planned[2].0, planned[2].1, ShardState::Redispatched),
+        ];
+        let slots = build_slots(30, 3, &replayed);
+        assert_eq!(slots[0].state, SlotState::Completed);
+        assert_eq!(slots[1].state, SlotState::Pending);
+        assert_eq!(slots[2].state, SlotState::Pending);
+        assert_eq!(slots[2].redispatches, 1);
+    }
+
+    #[test]
+    fn records_disagreeing_with_the_plan_are_ignored() {
+        // A record whose range does not match the pinned plan (corrupt
+        // line, foreign journal) must not smuggle its range or state
+        // into the table.
+        let replayed = vec![rec(0, 5, 999, ShardState::Completed)];
+        let slots = build_slots(20, 2, &replayed);
+        assert_eq!((slots[0].start, slots[0].end), (0, 10));
+        assert_eq!(slots[0].state, SlotState::Pending);
+        assert!(slots[0].worker.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_ordinals_are_ignored() {
+        let replayed = vec![rec(9, 0, 10, ShardState::Completed)];
+        let slots = build_slots(20, 2, &replayed);
+        assert_eq!(slots.len(), 2);
+        assert!(slots.iter().all(|s| s.state == SlotState::Pending));
+    }
 }

@@ -8,8 +8,17 @@ use std::fmt;
 pub enum ServeError {
     /// A malformed job spec, daemon configuration or request.
     Config(String),
-    /// An I/O failure (sockets, journal, job artifacts).
+    /// An I/O failure (sockets, journal, job artifacts). For client
+    /// calls this means the connection was established, so the server
+    /// may have received — and acted on — the request before the
+    /// failure (e.g. a read timeout waiting for the response).
     Io(String),
+    /// A connection could not even be established (resolve or connect
+    /// failure): the request never reached the server. Distinguished
+    /// from [`ServeError::Io`] so callers can treat a provably
+    /// unreached peer (safe to declare dead, safe to resubmit) apart
+    /// from one that may have accepted work.
+    Unreachable(String),
     /// A server-side HTTP error response with its status code.
     Http {
         /// The HTTP status code of the response.
@@ -32,6 +41,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Config(m) => write!(f, "configuration error: {m}"),
             ServeError::Io(m) => write!(f, "i/o error: {m}"),
+            ServeError::Unreachable(m) => write!(f, "unreachable: {m}"),
             ServeError::Http { status, body } => write!(f, "HTTP {status}: {body}"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
             ServeError::Interrupted(m) => write!(f, "interrupted: {m}"),
