@@ -6,6 +6,7 @@
 //! hierarchy and functional units and persists in memory only via
 //! write-back of dirty corrupted lines (see [`crate::cache`]).
 
+use radcrit_core::exec;
 use serde::{Deserialize, Serialize};
 
 use crate::error::AccelError;
@@ -207,7 +208,14 @@ impl DeviceMemory {
             .iter()
             .enumerate()
             .filter(|(_, b)| b.written)
-            .map(|(i, b)| (BufferId(i), b.data.clone()))
+            .map(|(i, b)| {
+                // Capture on the SIMD execution core: reserve + copy
+                // instead of `clone`, so delta capture, apply and
+                // restore all route through the same primitive.
+                let mut data = vec![0.0; b.data.len()];
+                exec::copy_f64(&b.data, &mut data);
+                (BufferId(i), data)
+            })
             .collect()
     }
 
@@ -224,7 +232,7 @@ impl DeviceMemory {
             let b = self.buffer_mut(*buf)?;
             b.written = true;
             if b.data.len() == data.len() {
-                b.data.copy_from_slice(data);
+                exec::copy_f64(data, &mut b.data);
             } else {
                 b.data.clone_from(data);
             }
@@ -254,7 +262,7 @@ impl DeviceMemory {
                 dst.name.clone_from(&src.name);
             }
             if dst.data.len() == src.data.len() {
-                dst.data.copy_from_slice(&src.data);
+                exec::copy_f64(&src.data, &mut dst.data);
             } else {
                 dst.data.clone_from(&src.data);
             }
@@ -284,7 +292,7 @@ impl DeviceMemory {
                     dst.name.clone_from(&src.name);
                 }
                 if dst.data.len() == src.data.len() {
-                    dst.data.copy_from_slice(&src.data);
+                    exec::copy_f64(&src.data, &mut dst.data);
                 } else {
                     dst.data.clone_from(&src.data);
                 }

@@ -13,6 +13,7 @@
 //! compile to plain arithmetic plus one predictable branch when no fault
 //! is armed.
 
+use radcrit_core::exec;
 use radcrit_core::shape::OutputShape;
 use radcrit_obs::profile::{phase_if, tile_sample, PhaseId};
 
@@ -289,6 +290,10 @@ impl<'a> TileCtx<'a> {
     /// fusion with `f64::mul_add` to stay bitwise identical.
     #[inline(always)]
     pub fn fma(&mut self, a: f64, b: f64, acc: f64) -> f64 {
+        // `mul_add` is correctly rounded on every lowering (hardware
+        // FMA via libm's runtime dispatch, or the soft-float fallback),
+        // so a single op needs no executor dispatch of its own; bulk
+        // rows go through `exec::fma_row`.
         self.op(a.mul_add(b, acc))
     }
 
@@ -296,12 +301,13 @@ impl<'a> TileCtx<'a> {
     /// acc[i])` for each lane, one counted op per element — semantically
     /// identical to calling [`TileCtx::fma`] element by element (same op
     /// indices, same single-rounding fusion). The unarmed fast path
-    /// counts the ops in one bump so the compiler can vectorize the row;
-    /// kernels with a dense inner product should prefer it over
-    /// per-element [`fma`].
+    /// counts the ops in one bump and leaves the row as a plain
+    /// `mul_add` loop: inlined into a multiversioned tile body (see the
+    /// kernels' `execute_tile` AVX2 wrappers) it vectorizes to fused
+    /// hardware FMAs, while the portable fallback rounds identically.
     ///
     /// [`fma`]: TileCtx::fma
-    #[inline]
+    #[inline(always)]
     pub fn fma_row(&mut self, a: f64, row: &[f64], acc: &mut [f64]) {
         if self.fault_armed {
             for (slot, &b) in acc.iter_mut().zip(row) {
@@ -314,6 +320,69 @@ impl<'a> TileCtx<'a> {
             *slot = a.mul_add(b, *slot);
         }
         self.ops += lanes as u64;
+    }
+
+    /// Block fused multiply-add: `acc[r][c] = fma(a[r][k], b[k][c],
+    /// acc[r][c])` accumulated over `k` in ascending order — one counted
+    /// op per element-update, semantically identical to the row-by-row
+    /// loop `for r { for k { fma_row(a[r][k], &b[k], &mut acc[r]) } }`.
+    ///
+    /// The unarmed fast path processes two output rows at a time with
+    /// the accumulators held in locals across the whole `k` loop, so in
+    /// a multiversioned AVX2 tile body the compiler keeps them in
+    /// vector registers instead of re-loading `acc` once per `k` — the
+    /// difference between a memory-bound and an FMA-bound inner kernel.
+    /// Per-element accumulation order over `k` is unchanged, so results
+    /// are bit-identical to the reference loop.
+    #[inline(always)]
+    pub fn fma_block<const N: usize>(
+        &mut self,
+        a: &[[f64; N]; N],
+        b: &[[f64; N]; N],
+        acc: &mut [[f64; N]; N],
+    ) {
+        if self.fault_armed {
+            // Exact reference order (r, k, c): op indices match the
+            // row-by-row formulation element for element.
+            for r in 0..N {
+                for k in 0..N {
+                    let ark = a[r][k];
+                    for c in 0..N {
+                        acc[r][c] = self.fma(ark, b[k][c], acc[r][c]);
+                    }
+                }
+            }
+            return;
+        }
+        let mut r = 0;
+        while r + 2 <= N {
+            let mut acc0 = acc[r];
+            let mut acc1 = acc[r + 1];
+            for k in 0..N {
+                let a0 = a[r][k];
+                let a1 = a[r + 1][k];
+                let brow = &b[k];
+                for c in 0..N {
+                    acc0[c] = a0.mul_add(brow[c], acc0[c]);
+                    acc1[c] = a1.mul_add(brow[c], acc1[c]);
+                }
+            }
+            acc[r] = acc0;
+            acc[r + 1] = acc1;
+            r += 2;
+        }
+        if r < N {
+            let mut acc0 = acc[r];
+            for k in 0..N {
+                let a0 = a[r][k];
+                let brow = &b[k];
+                for c in 0..N {
+                    acc0[c] = a0.mul_add(brow[c], acc0[c]);
+                }
+            }
+            acc[r] = acc0;
+        }
+        self.ops += (N * N * N) as u64;
     }
 
     /// Addition routed through the op counter.
@@ -371,20 +440,56 @@ impl<'a> TileCtx<'a> {
     ///
     /// Returns [`AccelError::OutOfBounds`] when the range exceeds the
     /// buffer.
+    #[inline]
     pub fn load(&mut self, buf: BufferId, start: usize, dst: &mut [f64]) -> Result<(), AccelError> {
         if dst.is_empty() {
             return Ok(());
         }
+        // One ISA dispatch per bulk load: the `#[target_feature]`
+        // wrapper compiles the whole body — window copy, cache way
+        // scans, corruption gate — as one inlined AVX2 region. Called
+        // from a kernel's own AVX2 tile wrapper the match folds away
+        // and the body inlines into the kernel loop.
+        match exec::active() {
+            #[cfg(target_arch = "x86_64")]
+            // Safety: `exec::active` only reports Avx2 after runtime
+            // detection confirmed AVX2 + FMA on this host.
+            exec::Isa::Avx2 => unsafe { self.load_avx2(buf, start, dst) },
+            #[cfg(target_arch = "aarch64")]
+            exec::Isa::Neon => self.load_body::<exec::Neon>(buf, start, dst),
+            _ => self.load_body::<exec::Scalar>(buf, start, dst),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn load_avx2(
+        &mut self,
+        buf: BufferId,
+        start: usize,
+        dst: &mut [f64],
+    ) -> Result<(), AccelError> {
+        self.load_body::<exec::Avx2>(buf, start, dst)
+    }
+
+    #[inline(always)]
+    fn load_body<E: exec::KernelExecutor>(
+        &mut self,
+        buf: BufferId,
+        start: usize,
+        dst: &mut [f64],
+    ) -> Result<(), AccelError> {
         let _scope = phase_if(self.prof, PhaseId::MemLoad);
         self.loads += dst.len() as u64;
         let base = {
             let (base, window) = self.mem.window(buf, start, dst.len())?;
-            dst.copy_from_slice(window);
+            E::copy_f64(window, dst);
             base
         };
         let wbs = {
             let _scope = phase_if(self.prof, PhaseId::CacheAccess);
-            self.caches.access(self.unit, base, dst.len() * 8, false)
+            self.caches
+                .access_body::<E>(self.unit, base, dst.len() * 8, false)
         };
         if !wbs.is_empty() {
             // Corruption reached DRAM mid-run; the run can no longer be
@@ -402,6 +507,147 @@ impl<'a> TileCtx<'a> {
                         *v = f64::from_bits(v.to_bits() ^ mask);
                         // A corrupted value entered the datapath.
                         self.caches.corruption_touched = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Strided bulk load: row `r` (of `dst.len() / width` rows) reads
+    /// `width` consecutive elements starting at `start + r * stride`
+    /// into `dst[r * width ..]`. Semantically identical to one
+    /// [`TileCtx::load`] per row in ascending order — same counters,
+    /// same cache touch order, write-backs applied between rows — but
+    /// pays the ISA dispatch, phase scope and write-back bookkeeping
+    /// once per call instead of once per row. The bulk-tile hot path
+    /// for blocked kernels (DGEMM loads 32 rows per k-step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::OutOfBounds`] when any row exceeds the
+    /// buffer; rows before the offending one are already loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero or does not divide `dst.len()`.
+    #[inline]
+    pub fn load_rows(
+        &mut self,
+        buf: BufferId,
+        start: usize,
+        stride: usize,
+        width: usize,
+        dst: &mut [f64],
+    ) -> Result<(), AccelError> {
+        assert!(
+            width > 0 && dst.len().is_multiple_of(width),
+            "load_rows width {width} must divide dst length {}",
+            dst.len()
+        );
+        if dst.is_empty() {
+            return Ok(());
+        }
+        match exec::active() {
+            #[cfg(target_arch = "x86_64")]
+            // Safety: `exec::active` only reports Avx2 after runtime
+            // detection confirmed AVX2 + FMA on this host.
+            exec::Isa::Avx2 => unsafe { self.load_rows_avx2(buf, start, stride, width, dst) },
+            #[cfg(target_arch = "aarch64")]
+            exec::Isa::Neon => self.load_rows_body::<exec::Neon>(buf, start, stride, width, dst),
+            _ => self.load_rows_body::<exec::Scalar>(buf, start, stride, width, dst),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn load_rows_avx2(
+        &mut self,
+        buf: BufferId,
+        start: usize,
+        stride: usize,
+        width: usize,
+        dst: &mut [f64],
+    ) -> Result<(), AccelError> {
+        self.load_rows_body::<exec::Avx2>(buf, start, stride, width, dst)
+    }
+
+    #[inline(always)]
+    fn load_rows_body<E: exec::KernelExecutor>(
+        &mut self,
+        buf: BufferId,
+        start: usize,
+        stride: usize,
+        width: usize,
+        dst: &mut [f64],
+    ) -> Result<(), AccelError> {
+        let _scope = phase_if(self.prof, PhaseId::MemLoad);
+        self.loads += dst.len() as u64;
+        let rows = dst.len() / width;
+        // Fast path: while no flip is pending anywhere, no row can
+        // observe corruption and no eviction can write one back — cache
+        // state cannot affect loaded data, only the other way around.
+        // One window borrow covers every row, copies run back to back,
+        // and the per-row touch stream (identical order, so ticks, LRU
+        // and hit counters match the slow path bit for bit) follows.
+        // Flips are only added by strikes, never by loads, so the gate
+        // cannot flip mid-call.
+        if !self.caches.has_pending_corruption() {
+            let span = (rows - 1) * stride + width;
+            if let Ok((base, window)) = self.mem.window(buf, start, span) {
+                for (r, out) in dst.chunks_exact_mut(width).enumerate() {
+                    E::copy_f64(&window[r * stride..r * stride + width], out);
+                }
+                let _scope = phase_if(self.prof, PhaseId::CacheAccess);
+                let mut wbs = Vec::new();
+                for r in 0..rows {
+                    self.caches.access_into::<E>(
+                        self.unit,
+                        base + r * stride * 8,
+                        width * 8,
+                        false,
+                        &mut wbs,
+                    );
+                }
+                debug_assert!(wbs.is_empty(), "write-backs require pending flips");
+                return Ok(());
+            }
+            // Span lookup failed: fall through so the error surfaces
+            // with per-row semantics (rows before the bad one load).
+        }
+        let mut wbs = Vec::new();
+        let mut ranges = Vec::new();
+        for (r, out) in dst.chunks_exact_mut(width).enumerate() {
+            let rstart = start + r * stride;
+            let base = {
+                let (base, window) = self.mem.window(buf, rstart, width)?;
+                E::copy_f64(window, out);
+                base
+            };
+            {
+                let _scope = phase_if(self.prof, PhaseId::CacheAccess);
+                self.caches
+                    .access_into::<E>(self.unit, base, width * 8, false, &mut wbs);
+            }
+            if !wbs.is_empty() {
+                // Corruption reached DRAM mid-run; the run can no
+                // longer be proven golden-equivalent.
+                self.caches.corruption_touched = true;
+                apply_writebacks(self.mem, &wbs, self.store_log.as_deref_mut());
+                wbs.clear();
+            }
+            if self.caches.has_pending_corruption() {
+                let _scope = phase_if(self.prof, PhaseId::CorruptionScan);
+                self.caches
+                    .corrupted_ranges_into(base, width * 8, &mut ranges);
+                for &(lo, hi) in &ranges {
+                    for (i, v) in out.iter_mut().enumerate().take(hi).skip(lo) {
+                        let mask = self.caches.corruption_for(self.unit, base + i * 8);
+                        if mask != 0 {
+                            *v = f64::from_bits(v.to_bits() ^ mask);
+                            // A corrupted value entered the datapath.
+                            self.caches.corruption_touched = true;
+                        }
                     }
                 }
             }
@@ -430,10 +676,41 @@ impl<'a> TileCtx<'a> {
     ///
     /// Returns [`AccelError::OutOfBounds`] when the range exceeds the
     /// buffer.
+    #[inline]
     pub fn store(&mut self, buf: BufferId, start: usize, src: &[f64]) -> Result<(), AccelError> {
         if src.is_empty() {
             return Ok(());
         }
+        // Same single-dispatch structure as [`TileCtx::load`].
+        match exec::active() {
+            #[cfg(target_arch = "x86_64")]
+            // Safety: `exec::active` only reports Avx2 after runtime
+            // detection confirmed AVX2 + FMA on this host.
+            exec::Isa::Avx2 => unsafe { self.store_avx2(buf, start, src) },
+            #[cfg(target_arch = "aarch64")]
+            exec::Isa::Neon => self.store_body::<exec::Neon>(buf, start, src),
+            _ => self.store_body::<exec::Scalar>(buf, start, src),
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn store_avx2(
+        &mut self,
+        buf: BufferId,
+        start: usize,
+        src: &[f64],
+    ) -> Result<(), AccelError> {
+        self.store_body::<exec::Avx2>(buf, start, src)
+    }
+
+    #[inline(always)]
+    fn store_body<E: exec::KernelExecutor>(
+        &mut self,
+        buf: BufferId,
+        start: usize,
+        src: &[f64],
+    ) -> Result<(), AccelError> {
         let _scope = phase_if(self.prof, PhaseId::MemStore);
         self.stores += src.len() as u64;
         let fault_stores = self.fault.store_at != u64::MAX;
@@ -453,7 +730,7 @@ impl<'a> TileCtx<'a> {
                     }
                 }
             } else {
-                window.copy_from_slice(src);
+                E::copy_f64(src, window);
                 self.store_ops += src.len() as u64;
                 if let Some(&last) = src.last() {
                     self.last_store = last;
@@ -466,7 +743,8 @@ impl<'a> TileCtx<'a> {
         }
         let wbs = {
             let _scope = phase_if(self.prof, PhaseId::CacheAccess);
-            self.caches.access(self.unit, base, src.len() * 8, true)
+            self.caches
+                .access_body::<E>(self.unit, base, src.len() * 8, true)
         };
         if !wbs.is_empty() {
             self.caches.corruption_touched = true;
@@ -705,5 +983,109 @@ mod tests {
         let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
         ctx.write_one(buf, victim.index, 9.0).unwrap();
         assert_eq!(ctx.read_one(buf, victim.index).unwrap(), 9.0);
+    }
+
+    /// `load_rows` is a drop-in for one `load` per row: same bytes,
+    /// same loads counter, same cache hit/miss stream — both in the
+    /// clean fast path and with pending corruption forcing the
+    /// per-row slow path.
+    #[test]
+    fn load_rows_matches_per_row_loads() {
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng as SmallRng;
+        let data: Vec<f64> = (0..96).map(|i| f64::from(i) * 0.5 - 3.0).collect();
+        let run = |strike: bool, bulk: bool| {
+            let (mut mem, mut caches) = machine();
+            let buf = mem.alloc_init("in", &data);
+            if strike {
+                {
+                    let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+                    let mut warm = vec![0.0; data.len()];
+                    ctx.load(buf, 0, &mut warm).unwrap();
+                }
+                let mut rng = SmallRng::seed_from_u64(9);
+                caches.strike_l2(&mut rng, 1 << 62).expect("line resident");
+                assert!(caches.has_pending_corruption());
+            }
+            let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, TileFault::none());
+            let (stride, width, rows) = (12usize, 5usize, 7usize);
+            let mut dst = vec![0.0; rows * width];
+            if bulk {
+                ctx.load_rows(buf, 2, stride, width, &mut dst).unwrap();
+            } else {
+                for (r, out) in dst.chunks_exact_mut(width).enumerate() {
+                    ctx.load(buf, 2 + r * stride, out).unwrap();
+                }
+            }
+            let loads = ctx.loads;
+            let stats = caches.stats();
+            let bits: Vec<u64> = dst.iter().map(|v| v.to_bits()).collect();
+            (bits, loads, stats.l1_hits, stats.l1_misses, stats.l2_hits)
+        };
+        for strike in [false, true] {
+            assert_eq!(
+                run(strike, true),
+                run(strike, false),
+                "strike={strike}: bulk and per-row loads must agree"
+            );
+        }
+    }
+
+    /// `fma_block` equals the row-by-row reference loop bit for bit,
+    /// counts one op per element update, and lands an armed logic
+    /// fault on exactly the same op index as the reference.
+    #[test]
+    fn fma_block_matches_reference_loop() {
+        const N: usize = 4;
+        let mut a = [[0.0; N]; N];
+        let mut b = [[0.0; N]; N];
+        for r in 0..N {
+            for c in 0..N {
+                a[r][c] = (r * N + c) as f64 * 0.25 - 1.5;
+                b[r][c] = 1.0 / ((r + c) as f64 + 1.0);
+            }
+        }
+        let reference = |fault: TileFault| {
+            let (mut mem, mut caches) = machine();
+            let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, fault);
+            let mut acc = [[0.5; N]; N];
+            for r in 0..N {
+                for k in 0..N {
+                    for c in 0..N {
+                        acc[r][c] = ctx.fma(a[r][k], b[k][c], acc[r][c]);
+                    }
+                }
+            }
+            (acc, ctx.ops)
+        };
+        let blocked = |fault: TileFault| {
+            let (mut mem, mut caches) = machine();
+            let mut ctx = TileCtx::new(&mut mem, &mut caches, 0, fault);
+            let mut acc = [[0.5; N]; N];
+            ctx.fma_block(&a, &b, &mut acc);
+            (acc, ctx.ops)
+        };
+        let faults = {
+            let mut mid = TileFault::none();
+            mid.logic_at = (N * N * N / 2) as u64;
+            mid.logic_lanes = 3;
+            mid.logic_mask = 1 << 63;
+            [TileFault::none(), mid]
+        };
+        for fault in faults {
+            let (ref_acc, ref_ops) = reference(fault);
+            let (blk_acc, blk_ops) = blocked(fault);
+            assert_eq!(blk_ops, ref_ops, "op count");
+            for r in 0..N {
+                for c in 0..N {
+                    assert_eq!(
+                        blk_acc[r][c].to_bits(),
+                        ref_acc[r][c].to_bits(),
+                        "acc[{r}][{c}] under fault at {}",
+                        fault.logic_at
+                    );
+                }
+            }
+        }
     }
 }

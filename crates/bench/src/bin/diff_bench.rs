@@ -23,12 +23,15 @@
 //! constant overheads dominate.
 //!
 //! Every run also appends one fingerprinted row per kernel (host,
-//! commit, rates, top-5 self-time phases of a profiled rep) to the
-//! continuous history file (`--history`, default `BENCH_HISTORY.jsonl`)
-//! and — outside `--smoke` — gates the batched rates against the
-//! committed `--history-baseline` (default the freshly written/committed
-//! `BENCH_6.json`): any kernel more than 10 % below its committed
-//! `batch_inj_per_sec` exits non-zero. See
+//! commit, active SIMD ISA, rates, top-5 self-time phases of a
+//! profiled rep) to the continuous history file (`--history`, default
+//! `BENCH_HISTORY.jsonl`) and — outside `--smoke` — gates the batched
+//! rates against the committed `--history-baseline` (default the
+//! freshly written/committed `BENCH_6.json`): any kernel more than
+//! 10 % below its committed `batch_inj_per_sec` exits non-zero. Both
+//! gates are like-for-like on the ISA: a run pinned to the scalar
+//! executor (`RADCRIT_FORCE_SCALAR=1`) records its rows but is never
+//! compared against a vectorized baseline. See
 //! [`radcrit_bench::history`].
 
 use std::path::PathBuf;
@@ -106,6 +109,8 @@ fn parsed(flag: &str, raw: &str) -> usize {
 
 struct Measurement {
     kernel: String,
+    /// SIMD executor every mode of this measurement dispatched to.
+    isa: String,
     injections: usize,
     full_secs: f64,
     diff_secs: f64,
@@ -258,6 +263,7 @@ fn measure(
     };
     Measurement {
         kernel: name.to_owned(),
+        isa: radcrit_core::exec::active().name().to_owned(),
         injections,
         full_secs,
         diff_secs,
@@ -296,8 +302,10 @@ fn main() {
         ),
     ];
 
+    let isa = radcrit_core::exec::active();
     println!(
-        "diff-bench: {} injections per kernel, {} worker(s), best of {} rep(s), K40 config",
+        "diff-bench: {} injections per kernel, {} worker(s), best of {} rep(s), \
+         K40 config, simd isa {isa}",
         args.injections, args.workers, args.reps
     );
     println!(
@@ -369,6 +377,7 @@ fn main() {
             host: host.clone(),
             commit: commit.clone(),
             kernel: m.kernel.clone(),
+            isa: m.isa.clone(),
             batch_inj_per_sec: m.batch_rate(),
             full_inj_per_sec: m.full_rate(),
             top_phases: m.top_phases.clone(),
@@ -397,8 +406,24 @@ fn main() {
     }
 
     // Perf-history gate: every kernel in the committed baseline must be
-    // within 10 % of its committed batched rate.
-    for (kernel, base) in history::baseline_batch_rates(&args.history_baseline) {
+    // within 10 % of its committed batched rate — but only like for
+    // like on the ISA. Baselines predating the isa column were measured
+    // with the native vectorized executor, so they only gate runs that
+    // are not pinned away from it (hardware(), not detected(): the
+    // RADCRIT_FORCE_SCALAR pin must read as "pinned", not "native").
+    let native = radcrit_core::exec::hardware();
+    for (kernel, base_isa, base) in history::baseline_batch_rates(&args.history_baseline) {
+        let comparable = match &base_isa {
+            Some(b) => *b == isa.name(),
+            None => isa == native,
+        };
+        if !comparable {
+            println!(
+                "skipping history gate for {kernel}: baseline isa {} vs active {isa}",
+                base_isa.as_deref().unwrap_or("pre-isa (native)")
+            );
+            continue;
+        }
         if let Some(m) = rows.iter().find(|m| m.kernel == kernel) {
             if let Err(msg) = history::check_regression(&kernel, m.batch_rate(), base) {
                 eprintln!("diff-bench: {msg}");
@@ -410,7 +435,14 @@ fn main() {
     // rate (the baseline the batch scheduler was specified against).
     // The in-process full mode also benefits from engine speedups that
     // landed alongside batching, so it understates the delivered gain;
-    // it is only the fallback when no baseline file is around.
+    // it is only the fallback when no baseline file is around. The
+    // committed baseline was measured with the native executor, so a
+    // scalar-pinned run (correctness reference, not a perf claim) is
+    // exempt.
+    if isa != native {
+        println!("skipping acceptance floor: active isa {isa} is pinned below native {native}");
+        return;
+    }
     match baseline_dgemm_full_rate(&args.baseline) {
         Some(base) => {
             let gain = dgemm.batch_rate() / base.max(1e-9);
@@ -462,7 +494,7 @@ fn render_json(args: &Args, rows: &[Measurement]) -> String {
     for (i, m) in rows.iter().enumerate() {
         s.push_str(&format!(
             concat!(
-                "    {{\"kernel\": \"{}\", \"injections\": {}, ",
+                "    {{\"kernel\": \"{}\", \"isa\": \"{}\", \"injections\": {}, ",
                 "\"full_secs\": {:.4}, \"diff_secs\": {:.4}, \"batch_secs\": {:.4}, ",
                 "\"full_inj_per_sec\": {:.2}, \"diff_inj_per_sec\": {:.2}, ",
                 "\"batch_inj_per_sec\": {:.2}, ",
@@ -472,6 +504,7 @@ fn render_json(args: &Args, rows: &[Measurement]) -> String {
                 "\"outcomes_match\": {}}}{}\n"
             ),
             m.kernel,
+            m.isa,
             m.injections,
             m.full_secs,
             m.diff_secs,

@@ -31,6 +31,10 @@ pub struct HistoryRow {
     pub commit: String,
     /// Kernel label, e.g. `dgemm-256x256`.
     pub kernel: String,
+    /// SIMD executor the run dispatched to (`scalar`, `avx2`, `neon`).
+    /// Rates are only comparable within one ISA; rows written before
+    /// the column existed parse as `unknown`.
+    pub isa: String,
     /// Batched differential injections per second (the headline rate).
     pub batch_inj_per_sec: f64,
     /// Full re-execution injections per second (the denominator of the
@@ -55,11 +59,12 @@ impl HistoryRow {
             })
             .collect();
         format!(
-            "{{\"host\":\"{}\",\"commit\":\"{}\",\"kernel\":\"{}\",\
+            "{{\"host\":\"{}\",\"commit\":\"{}\",\"kernel\":\"{}\",\"isa\":\"{}\",\
              \"batch_inj_per_sec\":{},\"full_inj_per_sec\":{},\"top_phases\":[{}]}}",
             json::escape(&self.host),
             json::escape(&self.commit),
             json::escape(&self.kernel),
+            json::escape(&self.isa),
             json::fmt_f64(self.batch_inj_per_sec),
             json::fmt_f64(self.full_inj_per_sec),
             phases.join(",")
@@ -88,6 +93,9 @@ impl HistoryRow {
             host: json::get_str(obj, "host")?.to_owned(),
             commit: json::get_str(obj, "commit")?.to_owned(),
             kernel: json::get_str(obj, "kernel")?.to_owned(),
+            isa: json::get_str(obj, "isa")
+                .map(str::to_owned)
+                .unwrap_or_else(|_| "unknown".to_owned()),
             batch_inj_per_sec: json::get_f64(obj, "batch_inj_per_sec")?,
             full_inj_per_sec: json::get_f64(obj, "full_inj_per_sec")?,
             top_phases,
@@ -172,10 +180,14 @@ pub fn check_regression(kernel: &str, fresh: f64, baseline: f64) -> Result<(), S
     Ok(())
 }
 
-/// Extracts `(kernel, batch_inj_per_sec)` pairs from a committed
+/// Extracts `(kernel, isa, batch_inj_per_sec)` triples from a committed
 /// `BENCH_6.json`-format baseline (one kernel object per line, as
-/// `diff-bench` writes it). Missing file → empty.
-pub fn baseline_batch_rates(path: &Path) -> Vec<(String, f64)> {
+/// `diff-bench` writes it). Baselines written before the `isa` column
+/// existed yield `None` for the ISA — they were measured with the
+/// host's native vectorized executor, so callers should only gate
+/// against them when the fresh run is not pinned to scalar. Missing
+/// file → empty.
+pub fn baseline_batch_rates(path: &Path) -> Vec<(String, Option<String>, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_default();
     text.lines()
         .filter_map(|line| {
@@ -187,6 +199,7 @@ pub fn baseline_batch_rates(path: &Path) -> Vec<(String, f64)> {
             let obj = json::as_obj(&v).ok()?;
             Some((
                 json::get_str(obj, "kernel").ok()?.to_owned(),
+                json::get_str(obj, "isa").ok().map(str::to_owned),
                 json::get_f64(obj, "batch_inj_per_sec").ok()?,
             ))
         })
@@ -202,6 +215,7 @@ mod tests {
             host: "ci-runner".into(),
             commit: "abc1234".into(),
             kernel: kernel.into(),
+            isa: "avx2".into(),
             batch_inj_per_sec: batch,
             full_inj_per_sec: batch / 3.0,
             top_phases: vec![
@@ -216,6 +230,17 @@ mod tests {
         let r = row("dgemm-256x256", 238.67);
         let parsed = HistoryRow::parse_line(&r.to_json_line()).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn rows_without_an_isa_column_still_parse() {
+        // History files predating the isa column must keep reading; the
+        // missing provenance is recorded as "unknown", not an error.
+        let legacy = "{\"host\":\"h\",\"commit\":\"c\",\"kernel\":\"dgemm-256x256\",\
+                      \"batch_inj_per_sec\":240.5,\"full_inj_per_sec\":80.1,\"top_phases\":[]}";
+        let parsed = HistoryRow::parse_line(legacy).unwrap();
+        assert_eq!(parsed.isa, "unknown");
+        assert_eq!(parsed.kernel, "dgemm-256x256");
     }
 
     #[test]
@@ -262,7 +287,8 @@ mod tests {
             concat!(
                 "{\n  \"bench\": \"x\",\n  \"kernels\": [\n",
                 "    {\"kernel\": \"dgemm-256x256\", \"batch_inj_per_sec\": 238.67, \"x\": 1},\n",
-                "    {\"kernel\": \"lavamd-5\", \"batch_inj_per_sec\": 682.25, \"x\": 1}\n",
+                "    {\"kernel\": \"lavamd-5\", \"isa\": \"scalar\", ",
+                "\"batch_inj_per_sec\": 682.25, \"x\": 1}\n",
                 "  ]\n}\n"
             ),
         )
@@ -271,8 +297,8 @@ mod tests {
         assert_eq!(
             rates,
             vec![
-                ("dgemm-256x256".to_owned(), 238.67),
-                ("lavamd-5".to_owned(), 682.25)
+                ("dgemm-256x256".to_owned(), None, 238.67),
+                ("lavamd-5".to_owned(), Some("scalar".to_owned()), 682.25)
             ]
         );
         std::fs::remove_file(&path).ok();

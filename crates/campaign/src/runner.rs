@@ -171,6 +171,14 @@ pub struct RunOptions {
     /// streams fold into one aggregate with the campaign's context.
     /// `None` runs the whole range.
     pub shard: Option<(usize, usize)>,
+    /// Pin SIMD dispatch to the scalar reference executor for the whole
+    /// run (the `--scalar` CLI flag / job-spec `force_scalar`). Science
+    /// is bit-identical either way — the scalar path is the identity
+    /// reference the vectorized paths are property-tested against; this
+    /// exists to measure the SIMD speedup and to rule vectorization out
+    /// when debugging. The pin is process-wide while the run lasts, so
+    /// worker threads inherit it.
+    pub force_scalar: bool,
 }
 
 /// Everything a finished campaign produced.
@@ -398,12 +406,23 @@ impl Campaign {
             }
             None => (0, self.injections),
         };
+        // The scalar pin must precede everything that touches an
+        // executor-dispatched path (golden execution included). The
+        // override is process-wide, so worker threads inherit it.
+        let _scalar_pin = radcrit_core::exec::scalar_scope_if(options.force_scalar);
         let metrics = options.metrics.clone().or_else(|| {
             options
                 .metrics_out
                 .as_ref()
                 .map(|_| Arc::new(MetricsRegistry::new()))
         });
+        if let Some(m) = &metrics {
+            m.gauge_set(
+                "radcrit_simd_isa",
+                &[("isa", radcrit_core::exec::active().name())],
+                1.0,
+            );
+        }
         let mut engine = Engine::new(self.device.clone());
         if let Some(m) = &metrics {
             engine = engine.with_metrics(Arc::clone(m));

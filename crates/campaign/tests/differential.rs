@@ -341,6 +341,78 @@ fn batched_campaigns_are_bit_identical_to_unbatched_across_kernels() {
     }
 }
 
+/// The SIMD execution core is invisible to the science: a campaign run
+/// with dispatch pinned to the scalar reference (`--scalar`) produces
+/// records, event-stream bytes, and a summary bit-identical to the
+/// default vectorized run, across all kernels — including a resumed
+/// run whose checkpoint was written by the *other* executor.
+#[test]
+fn scalar_pinned_campaigns_are_bit_identical_to_vectorized() {
+    for spec in kernels() {
+        let campaign = Campaign::new(DeviceConfig::kepler_k40(), spec, 50, 7).with_workers(3);
+        let run = |force_scalar: bool, tag: &str| {
+            let events = temp_path(&format!("scalar-events-{tag}"));
+            let result = campaign
+                .run_with(&RunOptions {
+                    force_scalar,
+                    events_out: Some(events.clone()),
+                    events_sample: 1,
+                    ..RunOptions::default()
+                })
+                .unwrap();
+            let stream = std::fs::read(&events).unwrap();
+            std::fs::remove_file(&events).ok();
+            (result, stream)
+        };
+        let (vectorized, vec_events) = run(false, "off");
+        let (pinned, pin_events) = run(true, "on");
+        assert_eq!(vectorized.records, pinned.records, "{spec:?} records");
+        assert_eq!(vec_events, pin_events, "{spec:?} event stream");
+        assert_eq!(vectorized.summary(), pinned.summary(), "{spec:?} summary");
+        assert_eq!(
+            vectorized.summary().to_json(),
+            pinned.summary().to_json(),
+            "{spec:?} summary JSON bytes"
+        );
+    }
+}
+
+/// A campaign killed mid-run under one executor and resumed under the
+/// other reconstructs the uninterrupted summary: checkpoints are
+/// ISA-portable.
+#[test]
+fn checkpoint_resumes_across_executors() {
+    let spec = KernelSpec::Dgemm { n: 48 };
+    let campaign = Campaign::new(DeviceConfig::kepler_k40(), spec, 40, 11).with_workers(2);
+    let reference = campaign
+        .run_with(&RunOptions {
+            force_scalar: true,
+            ..RunOptions::default()
+        })
+        .unwrap();
+    let path = temp_path("cross-isa-resume");
+    let partial = campaign
+        .run_with(&RunOptions {
+            checkpoint: Some(path.clone()),
+            budget: Some(17),
+            ..RunOptions::default()
+        })
+        .unwrap();
+    assert!(!partial.is_complete());
+    let resumed = campaign
+        .run_with(&RunOptions {
+            checkpoint: Some(path.clone()),
+            resume: true,
+            force_scalar: true,
+            ..RunOptions::default()
+        })
+        .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.records, reference.records);
+    assert_eq!(resumed.summary(), reference.summary());
+    std::fs::remove_file(&path).ok();
+}
+
 /// Under the batch scheduler the checkpoint records completion out of
 /// plan order; kill → resume must still reconstruct the uninterrupted
 /// (and unbatched) summary bit for bit.

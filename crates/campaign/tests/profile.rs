@@ -143,12 +143,24 @@ fn profiled_campaign_satisfies_tree_invariants_and_count_cross_checks() {
 
 #[test]
 fn committed_profile_sample_answers_where_the_time_goes() {
-    // PROFILE_7.json is a committed DGEMM-256 sample (seed 11) captured
-    // via `--profile-out`. Wall-clock totals vary per machine, so the
-    // test asserts structure: the invariants hold, the expected phases
-    // are present, and the top self-time phase is the memory load path —
-    // the component the per-tile cost analysis attributed the ~35 µs to.
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../PROFILE_7.json");
+    // PROFILE_7.json (pre-SIMD-dispatch) and PROFILE_9.json (after the
+    // load/cache/compare paths moved behind the runtime-ISA executor)
+    // are committed DGEMM-256 samples (seed 11) captured via
+    // `--profile-out` with RADCRIT_PROFILE_STRIDE=1. Wall-clock totals
+    // vary per machine, so the test asserts structure: the invariants
+    // hold, the expected phases are present, and the top self-time
+    // phase is where the per-tile cost analysis put it. In PROFILE_7
+    // that is `mem-load` (the ~35 µs/tile of row feeding). PROFILE_9's
+    // bulk-copy fast path moved that time out of the row loads, so the
+    // residual hotspot is `cache-access` — the LRU/tick bookkeeping
+    // that stays sequential to keep eviction order bit-identical to
+    // the scalar reference.
+    committed_sample_checks("PROFILE_7.json", "mem-load");
+    committed_sample_checks("PROFILE_9.json", "cache-access");
+}
+
+fn committed_sample_checks(sample: &str, top_phase: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{sample}"));
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("committed sample {} missing: {e}", path.display()));
     let tree = ProfileTree::from_json(&text).unwrap();
@@ -169,7 +181,7 @@ fn committed_profile_sample_answers_where_the_time_goes() {
     ] {
         assert!(
             phase_count(&tree.roots, phase) > 0,
-            "committed sample lacks phase {phase}"
+            "committed sample {sample} lacks phase {phase}"
         );
     }
 
@@ -182,8 +194,8 @@ fn committed_profile_sample_answers_where_the_time_goes() {
     let hot = tree.hot_phases(12);
     assert!(!hot.is_empty());
     assert_eq!(
-        hot[0].0, "mem-load",
-        "expected the load path to dominate self time, got {hot:?}"
+        hot[0].0, top_phase,
+        "expected {top_phase} to dominate self time in {sample}, got {hot:?}"
     );
     let self_ns = |phase: &str| {
         hot.iter()
@@ -192,7 +204,7 @@ fn committed_profile_sample_answers_where_the_time_goes() {
             .unwrap_or(0)
     };
     assert!(
-        self_ns("mem-load") > 5 * self_ns("mem-store"),
-        "loads must dominate stores: {hot:?}"
+        self_ns("mem-load") + self_ns("cache-access") > 5 * self_ns("mem-store"),
+        "the load/cache path must dominate stores in {sample}: {hot:?}"
     );
 }

@@ -6,6 +6,7 @@
 
 use crate::dirty::DirtyRegion;
 use crate::error::CoreError;
+use crate::exec;
 use crate::mismatch::Mismatch;
 use crate::report::ErrorReport;
 use crate::shape::OutputShape;
@@ -62,7 +63,7 @@ pub fn compare_slices_f32(
 ) -> Result<ErrorReport, CoreError> {
     validate(golden.len(), observed.len(), shape)?;
     let mut mismatches = Vec::new();
-    collect_range(golden, observed, shape, 0, &mut mismatches);
+    collect_range_f32(golden, observed, shape, 0, &mut mismatches);
     Ok(ErrorReport::new(shape, mismatches))
 }
 
@@ -108,29 +109,49 @@ fn validate(golden: usize, observed: usize, shape: OutputShape) -> Result<(), Co
     Ok(())
 }
 
-/// The one mismatch-collection loop all comparison entry points share:
-/// widens each element pair to `f64` (exact for `f32`) and records a
-/// [`Mismatch`] at the flat index `offset + i`.
-fn collect_range<T: Copy + Into<f64>>(
-    golden: &[T],
-    observed: &[T],
+/// The mismatch-collection loops all comparison entry points share:
+/// a SIMD-dispatched scan ([`exec::next_mismatch_f64`]) skips matching
+/// runs; each mismatching pair becomes a [`Mismatch`] at the flat
+/// index `offset + i`. The match rule — equal values match, and a NaN
+/// matches a NaN (the golden execution legitimately produced an
+/// invalid value there) — lives in `exec` so every ISA shares it.
+fn collect_range(
+    golden: &[f64],
+    observed: &[f64],
     shape: OutputShape,
     offset: usize,
     mismatches: &mut Vec<Mismatch>,
 ) {
-    for (i, (&g, &o)) in golden.iter().zip(observed.iter()).enumerate() {
-        let (g, o): (f64, f64) = (g.into(), o.into());
-        if !values_match(g, o) {
-            mismatches.push(Mismatch::new(shape.coord_of(offset + i), o, g));
-        }
+    let mut i = 0;
+    while let Some(j) = exec::next_mismatch_f64(golden, observed, i) {
+        mismatches.push(Mismatch::new(
+            shape.coord_of(offset + j),
+            observed[j],
+            golden[j],
+        ));
+        i = j + 1;
     }
 }
 
-/// Whether an observed value matches the golden value under strict
-/// (bitwise-style) comparison: equal numbers match, and a NaN matches a NaN
-/// (the golden execution legitimately produced an invalid value there).
-fn values_match(golden: f64, observed: f64) -> bool {
-    (golden == observed) || (golden.is_nan() && observed.is_nan())
+/// Single-precision [`collect_range`]: the scan compares native `f32`
+/// (widening to `f64` is exact, so the outcome is identical) and only
+/// mismatching elements are widened for the report.
+fn collect_range_f32(
+    golden: &[f32],
+    observed: &[f32],
+    shape: OutputShape,
+    offset: usize,
+    mismatches: &mut Vec<Mismatch>,
+) {
+    let mut i = 0;
+    while let Some(j) = exec::next_mismatch_f32(golden, observed, i) {
+        mismatches.push(Mismatch::new(
+            shape.coord_of(offset + j),
+            f64::from(observed[j]),
+            f64::from(golden[j]),
+        ));
+        i = j + 1;
+    }
 }
 
 #[cfg(test)]

@@ -35,13 +35,16 @@ pub struct DirtyRegion {
 impl DirtyRegion {
     /// Builds a region from unsorted `(start, len)` spans, clamped to
     /// `len` elements. Overlapping and adjacent spans are merged.
+    ///
+    /// The drop-empty/clamp pass runs on the SIMD execution core
+    /// ([`crate::exec::clamp_spans`]); the sort and merge stay scalar.
     #[must_use]
-    pub fn from_spans(mut spans: Vec<(usize, usize)>, len: usize) -> Self {
-        spans.retain(|&(start, n)| n > 0 && start < len);
-        spans.sort_unstable();
+    pub fn from_spans(spans: Vec<(usize, usize)>, len: usize) -> Self {
+        let mut clamped = Vec::new();
+        crate::exec::clamp_spans(&spans, len, &mut clamped);
+        clamped.sort_unstable();
         let mut ranges: Vec<(usize, usize)> = Vec::new();
-        for (start, n) in spans {
-            let end = start.saturating_add(n).min(len);
+        for (start, end) in clamped {
             match ranges.last_mut() {
                 Some(last) if start <= last.1 => last.1 = last.1.max(end),
                 _ => ranges.push((start, end)),

@@ -53,6 +53,7 @@
 pub mod compare;
 pub mod dirty;
 pub mod error;
+pub mod exec;
 pub mod filter;
 pub mod fit;
 pub mod histogram;
@@ -65,6 +66,7 @@ pub mod stats;
 pub use compare::compare_slices;
 pub use dirty::DirtyRegion;
 pub use error::CoreError;
+pub use exec::{Isa, KernelExecutor};
 pub use filter::ToleranceFilter;
 pub use fit::{FitBreakdown, FitRate, Fluence};
 pub use locality::{LocalityClassifier, SpatialClass};

@@ -1,0 +1,228 @@
+//! Property suite pinning every vectorized executor primitive to the
+//! [`Scalar`] bit-identity reference.
+//!
+//! Each test runs the same inputs through the dispatching free function
+//! (which uses the best ISA runtime detection found on this host —
+//! AVX2 on x86-64, NEON on aarch64) and through [`Scalar`] directly,
+//! and asserts the results are identical down to the bit: same indices,
+//! same tie-breaking (first match / first minimum), same NaN payloads
+//! in written buffers. On a host with no vector unit both sides run the
+//! same scalar code and the suite degenerates to a self-check.
+//!
+//! Inputs deliberately cover the shapes the kernels produce: empty
+//! slices, lengths around every vector-width boundary, unaligned heads
+//! and tails (slices taken at an odd offset into a larger buffer), and
+//! NaNs with distinct payload bits.
+
+use proptest::prelude::*;
+
+use radcrit_core::compare::compare_slices;
+use radcrit_core::dirty::DirtyRegion;
+use radcrit_core::exec::{self, KernelExecutor, Scalar};
+use radcrit_core::shape::OutputShape;
+
+/// f64 entropy that actually exercises the match rule: ordinary values
+/// from a small set (so equal pairs are common), signed zeros, infs,
+/// and NaNs with different payloads (which must compare as matching).
+fn tricky_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-4i32..5).prop_map(f64::from),
+        any::<u32>().prop_map(|b| f64::from_bits(0x7ff8_0000_0000_0000 | u64::from(b))),
+        any::<u32>().prop_map(|b| f64::from_bits(0xfff8_0000_0000_0000 | u64::from(b))),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        any::<u32>().prop_map(|b| f64::from(b) * 1.5e-3),
+    ]
+}
+
+fn tricky_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-4i32..5).prop_map(|v| v as f32),
+        any::<u16>().prop_map(|b| f32::from_bits(0x7fc0_0000 | u32::from(b))),
+        any::<u16>().prop_map(|b| f32::from_bits(0xffc0_0000 | u32::from(b))),
+        Just(0.0f32),
+        Just(-0.0f32),
+        any::<u16>().prop_map(|b| f32::from(b) * 1.5e-3),
+    ]
+}
+
+/// Pairs of nearly-identical buffers: `observed` starts as a copy of
+/// `golden` and gets a few elements flipped, mirroring how injection
+/// outputs differ from the golden output in a handful of places.
+fn mismatch_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, usize)> {
+    (
+        prop::collection::vec(tricky_f64(), 0..97),
+        prop::collection::vec((0usize..10_000, tricky_f64()), 0..5),
+        0usize..10_000,
+    )
+        .prop_map(|(golden, flips, from)| {
+            let mut observed = golden.clone();
+            for (idx, v) in flips {
+                if !observed.is_empty() {
+                    let i = idx % observed.len();
+                    observed[i] = v;
+                }
+            }
+            let from = from % (golden.len() + 1);
+            (golden, observed, from)
+        })
+}
+
+proptest! {
+    /// Way-scan: first index of the needle, or None — identical over
+    /// random haystacks, including ones where the needle repeats.
+    #[test]
+    fn find_u64_matches_scalar(
+        haystack in prop::collection::vec(0u64..16, 0..67),
+        needle in 0u64..16,
+        off in 0usize..8,
+    ) {
+        let tail = &haystack[off.min(haystack.len())..];
+        prop_assert_eq!(exec::find_u64(tail, needle), Scalar::find_u64(tail, needle));
+    }
+
+    /// LRU victim scan: first minimum index, with duplicate minima
+    /// resolving to the lowest index on both sides.
+    #[test]
+    fn min_index_u64_matches_scalar(
+        vals in prop::collection::vec(0u64..32, 1..67),
+        off in 0usize..8,
+    ) {
+        let tail = &vals[off.min(vals.len() - 1)..];
+        prop_assert_eq!(exec::min_index_u64(tail), Scalar::min_index_u64(tail));
+    }
+
+    /// Sparse compare scan: first index past `from` where golden and
+    /// observed disagree (NaN matches NaN regardless of payload).
+    #[test]
+    fn next_mismatch_f64_matches_scalar((golden, observed, from) in mismatch_pair()) {
+        prop_assert_eq!(
+            exec::next_mismatch_f64(&golden, &observed, from),
+            Scalar::next_mismatch_f64(&golden, &observed, from)
+        );
+    }
+
+    /// Single-precision compare scan parity.
+    #[test]
+    fn next_mismatch_f32_matches_scalar(
+        golden in prop::collection::vec(tricky_f32(), 0..97),
+        flips in prop::collection::vec((0usize..10_000, tricky_f32()), 0..5),
+        from_idx in 0usize..10_000,
+    ) {
+        let mut observed = golden.clone();
+        for (idx, v) in flips {
+            if !observed.is_empty() {
+                let i = idx % observed.len();
+                observed[i] = v;
+            }
+        }
+        let from = from_idx % (golden.len() + 1);
+        prop_assert_eq!(
+            exec::next_mismatch_f32(&golden, &observed, from),
+            Scalar::next_mismatch_f32(&golden, &observed, from)
+        );
+    }
+
+    /// FMA row kernel: the accumulator after the vectorized pass is
+    /// bit-identical to the scalar pass wherever the result is a
+    /// number; NaN results agree on NaN-ness only (the documented
+    /// carve-out — soft-float and hardware FMA propagate NaN payloads
+    /// differently, and every consumer is payload-blind).
+    #[test]
+    fn fma_row_matches_scalar(
+        a in tricky_f64(),
+        row in prop::collection::vec(tricky_f64(), 0..67),
+        acc0 in prop::collection::vec(tricky_f64(), 0..67),
+    ) {
+        let n = row.len().min(acc0.len());
+        let mut vec_acc = acc0.clone();
+        let mut ref_acc = acc0.clone();
+        exec::fma_row(a, &row[..n], &mut vec_acc[..n]);
+        Scalar::fma_row(a, &row[..n], &mut ref_acc[..n]);
+        for (v, r) in vec_acc.iter().zip(&ref_acc) {
+            if r.is_nan() {
+                prop_assert!(v.is_nan(), "scalar NaN vs vector {v}");
+            } else {
+                prop_assert_eq!(v.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    /// Scalar FMA: a single fused multiply-add matches `f64::mul_add`,
+    /// with the NaN carve-out applied on the dispatched side.
+    #[test]
+    fn fma_matches_mul_add(a in tricky_f64(), b in tricky_f64(), c in tricky_f64()) {
+        let reference = a.mul_add(b, c);
+        prop_assert_eq!(Scalar::fma(a, b, c).to_bits(), reference.to_bits());
+        let dispatched = exec::fma(a, b, c);
+        if reference.is_nan() {
+            prop_assert!(dispatched.is_nan());
+        } else {
+            prop_assert_eq!(dispatched.to_bits(), reference.to_bits());
+        }
+    }
+
+    /// Bulk copy (snapshot delta capture/apply): byte-identical
+    /// destination, NaN payloads included, at unaligned offsets.
+    #[test]
+    fn copy_f64_matches_scalar(
+        src in prop::collection::vec(tricky_f64(), 0..97),
+        off in 0usize..8,
+    ) {
+        let tail = &src[off.min(src.len())..];
+        let mut vec_dst = vec![0.0f64; tail.len()];
+        let mut ref_dst = vec![0.0f64; tail.len()];
+        exec::copy_f64(tail, &mut vec_dst);
+        Scalar::copy_f64(tail, &mut ref_dst);
+        let vec_bits: Vec<u64> = vec_dst.iter().map(|v| v.to_bits()).collect();
+        let ref_bits: Vec<u64> = ref_dst.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(vec_bits, ref_bits);
+    }
+
+    /// Dirty-span clamp: same surviving spans in the same order, with
+    /// saturating ends, over spans that may be empty or out of range.
+    #[test]
+    fn clamp_spans_matches_scalar(
+        spans in prop::collection::vec((0usize..300, 0usize..40), 0..33),
+        len in 0usize..256,
+    ) {
+        let mut vec_out = Vec::new();
+        let mut ref_out = Vec::new();
+        exec::clamp_spans(&spans, len, &mut vec_out);
+        Scalar::clamp_spans(&spans, len, &mut ref_out);
+        prop_assert_eq!(vec_out, ref_out);
+    }
+
+    /// End-to-end: the full error report built by the dispatched
+    /// compare equals the one built with dispatch pinned to scalar.
+    #[test]
+    fn compare_slices_report_is_isa_invariant(
+        (golden, observed, _) in mismatch_pair(),
+    ) {
+        prop_assume!(!golden.is_empty());
+        let shape = OutputShape::d1(golden.len());
+        let vectored = compare_slices(&golden, &observed, shape).unwrap();
+        let pinned = {
+            let _g = exec::scalar_scope();
+            compare_slices(&golden, &observed, shape).unwrap()
+        };
+        prop_assert_eq!(format!("{vectored:?}"), format!("{pinned:?}"));
+    }
+
+    /// End-to-end: the dirty-region union (clamp + sort + merge) is
+    /// ISA-invariant.
+    #[test]
+    fn dirty_region_is_isa_invariant(
+        spans in prop::collection::vec((0usize..300, 0usize..40), 0..33),
+        len in 0usize..256,
+    ) {
+        let vectored = DirtyRegion::from_spans(spans.clone(), len);
+        let pinned = {
+            let _g = exec::scalar_scope();
+            DirtyRegion::from_spans(spans, len)
+        };
+        prop_assert_eq!(format!("{vectored:?}"), format!("{pinned:?}"));
+    }
+}

@@ -18,6 +18,7 @@
 use radcrit_accel::error::AccelError;
 use radcrit_accel::memory::{BufferId, DeviceMemory};
 use radcrit_accel::program::{TileCtx, TileId, TiledProgram};
+use radcrit_core::exec;
 use radcrit_core::shape::{Coord, OutputShape};
 
 use crate::input::matrix_value;
@@ -155,6 +156,38 @@ impl TiledProgram for Dgemm {
     }
 
     fn execute_tile(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        // Multiversioned tile body: on an AVX2 host the whole body —
+        // row loads, the `fma_row` inner product, the C store —
+        // compiles as one AVX2+FMA region (fused hardware FMAs, the
+        // cache way scan and window copies inlined), bit-identical to
+        // the portable copy because FMA rounds once on every lowering.
+        #[cfg(target_arch = "x86_64")]
+        if exec::active() == exec::Isa::Avx2 {
+            // Safety: `exec::active` only reports Avx2 after runtime
+            // detection confirmed AVX2 + FMA on this host.
+            return unsafe { self.tile_avx2(tile, ctx) };
+        }
+        self.tile_body(tile, ctx)
+    }
+
+    fn output(&self) -> BufferId {
+        self.c_buf.expect("setup ran")
+    }
+
+    fn output_shape(&self) -> OutputShape {
+        OutputShape::d2(self.n, self.n)
+    }
+}
+
+impl Dgemm {
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tile_avx2(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        self.tile_body(tile, ctx)
+    }
+
+    #[inline(always)]
+    fn tile_body(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
         let n = self.n;
         let grid = n / BLOCK;
         let t = tile.index();
@@ -168,19 +201,24 @@ impl TiledProgram for Dgemm {
         let mut acc = [[0.0f64; BLOCK]; BLOCK];
 
         for kb in 0..grid {
-            for (r, row) in a_blk.iter_mut().enumerate() {
-                let i = bi * BLOCK + r;
-                ctx.load(a_buf, i * n + kb * BLOCK, row)?;
-            }
-            for (k, row) in b_blk.iter_mut().enumerate() {
-                let kk = kb * BLOCK + k;
-                ctx.load(b_buf, kk * n + bj * BLOCK, row)?;
-            }
-            for (r, accr) in acc.iter_mut().enumerate() {
-                for (k, brow) in b_blk.iter().enumerate() {
-                    ctx.fma_row(a_blk[r][k], brow, accr);
-                }
-            }
+            // Row r of the A block is A[bi*BLOCK + r][kb*BLOCK ..]; row k
+            // of the B block is B[kb*BLOCK + k][bj*BLOCK ..] — both are
+            // `n`-strided row sets, loaded in one bulk call each.
+            ctx.load_rows(
+                a_buf,
+                (bi * BLOCK) * n + kb * BLOCK,
+                n,
+                BLOCK,
+                a_blk.as_flattened_mut(),
+            )?;
+            ctx.load_rows(
+                b_buf,
+                (kb * BLOCK) * n + bj * BLOCK,
+                n,
+                BLOCK,
+                b_blk.as_flattened_mut(),
+            )?;
+            ctx.fma_block(&a_blk, &b_blk, &mut acc);
         }
 
         for (r, accr) in acc.iter().enumerate() {
@@ -188,14 +226,6 @@ impl TiledProgram for Dgemm {
             ctx.store(c_buf, i * n + bj * BLOCK, accr)?;
         }
         Ok(())
-    }
-
-    fn output(&self) -> BufferId {
-        self.c_buf.expect("setup ran")
-    }
-
-    fn output_shape(&self) -> OutputShape {
-        OutputShape::d2(self.n, self.n)
     }
 }
 

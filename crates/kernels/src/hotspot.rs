@@ -21,6 +21,7 @@
 use radcrit_accel::error::AccelError;
 use radcrit_accel::memory::{BufferId, DeviceMemory};
 use radcrit_accel::program::{TileCtx, TileId, TiledProgram};
+use radcrit_core::exec;
 use radcrit_core::shape::{Coord, OutputShape};
 
 use crate::input::in_range;
@@ -207,6 +208,42 @@ impl TiledProgram for HotSpot {
     }
 
     fn execute_tile(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        // Multiversioned tile body (see `Dgemm::execute_tile`): the
+        // stencil arithmetic and halo loads compile as one AVX2+FMA
+        // region on hosts that have it, bit-identical to the portable
+        // copy.
+        #[cfg(target_arch = "x86_64")]
+        if exec::active() == exec::Isa::Avx2 {
+            // Safety: `exec::active` only reports Avx2 after runtime
+            // detection confirmed AVX2 + FMA on this host.
+            return unsafe { self.tile_avx2(tile, ctx) };
+        }
+        self.tile_body(tile, ctx)
+    }
+
+    fn output(&self) -> BufferId {
+        // After an even number of iterations the final state is back in A.
+        if self.iterations.is_multiple_of(2) {
+            self.buf_a.expect("setup")
+        } else {
+            self.buf_b.expect("setup")
+        }
+    }
+
+    fn output_shape(&self) -> OutputShape {
+        OutputShape::d2(self.rows, self.cols)
+    }
+}
+
+impl HotSpot {
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tile_avx2(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        self.tile_body(tile, ctx)
+    }
+
+    #[inline(always)]
+    fn tile_body(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
         let (r, c) = (self.rows, self.cols);
         let tps = self.tiles_per_step();
         let step = tile.index() / tps;
@@ -250,19 +287,6 @@ impl TiledProgram for HotSpot {
             ctx.store(dst, i * c, &out)?;
         }
         Ok(())
-    }
-
-    fn output(&self) -> BufferId {
-        // After an even number of iterations the final state is back in A.
-        if self.iterations.is_multiple_of(2) {
-            self.buf_a.expect("setup")
-        } else {
-            self.buf_b.expect("setup")
-        }
-    }
-
-    fn output_shape(&self) -> OutputShape {
-        OutputShape::d2(self.rows, self.cols)
     }
 }
 

@@ -23,6 +23,7 @@
 use radcrit_accel::error::AccelError;
 use radcrit_accel::memory::{BufferId, DeviceMemory};
 use radcrit_accel::program::{TileCtx, TileId, TiledProgram};
+use radcrit_core::exec;
 use radcrit_core::shape::{Coord, OutputShape};
 
 use crate::input::fraction;
@@ -214,6 +215,37 @@ impl TiledProgram for LavaMd {
     }
 
     fn execute_tile(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        // Multiversioned tile body (see `Dgemm::execute_tile`): the
+        // particle-pair force loop — a chain of per-op FMAs — compiles
+        // to fused hardware FMAs on an AVX2 host instead of libm
+        // calls, bit-identical because FMA rounds once everywhere.
+        #[cfg(target_arch = "x86_64")]
+        if exec::active() == exec::Isa::Avx2 {
+            // Safety: `exec::active` only reports Avx2 after runtime
+            // detection confirmed AVX2 + FMA on this host.
+            return unsafe { self.tile_avx2(tile, ctx) };
+        }
+        self.tile_body(tile, ctx)
+    }
+
+    fn output(&self) -> BufferId {
+        self.fv_buf.expect("setup ran")
+    }
+
+    fn output_shape(&self) -> OutputShape {
+        OutputShape::d1(self.grid * self.grid * self.grid * self.particles * 4)
+    }
+}
+
+impl LavaMd {
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tile_avx2(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        self.tile_body(tile, ctx)
+    }
+
+    #[inline(always)]
+    fn tile_body(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
         let p = self.particles;
         let a2 = 2.0 * self.alpha * self.alpha;
         let home = tile.index();
@@ -256,14 +288,6 @@ impl TiledProgram for LavaMd {
             }
         }
         ctx.store(fv_buf, home * p * 4, &fa)
-    }
-
-    fn output(&self) -> BufferId {
-        self.fv_buf.expect("setup ran")
-    }
-
-    fn output_shape(&self) -> OutputShape {
-        OutputShape::d1(self.grid * self.grid * self.grid * self.particles * 4)
     }
 }
 

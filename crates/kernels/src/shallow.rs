@@ -26,6 +26,7 @@
 use radcrit_accel::error::AccelError;
 use radcrit_accel::memory::{BufferId, DeviceMemory};
 use radcrit_accel::program::{TileCtx, TileId, TiledProgram};
+use radcrit_core::exec;
 use radcrit_core::shape::{Coord, OutputShape};
 
 use crate::profile::KernelClass;
@@ -349,6 +350,38 @@ impl TiledProgram for ShallowWater {
     }
 
     fn execute_tile(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        // Multiversioned tile body (see `Dgemm::execute_tile`): the
+        // Lax–Friedrichs flux arithmetic compiles as one AVX2+FMA
+        // region on hosts that have it, bit-identical to the portable
+        // copy.
+        #[cfg(target_arch = "x86_64")]
+        if exec::active() == exec::Isa::Avx2 {
+            // Safety: `exec::active` only reports Avx2 after runtime
+            // detection confirmed AVX2 + FMA on this host.
+            return unsafe { self.tile_avx2(tile, ctx) };
+        }
+        self.tile_body(tile, ctx)
+    }
+
+    fn output(&self) -> BufferId {
+        let bufs = self.bufs.expect("setup ran");
+        bufs.h[self.steps % 2]
+    }
+
+    fn output_shape(&self) -> OutputShape {
+        OutputShape::d2(self.rows, self.cols)
+    }
+}
+
+impl ShallowWater {
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn tile_avx2(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
+        self.tile_body(tile, ctx)
+    }
+
+    #[inline(always)]
+    fn tile_body(&mut self, tile: TileId, ctx: &mut TileCtx<'_>) -> Result<(), AccelError> {
         let (rows, c) = (self.rows, self.cols);
         let (step, row0, nrows) = self.schedule[tile.index()];
         let bufs = self.bufs.expect("setup ran");
@@ -431,15 +464,6 @@ impl TiledProgram for ShallowWater {
             ctx.store(bufs.hv[dst], i * c, &ohv)?;
         }
         Ok(())
-    }
-
-    fn output(&self) -> BufferId {
-        let bufs = self.bufs.expect("setup ran");
-        bufs.h[self.steps % 2]
-    }
-
-    fn output_shape(&self) -> OutputShape {
-        OutputShape::d2(self.rows, self.cols)
     }
 }
 

@@ -192,6 +192,11 @@ pub const METRIC_REFERENCE: &[MetricHelp] = &[
         help: "Event-stream lines merged from one shard's tail, by shard label.",
     },
     MetricHelp {
+        name: "radcrit_simd_isa",
+        kind: "gauge",
+        help: "Constant 1 under an isa label naming the active SIMD executor (scalar, avx2, neon).",
+    },
+    MetricHelp {
         name: "radcrit_snapshot_bytes",
         kind: "gauge",
         help: "Bytes held by the last run's golden-prefix snapshot set.",

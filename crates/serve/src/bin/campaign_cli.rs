@@ -64,7 +64,8 @@ const USAGE: &str =
        [--progress 5] [--summary-out summary.json]
        [--metrics-out metrics.json] [--events-out events.jsonl]
        [--events-sample 1] [--snapshot-stride 0] [--full-execution]
-       [--no-batch] [--trace-out trace.json] [--profile-out profile.json]
+       [--no-batch] [--scalar]
+       [--trace-out trace.json] [--profile-out profile.json]
    radcrit-campaign obs-report EVENTS_FILE
    radcrit-campaign obs-report flamegraph PROFILE_JSON
    radcrit-campaign serve [--addr 127.0.0.1:7117] [--data-dir DIR]
@@ -146,6 +147,7 @@ struct CampaignArgs {
     workers: usize,
     deadline_ms: Option<u64>,
     events_sample: u64,
+    scalar: bool,
 }
 
 impl Default for CampaignArgs {
@@ -167,6 +169,7 @@ impl Default for CampaignArgs {
             workers: 0,
             deadline_ms: None,
             events_sample: 1,
+            scalar: false,
         }
     }
 }
@@ -215,6 +218,7 @@ impl CampaignArgs {
             "--workers" => self.workers = parsed(flag, it)?,
             "--deadline-ms" => self.deadline_ms = Some(parsed(flag, it)?),
             "--events-sample" => self.events_sample = parsed(flag, it)?,
+            "--scalar" => self.scalar = true,
             _ => return Ok(false),
         }
         Ok(true)
@@ -262,6 +266,7 @@ impl CampaignArgs {
             priority: Priority::Normal,
             events_sample: self.events_sample,
             shard: None,
+            force_scalar: self.scalar,
         };
         spec.validate()?;
         Ok(spec)
@@ -325,8 +330,13 @@ fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
 
     let spec = a.campaign.spec()?;
     let campaign = spec.campaign()?;
+    let isa = if spec.force_scalar {
+        radcrit_core::exec::Isa::Scalar
+    } else {
+        radcrit_core::exec::active()
+    };
     eprintln!(
-        "running {} x {} on {} ({} injections, seed {}) ...",
+        "running {} x {} on {} ({} injections, seed {}, simd isa {isa}) ...",
         spec.kernel.name(),
         spec.kernel.input_label(),
         campaign.device.kind(),
@@ -344,6 +354,7 @@ fn cmd_run(argv: &[String]) -> Result<(), ServeError> {
         snapshot_stride: a.snapshot_stride,
         full_execution: a.full_execution,
         no_batch: a.no_batch,
+        force_scalar: spec.force_scalar,
         trace_out: a.trace_out.clone(),
         profile_out: a.profile_out.clone(),
         ..RunOptions::default()

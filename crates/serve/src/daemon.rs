@@ -233,6 +233,14 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, ServeError> {
         abrupt: AtomicBool::new(false),
     });
 
+    // The host's SIMD dispatch is fixed for the daemon's lifetime
+    // (jobs may still pin scalar per-run): log it once and expose it
+    // as a labelled constant gauge for fleet-wide scrapes.
+    let isa = radcrit_core::exec::active();
+    eprintln!("radcrit-serve: listening on {addr}, simd isa {isa}");
+    core.metrics
+        .gauge_set("radcrit_simd_isa", &[("isa", isa.name())], 1.0);
+
     let workers = (0..pool)
         .map(|_| {
             let core = Arc::clone(&core);
@@ -353,6 +361,7 @@ fn run_job(
         metrics: Some(Arc::clone(&job_metrics)),
         full_execution: core.config.full_execution,
         shard: spec.shard,
+        force_scalar: spec.force_scalar,
         ..RunOptions::default()
     };
     let result = campaign

@@ -126,6 +126,11 @@ pub struct JobSpec {
     /// RNG streams stay those of the full campaign, so a shard's records
     /// are bit-identical to the same indices of an unsharded run.
     pub shard: Option<(usize, usize)>,
+    /// Pin the job's SIMD dispatch to the scalar reference executor
+    /// (the `--scalar` CLI flag). Results are bit-identical either way;
+    /// this measures the vectorization speedup and rules it out when
+    /// debugging.
+    pub force_scalar: bool,
 }
 
 impl JobSpec {
@@ -144,6 +149,7 @@ impl JobSpec {
             priority: Priority::Normal,
             events_sample: 1,
             shard: None,
+            force_scalar: false,
         }
     }
 
@@ -176,7 +182,7 @@ impl JobSpec {
                 ",\"injections\":{},\"seed\":{},\"tolerance_pct\":{}",
                 ",\"workers\":{},\"deadline_ms\":{}",
                 ",\"priority\":\"{}\",\"events_sample\":{}",
-                ",\"shard\":{}}}"
+                ",\"shard\":{},\"force_scalar\":{}}}"
             ),
             SPEC_VERSION,
             self.device.wire_name(),
@@ -194,6 +200,7 @@ impl JobSpec {
                 || "null".to_owned(),
                 |(start, end)| format!("[{start},{end}]")
             ),
+            self.force_scalar,
         )
     }
 
@@ -246,6 +253,7 @@ impl JobSpec {
                 .map_err(bad)?
                 .map_or(1, |v| v as u64),
             shard: opt_shard(obj).map_err(bad)?,
+            force_scalar: opt_bool(obj, "force_scalar").map_err(bad)?.unwrap_or(false),
         };
         spec.validate()?;
         Ok(spec)
@@ -347,6 +355,16 @@ fn opt_f64(obj: &[(String, Json)], key: &str) -> Result<Option<f64>, String> {
             .map(Some)
             .map_err(|_| format!("field {key:?} is not a float")),
         Ok(_) => Err(format!("field {key:?} is not a number or null")),
+    }
+}
+
+/// An optional boolean field: absent and `null` both read as `None`.
+fn opt_bool(obj: &[(String, Json)], key: &str) -> Result<Option<bool>, String> {
+    match json::get(obj, key) {
+        Err(_) => Ok(None),
+        Ok(Json::Null) => Ok(None),
+        Ok(Json::Bool(b)) => Ok(Some(*b)),
+        Ok(_) => Err(format!("field {key:?} is not a boolean or null")),
     }
 }
 

@@ -82,6 +82,7 @@ proptest! {
         seed in 0u64..u64::MAX,
         knobs in (tolerances(), 0usize..17, deadlines(), priorities(), 0u64..64),
         shard_entropy in (0usize..3, 0u64..u64::MAX, 0u64..u64::MAX),
+        force_scalar in prop_oneof![Just(false), Just(true)],
     ) {
         let (tolerance_pct, workers, deadline_ms, priority, events_sample) = knobs;
         let shard = shard_for(injections, shard_entropy.0, shard_entropy.1, shard_entropy.2);
@@ -97,6 +98,7 @@ proptest! {
             priority,
             events_sample,
             shard,
+            force_scalar,
         };
         let wire = spec.to_json();
         let parsed = JobSpec::parse(&wire).unwrap();
@@ -121,6 +123,7 @@ fn bad_specs_are_rejected() {
         good.replace("\"shard\":null", "\"shard\":[0,11]"),
         good.replace("\"shard\":null", "\"shard\":[3]"),
         good.replace("\"shard\":null", "\"shard\":\"0-5\""),
+        good.replace("\"force_scalar\":false", "\"force_scalar\":\"yes\""),
     ] {
         assert!(
             matches!(
