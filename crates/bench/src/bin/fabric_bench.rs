@@ -100,6 +100,7 @@ fn run_fleet(base: &std::path::Path, spec: &JobSpec, k: usize) -> (Duration, Str
         heartbeat_interval: Duration::from_millis(250),
         heartbeat_timeout: Duration::from_secs(5),
         summary_out: None,
+        trace_out: None,
     })
     .unwrap_or_else(|e| {
         eprintln!("fabric-bench: cannot start coordinator: {e}");

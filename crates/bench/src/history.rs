@@ -180,6 +180,21 @@ pub fn check_regression(kernel: &str, fresh: f64, baseline: f64) -> Result<(), S
     Ok(())
 }
 
+/// The newest like-for-like history row for `kernel` on `isa` — the
+/// alert engine's throughput baseline. Rows append in chronological
+/// order, so the last match is the newest; rows from other ISAs (or
+/// legacy rows whose ISA parsed as `unknown`) never match, keeping the
+/// PR 9 per-ISA comparability rule intact.
+pub fn latest_like_for_like<'a>(
+    rows: &'a [HistoryRow],
+    kernel: &str,
+    isa: &str,
+) -> Option<&'a HistoryRow> {
+    rows.iter()
+        .rev()
+        .find(|r| r.kernel == kernel && r.isa == isa)
+}
+
 /// Extracts `(kernel, isa, batch_inj_per_sec)` triples from a committed
 /// `BENCH_6.json`-format baseline (one kernel object per line, as
 /// `diff-bench` writes it). Baselines written before the `isa` column
@@ -302,6 +317,56 @@ mod tests {
             ]
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn alert_baseline_lookup_picks_the_newest_like_for_like_isa_row() {
+        let mut old_avx2 = row("dgemm-256x256", 200.0);
+        old_avx2.commit = "old0000".into();
+        let scalar = HistoryRow {
+            isa: "scalar".into(),
+            ..row("dgemm-256x256", 40.0)
+        };
+        let legacy = HistoryRow {
+            isa: "unknown".into(),
+            ..row("dgemm-256x256", 999.0)
+        };
+        let new_avx2 = row("dgemm-256x256", 260.0);
+        let other_kernel = row("lavamd-5", 700.0);
+        let rows = vec![
+            old_avx2,
+            scalar.clone(),
+            legacy,
+            new_avx2.clone(),
+            other_kernel,
+        ];
+
+        // The newest avx2 dgemm row wins — not the older avx2 row, not
+        // the scalar row, not the faster legacy unknown-ISA row.
+        let hit = latest_like_for_like(&rows, "dgemm-256x256", "avx2").unwrap();
+        assert_eq!(hit.batch_inj_per_sec, 260.0);
+        assert_eq!(hit.commit, "abc1234");
+        // Like-for-like means ISA-exact.
+        let hit = latest_like_for_like(&rows, "dgemm-256x256", "scalar").unwrap();
+        assert_eq!(hit.batch_inj_per_sec, 40.0);
+        assert!(latest_like_for_like(&rows, "dgemm-256x256", "neon").is_none());
+        assert!(latest_like_for_like(&rows, "hotspot-64x64x8", "avx2").is_none());
+
+        // The committed BENCH_HISTORY.jsonl itself must satisfy the
+        // lookup: the repo root carries at least one avx2 dgemm row,
+        // and the lookup resolves to the newest one in file order.
+        let committed = read_rows(Path::new(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_HISTORY.jsonl"
+        )));
+        let baseline = latest_like_for_like(&committed, "dgemm-256x256", "avx2")
+            .expect("committed history must hold an avx2 dgemm-256x256 row");
+        assert!(baseline.batch_inj_per_sec > 0.0);
+        let newest_pos = committed
+            .iter()
+            .rposition(|r| r.kernel == "dgemm-256x256" && r.isa == "avx2")
+            .unwrap();
+        assert_eq!(&committed[newest_pos], baseline);
     }
 
     #[test]

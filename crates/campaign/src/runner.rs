@@ -70,7 +70,7 @@ use radcrit_kernels::Workload;
 use radcrit_obs::profile::{self as phase_profile, PhaseId, ProfileCollector};
 use radcrit_obs::{
     AnalyticSample, CriticalityAggregator, Event as ObsEvent, EventBuffer, EventWriter, FieldValue,
-    MetricsRegistry, ProvenanceRecord, Span, TraceRecorder,
+    MetricsRegistry, ProvenanceRecord, Span, TraceContext, TraceRecorder,
 };
 
 use crate::checkpoint::CheckpointWriter;
@@ -179,6 +179,17 @@ pub struct RunOptions {
     /// when debugging. The pin is process-wide while the run lasts, so
     /// worker threads inherit it.
     pub force_scalar: bool,
+    /// Distributed-trace context (campaign id, shard ordinal, parent
+    /// span) stamped onto every recorded span and the trace metadata —
+    /// set by a daemon running one shard of a federated campaign so the
+    /// coordinator can merge worker traces into one fleet timeline.
+    /// `None` leaves the emitted trace byte-identical to before the
+    /// context existed.
+    pub trace_context: Option<TraceContext>,
+    /// Measure trace timestamps from this shared instant instead of the
+    /// recorder's creation time, so all of a daemon's job traces live on
+    /// one process-wide timeline the coordinator can rebase.
+    pub trace_epoch: Option<Instant>,
 }
 
 /// Everything a finished campaign produced.
@@ -467,10 +478,16 @@ impl Campaign {
                 Ok((golden.output, golden.profile, None))
             }
         };
-        let trace = options
-            .trace_out
-            .as_ref()
-            .map(|_| Arc::new(TraceRecorder::new()));
+        let trace = options.trace_out.as_ref().map(|_| {
+            let rec = match options.trace_epoch {
+                Some(epoch) => TraceRecorder::with_epoch(epoch),
+                None => TraceRecorder::new(),
+            };
+            if let Some(ctx) = &options.trace_context {
+                rec.set_context(ctx.clone());
+            }
+            Arc::new(rec)
+        });
         let golden_started = Instant::now();
         let golden_scope = phase_profile::phase(PhaseId::Golden);
         let mut golden_kernel = self.kernel.build(self.seed)?;

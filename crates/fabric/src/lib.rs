@@ -32,4 +32,4 @@ pub mod registry;
 pub use journal::{FabricJournal, ShardRecord, ShardState};
 pub use merge::{IngestOutcome, MergedStream};
 pub use plan::{plan_shards, rendezvous_rank};
-pub use registry::{Worker, WorkerRegistry};
+pub use registry::{ClockEstimate, ClockProbe, Worker, WorkerRegistry};

@@ -7,6 +7,36 @@
 
 use std::time::{Duration, Instant};
 
+/// Clock probes each worker keeps at most; older probes age out. The
+/// best (lowest-RTT) estimate wins, so a short recent history is
+/// enough while staying bounded on week-long campaigns.
+pub const PROBE_CAP: usize = 64;
+
+/// One heartbeat round-trip measurement against a worker's clock: the
+/// coordinator records the probe's RTT and the midpoint-method offset
+/// (worker µs-since-epoch → coordinator µs-since-epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockProbe {
+    /// When the probe completed (coordinator clock).
+    pub at: Instant,
+    /// Round-trip time of the healthz probe.
+    pub rtt: Duration,
+    /// Microseconds to add to a worker timestamp to land it on the
+    /// coordinator timeline: `coordinator_midpoint_us - worker_now_us`.
+    pub offset_us: i64,
+}
+
+/// The registry's best clock-offset estimate for one worker: the
+/// lowest-RTT probe in the trailing history, whose symmetric-delay
+/// error bound is half its RTT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockEstimate {
+    /// Microseconds to add to worker timestamps (may be negative).
+    pub offset_us: i64,
+    /// Error bound of the estimate: the chosen probe's `rtt / 2`.
+    pub error_us: u64,
+}
+
 /// One registered worker daemon.
 #[derive(Debug, Clone)]
 pub struct Worker {
@@ -16,6 +46,10 @@ pub struct Worker {
     pub last_seen: Instant,
     /// Whether the worker is currently considered alive.
     pub alive: bool,
+    /// Recent clock probes, oldest first (bounded by [`PROBE_CAP`]).
+    pub probes: Vec<ClockProbe>,
+    /// Alive→dead transitions this worker has suffered.
+    pub deaths: u64,
 }
 
 /// The coordinator's view of its worker fleet.
@@ -53,8 +87,39 @@ impl WorkerRegistry {
             addr: addr.to_owned(),
             last_seen: now,
             alive: true,
+            probes: Vec::new(),
+            deaths: 0,
         });
         self.workers.len() - 1
+    }
+
+    /// Records one heartbeat clock probe for `addr` (no-op for unknown
+    /// addresses), keeping at most [`PROBE_CAP`] recent probes.
+    pub fn record_probe(&mut self, addr: &str, probe: ClockProbe) {
+        if let Some(w) = self.workers.iter_mut().find(|w| w.addr == addr) {
+            if w.probes.len() >= PROBE_CAP {
+                w.probes.remove(0);
+            }
+            w.probes.push(probe);
+        }
+    }
+
+    /// The best clock-offset estimate for `addr`: the lowest-RTT probe
+    /// in the trailing history (symmetric-delay midpoint method, error
+    /// bound RTT/2). `None` until a probe has been recorded.
+    pub fn clock_offset(&self, addr: &str) -> Option<ClockEstimate> {
+        let w = self.workers.iter().find(|w| w.addr == addr)?;
+        let best = w.probes.iter().min_by_key(|p| p.rtt)?;
+        Some(ClockEstimate {
+            offset_us: best.offset_us,
+            error_us: (best.rtt.as_micros() / 2) as u64,
+        })
+    }
+
+    /// Cumulative alive→dead transitions across the whole fleet — the
+    /// input of the `worker-flapping` alert rule.
+    pub fn deaths_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.deaths).sum()
     }
 
     /// Records a successful heartbeat for `addr` (no-op for unknown
@@ -70,11 +135,19 @@ impl WorkerRegistry {
     }
 
     /// Declares a worker dead immediately (a connection actively
-    /// refused is stronger evidence than a missed heartbeat).
-    pub fn mark_dead(&mut self, addr: &str) {
+    /// refused is stronger evidence than a missed heartbeat). Returns
+    /// whether this call flipped a live worker — `false` for unknown
+    /// addresses and workers already struck, so callers can act on the
+    /// death edge exactly once.
+    pub fn mark_dead(&mut self, addr: &str) -> bool {
         if let Some(w) = self.workers.iter_mut().find(|w| w.addr == addr) {
-            w.alive = false;
+            if w.alive {
+                w.deaths += 1;
+                w.alive = false;
+                return true;
+            }
         }
+        false
     }
 
     /// Sweeps the fleet at time `now`: every live worker whose last
@@ -86,6 +159,7 @@ impl WorkerRegistry {
         for w in &mut self.workers {
             if w.alive && now.duration_since(w.last_seen) > self.timeout {
                 w.alive = false;
+                w.deaths += 1;
                 newly_dead.push(w.addr.clone());
             }
         }
@@ -161,6 +235,64 @@ mod tests {
         reg.register("a:1", t0 + Duration::from_secs(1));
         assert!(reg.is_alive("a:1"), "explicit re-registration revives");
         assert_eq!(reg.workers().len(), 1);
+    }
+
+    #[test]
+    fn clock_probes_prefer_the_lowest_rtt_and_stay_bounded() {
+        let t0 = Instant::now();
+        let mut reg = WorkerRegistry::new(T);
+        reg.register("a:1", t0);
+        assert_eq!(reg.clock_offset("a:1"), None, "no probe yet");
+        reg.record_probe(
+            "a:1",
+            ClockProbe {
+                at: t0,
+                rtt: Duration::from_micros(900),
+                offset_us: 5_000,
+            },
+        );
+        reg.record_probe(
+            "a:1",
+            ClockProbe {
+                at: t0 + Duration::from_secs(1),
+                rtt: Duration::from_micros(200),
+                offset_us: 4_700,
+            },
+        );
+        let est = reg.clock_offset("a:1").unwrap();
+        assert_eq!(est.offset_us, 4_700, "the lowest-RTT probe wins");
+        assert_eq!(est.error_us, 100, "error bound is RTT/2");
+        for i in 0..(PROBE_CAP * 2) {
+            reg.record_probe(
+                "a:1",
+                ClockProbe {
+                    at: t0,
+                    rtt: Duration::from_millis(10),
+                    offset_us: i as i64,
+                },
+            );
+        }
+        assert_eq!(reg.workers()[0].probes.len(), PROBE_CAP);
+        assert!(reg.clock_offset("nope").is_none());
+    }
+
+    #[test]
+    fn deaths_accumulate_once_per_transition() {
+        let t0 = Instant::now();
+        let mut reg = WorkerRegistry::new(T);
+        reg.register("a:1", t0);
+        reg.register("b:2", t0);
+        assert_eq!(reg.deaths_total(), 0);
+        reg.mark_dead("a:1");
+        reg.mark_dead("a:1"); // already dead: not a second transition
+        assert_eq!(reg.deaths_total(), 1);
+        let dead = reg.sweep_at(t0 + Duration::from_secs(10));
+        assert_eq!(dead, ["b:2"]);
+        assert_eq!(reg.deaths_total(), 2);
+        // Revival and a second death count again.
+        reg.register("a:1", t0 + Duration::from_secs(10));
+        reg.mark_dead("a:1");
+        assert_eq!(reg.deaths_total(), 3);
     }
 
     #[test]

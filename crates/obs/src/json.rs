@@ -202,6 +202,28 @@ pub fn parse_line(line: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Renders a parsed value back to JSON source text. Numbers re-emit
+/// their original source text, so `parse_line ∘ render` is lossless.
+pub fn render(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_owned(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => n.clone(),
+        Json::Str(s) => format!("\"{}\"", escape(s)),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", escape(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
 /// Escapes a string for embedding between JSON double quotes.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -412,6 +434,18 @@ mod tests {
         let line = format!("{{\"s\":\"{}\"}}", escape(s));
         let v = parse_line(&line).unwrap();
         assert_eq!(get_str(as_obj(&v).unwrap(), "s").unwrap(), s);
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        for src in [
+            r#"{"a":1,"b":"x","c":true,"d":null,"e":-2.5,"f":[1,"two",{}]}"#,
+            r#"[{"nested":{"deep":[[]]}},0.1,inf]"#,
+        ] {
+            let v = parse_line(src).unwrap();
+            assert_eq!(render(&v), src);
+            assert_eq!(parse_line(&render(&v)).unwrap(), v);
+        }
     }
 
     #[test]

@@ -38,6 +38,13 @@
 //! * [`trace`] — wall-clock phase timelines ([`trace::TraceRecorder`])
 //!   exported as Chrome trace-event JSON for `chrome://tracing` /
 //!   Perfetto.
+//! * [`alerts`] — a campaign health rules evaluator
+//!   ([`alerts::AlertEngine`]): typed alerts (worker-flapping,
+//!   redispatch-storm, shard-stalled, throughput-below-baseline,
+//!   queue-saturated, FIT-CI-stalled) with severities, firing/resolved
+//!   edges as structured JSONL log lines, and
+//!   `radcrit_alert_*` metric export; time is injected so every rule
+//!   is deterministic under test.
 //! * [`profile`] — a hierarchical scoped-phase profiler
 //!   ([`profile::PhaseId`] registry, per-thread lock-free accumulators,
 //!   merged [`profile::ProfileTree`]s) with JSON and collapsed-stack
@@ -52,6 +59,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod alerts;
 pub mod analytics;
 pub mod event;
 pub mod hist;
@@ -62,11 +70,12 @@ pub mod provenance;
 pub mod trace;
 pub mod writer;
 
+pub use alerts::{AlertConfig, AlertEngine, AlertEvent, AlertRule, HealthSample, Severity};
 pub use analytics::{AnalyticSample, CriticalityAggregator};
 pub use event::{Event, EventBuffer, FieldValue, Span};
 pub use hist::Log2Histogram;
 pub use metrics::{MetricHelp, MetricsRegistry, MetricsSnapshot};
 pub use profile::{PhaseId, ProfileCollector, ProfileNode, ProfileTree};
 pub use provenance::{ProvenanceBreakdown, ProvenanceRecord};
-pub use trace::TraceRecorder;
+pub use trace::{FleetTrace, TraceContext, TraceRecorder};
 pub use writer::EventWriter;

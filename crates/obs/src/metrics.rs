@@ -34,6 +34,16 @@ pub struct MetricHelp {
 /// registers, sorted by name.
 pub const METRIC_REFERENCE: &[MetricHelp] = &[
     MetricHelp {
+        name: "radcrit_alert_active",
+        kind: "gauge",
+        help: "Whether the alert rule named by the rule label is currently firing (1) or ok (0).",
+    },
+    MetricHelp {
+        name: "radcrit_alerts_fired_total",
+        kind: "counter",
+        help: "Firing edges of the alert rule named by the rule label since the evaluator started.",
+    },
+    MetricHelp {
         name: "radcrit_bucket_advance_tiles_total",
         kind: "counter",
         help:
@@ -205,6 +215,12 @@ pub const METRIC_REFERENCE: &[MetricHelp] = &[
         name: "radcrit_snapshot_skipped_tiles_total",
         kind: "counter",
         help: "Snapshot captures skipped because the per-run byte budget was exhausted.",
+    },
+    MetricHelp {
+        name: "radcrit_trace_clock_offset_us",
+        kind: "gauge",
+        help: "Estimated worker-clock offset in microseconds (midpoint method over the best \
+               heartbeat probe), by worker label.",
     },
     MetricHelp {
         name: "radcrit_trace_dropped_spans_total",

@@ -12,7 +12,7 @@
 //! radcrit-campaign cancel  --addr A JOB
 //! radcrit-campaign shutdown --addr A
 //! radcrit-campaign coordinate --addr A --data-dir D --worker W [--worker W ...]
-//!     [--shards K] <campaign flags> [--summary-out FILE]
+//!     [--shards K] <campaign flags> [--summary-out FILE] [--trace-out FILE]
 //! radcrit-campaign register --addr COORD WORKER
 //! radcrit-campaign shards  --addr COORD
 //! ```
@@ -78,7 +78,7 @@ const USAGE: &str =
    radcrit-campaign shutdown --addr HOST:PORT
    radcrit-campaign coordinate --addr 127.0.0.1:7118 --data-dir DIR
        --worker HOST:PORT [--worker HOST:PORT ...] [--shards K]
-       <campaign flags> [--summary-out FILE]
+       <campaign flags> [--summary-out FILE] [--trace-out FILE]
        [--heartbeat-ms 500] [--heartbeat-timeout-ms 5000]
    radcrit-campaign register --addr COORD_HOST:PORT WORKER_HOST:PORT
    radcrit-campaign shards --addr COORD_HOST:PORT
@@ -267,6 +267,7 @@ impl CampaignArgs {
             events_sample: self.events_sample,
             shard: None,
             force_scalar: self.scalar,
+            trace: None,
         };
         spec.validate()?;
         Ok(spec)
@@ -717,6 +718,7 @@ fn cmd_coordinate(argv: &[String]) -> Result<(), ServeError> {
     let mut workers: Vec<String> = Vec::new();
     let mut shards = 0usize;
     let mut summary_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut heartbeat_ms = 500u64;
     let mut heartbeat_timeout_ms = 5000u64;
     let mut it = argv.iter().cloned();
@@ -730,6 +732,7 @@ fn cmd_coordinate(argv: &[String]) -> Result<(), ServeError> {
             "--worker" => workers.push(value(&flag, &mut it)?),
             "--shards" => shards = parsed(&flag, &mut it)?,
             "--summary-out" => summary_out = Some(PathBuf::from(value(&flag, &mut it)?)),
+            "--trace-out" => trace_out = Some(PathBuf::from(value(&flag, &mut it)?)),
             "--heartbeat-ms" => heartbeat_ms = parsed(&flag, &mut it)?,
             "--heartbeat-timeout-ms" => heartbeat_timeout_ms = parsed(&flag, &mut it)?,
             other => return Err(config(format!("unknown flag {other}"))),
@@ -754,6 +757,7 @@ fn cmd_coordinate(argv: &[String]) -> Result<(), ServeError> {
         heartbeat_interval: Duration::from_millis(heartbeat_ms),
         heartbeat_timeout: Duration::from_millis(heartbeat_timeout_ms),
         summary_out: summary_out.clone(),
+        trace_out: trace_out.clone(),
     };
     let handle = coord::start(cfg)?;
     eprintln!(
@@ -773,6 +777,9 @@ fn cmd_coordinate(argv: &[String]) -> Result<(), ServeError> {
     std::io::stdout().flush().ok();
     if let Some(path) = summary_out {
         eprintln!("merged summary written to {}", path.display());
+    }
+    if let Some(path) = trace_out {
+        eprintln!("fleet trace written to {}", path.display());
     }
     Ok(())
 }

@@ -587,6 +587,27 @@ impl Client {
         Ok(self.expect_ok("GET", "/metrics", None)?.body)
     }
 
+    /// Fetches the alert engine's current state (`GET /alerts`) — the
+    /// rules table with firing/ok state, both daemons and coordinators
+    /// serve it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn alerts(&self) -> Result<String, ServeError> {
+        Ok(self.expect_ok("GET", "/alerts", None)?.body)
+    }
+
+    /// Fetches a coordinator's merged fleet-wide Chrome trace
+    /// (`GET /trace`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn fleet_trace(&self) -> Result<String, ServeError> {
+        Ok(self.expect_ok("GET", "/trace", None)?.body)
+    }
+
     /// Liveness probe; returns the `/healthz` JSON body.
     ///
     /// # Errors

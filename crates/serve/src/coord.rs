@@ -48,10 +48,13 @@ use std::time::{Duration, Instant};
 use radcrit_campaign::golden::GoldenKey;
 use radcrit_campaign::CampaignSummary;
 use radcrit_fabric::{
-    plan_shards, rendezvous_rank, FabricJournal, IngestOutcome, MergedStream, ShardRecord,
-    ShardState, WorkerRegistry,
+    plan_shards, rendezvous_rank, ClockProbe, FabricJournal, IngestOutcome, MergedStream,
+    ShardRecord, ShardState, WorkerRegistry,
 };
-use radcrit_obs::{json, MetricsRegistry, MetricsSnapshot};
+use radcrit_obs::{
+    json, AlertConfig, AlertEngine, FleetTrace, HealthSample, MetricsRegistry, MetricsSnapshot,
+    TraceContext, TraceRecorder,
+};
 
 use crate::client::Client;
 use crate::error::ServeError;
@@ -79,6 +82,9 @@ pub struct CoordinatorConfig {
     pub heartbeat_timeout: Duration,
     /// Where to write the merged canonical summary once complete.
     pub summary_out: Option<PathBuf>,
+    /// Where to write the merged fleet-wide Chrome trace once complete
+    /// (the same artifact `GET /trace` serves live).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl CoordinatorConfig {
@@ -94,6 +100,7 @@ impl CoordinatorConfig {
             heartbeat_interval: Duration::from_millis(500),
             heartbeat_timeout: Duration::from_secs(5),
             summary_out: None,
+            trace_out: None,
         }
     }
 }
@@ -108,6 +115,10 @@ struct ShardSlot {
     worker: String,
     /// Job id on that worker (empty until dispatched).
     job: String,
+    /// Superseded `(worker, job)` assignments, oldest first — the fleet
+    /// trace still *tries* to fetch a dead worker's partial timeline,
+    /// recording it as skipped when the daemon is gone.
+    prior: Vec<(String, String)>,
     state: SlotState,
     /// Dispatch generation; stale tailer endings are recognised by it.
     generation: u64,
@@ -164,6 +175,16 @@ struct Core {
     stop: AtomicBool,
     /// Every shard completed and the merged summary written.
     done: AtomicBool,
+    /// The coordinator's trace epoch (`ts = 0` of the fleet timeline);
+    /// worker timestamps are rebased onto it via heartbeat clock probes.
+    epoch: Instant,
+    /// The coordinator's own span timeline: dispatch/redispatch spans,
+    /// worker deaths, shard completions and the campaign umbrella.
+    trace: TraceRecorder,
+    /// Fleet health rules, fed one sample per heartbeat sweep and
+    /// evaluated lazily by `GET /alerts` so alerts resolve while the
+    /// HTTP plane outlives the finished campaign.
+    alerts: Mutex<AlertEngine>,
 }
 
 /// A running coordinator: its address plus the thread handles to join.
@@ -279,6 +300,10 @@ pub fn start(config: CoordinatorConfig) -> Result<CoordinatorHandle, ServeError>
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    // The alert window must outlast one heartbeat death-and-recovery
+    // cycle (sweep, re-dispatch, tail merge) so a single kill reads as
+    // fire-then-resolve rather than a metastable flap.
+    let alert_window = (config.heartbeat_timeout * 2).max(Duration::from_secs(2));
     let core = Arc::new(Core {
         campaign_json,
         golden_key,
@@ -291,6 +316,12 @@ pub fn start(config: CoordinatorConfig) -> Result<CoordinatorHandle, ServeError>
         metrics: Arc::new(MetricsRegistry::new()),
         stop: AtomicBool::new(false),
         done: AtomicBool::new(false),
+        epoch: now,
+        trace: TraceRecorder::with_epoch(now),
+        alerts: Mutex::new(AlertEngine::new(AlertConfig {
+            window: alert_window,
+            ..AlertConfig::default()
+        })),
         config,
     });
 
@@ -325,6 +356,7 @@ fn build_slots(total: u64, shard_count: usize, replayed: &[ShardRecord]) -> Vec<
             end,
             worker: String::new(),
             job: String::new(),
+            prior: Vec::new(),
             state: SlotState::Pending,
             generation: 0,
             tailing: false,
@@ -357,6 +389,14 @@ fn build_slots(total: u64, shard_count: usize, replayed: &[ShardRecord]) -> Vec<
 // ---------------------------------------------------------------------
 
 const ORCHESTRATE_TICK: Duration = Duration::from_millis(25);
+
+/// The deterministic span id of shard `shard`'s `generation`-th
+/// dispatch — the parentage edge workers stamp onto their spans. No
+/// clocks or global counters, so re-runs of the same campaign mint the
+/// same ids.
+fn parent_span_id(shard: usize, generation: u64) -> u64 {
+    shard as u64 * 1000 + generation
+}
 
 fn orchestrate(core: &Arc<Core>) -> Result<(), ServeError> {
     let result = orchestrate_loop(core);
@@ -412,10 +452,16 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) -> Result<(), ServeE
             .collect()
     };
     for shard in pending {
-        let (start, end, prior_worker, had_assignment) = {
+        let (start, end, prior_worker, had_assignment, generation) = {
             let slots = core.slots.lock().expect("slots lock");
             let s = &slots[shard];
-            (s.start, s.end, s.worker.clone(), !s.job.is_empty())
+            (
+                s.start,
+                s.end,
+                s.worker.clone(),
+                !s.job.is_empty(),
+                s.generation,
+            )
         };
         let resume_from = {
             let merged = core.merged.lock().expect("merged lock");
@@ -444,10 +490,20 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) -> Result<(), ServeE
             .collect();
         let mut spec = JobSpec::parse(&core.campaign_json).expect("own canonical spec");
         spec.shard = Some((resume_from as usize, end as usize));
+        // The dispatch span's id is deterministic (shard and dispatch
+        // generation, no clocks or counters) so two runs of the same
+        // campaign mint identical parentage edges.
+        let span_id = parent_span_id(shard, generation + 1);
+        spec.trace = Some(TraceContext {
+            campaign_id: core.golden_key.clone(),
+            shard: shard as u64,
+            parent_span: span_id,
+        });
         for worker in candidates {
             let client = Client::new(worker.clone())
                 .with_connect_timeout(Duration::from_secs(2))
                 .with_read_timeout(Duration::from_secs(10));
+            let submit_started = Instant::now();
             match client.submit(&spec) {
                 Ok(job) => {
                     let state = if had_assignment {
@@ -475,9 +531,25 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) -> Result<(), ServeE
                         &[],
                         1,
                     );
+                    core.trace.record(
+                        match state {
+                            ShardState::Redispatched => "redispatch",
+                            _ => "dispatch",
+                        },
+                        shard as u64,
+                        submit_started,
+                        &[
+                            ("shard", shard as u64),
+                            ("span_id", span_id),
+                            ("resume_from", resume_from),
+                        ],
+                    );
                     let generation = {
                         let mut slots = core.slots.lock().expect("slots lock");
                         let s = &mut slots[shard];
+                        if !s.job.is_empty() {
+                            s.prior.push((s.worker.clone(), s.job.clone()));
+                        }
                         s.worker = worker.clone();
                         s.job = job.clone();
                         s.state = SlotState::Dispatched;
@@ -491,10 +563,15 @@ fn dispatch_pending(core: &Arc<Core>, tx: &Sender<TailEnd>) -> Result<(), ServeE
                 }
                 Err(ServeError::Unreachable(_)) => {
                     // Can't even connect: dead now, try the next rank.
-                    core.registry
+                    let flipped = core
+                        .registry
                         .lock()
                         .expect("registry lock")
                         .mark_dead(worker);
+                    if flipped {
+                        core.trace
+                            .record(&format!("worker-dead {worker}"), 0, submit_started, &[]);
+                    }
                 }
                 Err(ServeError::Io(_)) => {
                     // The connection was established, so the worker may
@@ -605,10 +682,15 @@ fn drain_tail_endings(core: &Arc<Core>, rx: &Receiver<TailEnd>) -> Result<(), Se
         // (cancelled / failed). Both paths re-dispatch the remainder;
         // a dead worker is also struck from the fleet immediately.
         if end.result.is_err() {
-            core.registry
+            let flipped = core
+                .registry
                 .lock()
                 .expect("registry lock")
                 .mark_dead(&worker);
+            if flipped {
+                core.trace
+                    .record(&format!("worker-dead {worker}"), 0, Instant::now(), &[]);
+            }
         }
         let mut slots = core.slots.lock().expect("slots lock");
         slots[end.shard].state = SlotState::Pending;
@@ -619,6 +701,11 @@ fn drain_tail_endings(core: &Arc<Core>, rx: &Receiver<TailEnd>) -> Result<(), Se
 /// Probes every registered worker's `/healthz`, then sweeps the fleet:
 /// newly dead workers get their incomplete shards re-dispatched (by
 /// flipping them pending; the next planner pass does the rest).
+///
+/// Each successful probe doubles as a clock measurement: the worker's
+/// body reports `now_us` on its own trace timeline, and the midpoint
+/// method (`coordinator_midpoint - worker_now`, error bound RTT/2)
+/// yields the offset the fleet trace rebases that worker's spans by.
 fn heartbeat(core: &Arc<Core>) {
     let workers: Vec<String> = {
         let registry = core.registry.lock().expect("registry lock");
@@ -628,19 +715,47 @@ fn heartbeat(core: &Arc<Core>) {
         let client = Client::new(worker.clone())
             .with_connect_timeout(Duration::from_millis(500))
             .with_read_timeout(Duration::from_millis(500));
-        if client.healthz().is_ok() {
-            core.registry
-                .lock()
-                .expect("registry lock")
-                .mark_seen(worker, Instant::now());
+        let t0 = Instant::now();
+        if let Ok(body) = client.healthz() {
+            let t1 = Instant::now();
+            let mut registry = core.registry.lock().expect("registry lock");
+            registry.mark_seen(worker, t1);
+            let rtt = t1.duration_since(t0);
+            // Legacy daemons answer without `now_us`; they stay alive
+            // but unsynchronized (the fleet trace uses offset 0).
+            if let Some(worker_now_us) = parse_now_us(&body) {
+                let midpoint_us = (t0 + rtt / 2)
+                    .checked_duration_since(core.epoch)
+                    .map_or(0, |d| d.as_micros() as i64);
+                let offset_us = midpoint_us - worker_now_us;
+                registry.record_probe(
+                    worker,
+                    ClockProbe {
+                        at: t1,
+                        rtt,
+                        offset_us,
+                    },
+                );
+                drop(registry);
+                core.metrics.gauge_set(
+                    "radcrit_trace_clock_offset_us",
+                    &[("worker", worker)],
+                    offset_us as f64,
+                );
+            }
         }
     }
+    let sweep_started = Instant::now();
     let newly_dead = core
         .registry
         .lock()
         .expect("registry lock")
-        .sweep_at(Instant::now());
+        .sweep_at(sweep_started);
     if !newly_dead.is_empty() {
+        for worker in &newly_dead {
+            core.trace
+                .record(&format!("worker-dead {worker}"), 0, sweep_started, &[]);
+        }
         let mut slots = core.slots.lock().expect("slots lock");
         for s in slots.iter_mut() {
             if s.state == SlotState::Dispatched && newly_dead.contains(&s.worker) {
@@ -656,6 +771,52 @@ fn heartbeat(core: &Arc<Core>) {
         &[],
         core.registry.lock().expect("registry lock").alive_count() as f64,
     );
+    evaluate_alerts(core);
+}
+
+/// The worker's `now_us` trace-timeline clock from a `/healthz` body.
+fn parse_now_us(body: &str) -> Option<i64> {
+    let v = json::parse_line(body.trim()).ok()?;
+    let obj = json::as_obj(&v).ok()?;
+    json::get_u64(obj, "now_us").ok().map(|n| n as i64)
+}
+
+/// Feeds the fleet health rules one sample: cumulative worker deaths
+/// and redispatches, merged coverage and the FIT confidence interval.
+/// Firing/resolved edges land on stderr as structured JSONL lines and
+/// on `/metrics` as `radcrit_alert_*` series.
+fn evaluate_alerts(core: &Arc<Core>) {
+    let deaths = core.registry.lock().expect("registry lock").deaths_total();
+    let redispatches: u64 = {
+        let slots = core.slots.lock().expect("slots lock");
+        slots.iter().map(|s| s.redispatches).sum()
+    };
+    let (covered, ci_width, folded) = {
+        let merged = core.merged.lock().expect("merged lock");
+        (
+            merged.covered_in(0, core.total),
+            merged.aggregator().fit_ci_width(),
+            merged.aggregator().injections(),
+        )
+    };
+    let sample = HealthSample {
+        worker_deaths_total: deaths,
+        redispatches_total: redispatches,
+        covered,
+        total: core.total,
+        done: core.done.load(Ordering::SeqCst),
+        queue_depth: None,
+        fit_ci_width: (folded > 0).then_some(ci_width),
+        injections_folded: folded,
+    };
+    let mut engine = core.alerts.lock().expect("alerts lock");
+    let edges = engine.observe(Instant::now(), sample);
+    engine.export_gauges(&core.metrics);
+    drop(engine);
+    for edge in &edges {
+        eprintln!("{}", edge.to_json_line());
+    }
+    radcrit_obs::alerts::export_edges(&edges, &core.metrics);
 }
 
 /// Journals and records completion for shards whose whole range became
@@ -730,6 +891,12 @@ fn mark_completed(core: &Arc<Core>, shard: usize) -> Result<(), ServeError> {
     }
     core.metrics
         .counter_add("radcrit_fabric_shards_completed_total", &[], 1);
+    core.trace.record(
+        "shard-complete",
+        shard as u64,
+        Instant::now(),
+        &[("shard", shard as u64)],
+    );
     if !worker.is_empty() && !job.is_empty() {
         let client = Client::new(worker)
             .with_connect_timeout(Duration::from_secs(2))
@@ -761,6 +928,20 @@ fn finish_if_done(core: &Arc<Core>) -> Result<bool, ServeError> {
     };
     if let Some(path) = &core.config.summary_out {
         std::fs::write(path, format!("{}\n", summary.to_json()))
+            .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+    }
+    // The campaign umbrella span closes the coordinator's own track
+    // (epoch → now), then the merged fleet timeline is materialized
+    // while the workers still hold their job traces.
+    let shards = core.slots.lock().expect("slots lock").len() as u64;
+    core.trace.record(
+        "campaign",
+        0,
+        core.epoch,
+        &[("injections", core.total), ("shards", shards)],
+    );
+    if let Some(path) = &core.config.trace_out {
+        std::fs::write(path, build_fleet_trace(core))
             .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
     }
     core.done.store(true, Ordering::SeqCst);
@@ -845,6 +1026,11 @@ fn route(core: &Arc<Core>, stream: &mut TcpStream, req: &Request) -> Result<(), 
             crate::dashboard::DASHBOARD_HTML,
         ),
         ("GET", ["metrics"]) => get_metrics(core, stream),
+        ("GET", ["trace"]) => {
+            let body = build_fleet_trace(core);
+            respond(stream, 200, "application/json", &body)
+        }
+        ("GET", ["alerts"]) => get_alerts(core, stream),
         ("GET", ["healthz"]) => get_healthz(core, stream),
         ("POST", ["shutdown"]) => {
             core.stop.store(true, Ordering::SeqCst);
@@ -1044,6 +1230,100 @@ fn get_metrics(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeErro
         "text/plain; version=0.0.4",
         &core.metrics.snapshot().to_prometheus(),
     )
+}
+
+/// Builds the merged fleet-wide Chrome trace: the coordinator's own
+/// track (pid 1, offset 0) plus every shard job's trace fetched from
+/// its worker (pid 2+registration ordinal), each rebased onto the
+/// coordinator clock by that worker's best heartbeat probe. A dead or
+/// torn source is recorded in `skipped_sources` without dropping the
+/// rest of the timeline.
+fn build_fleet_trace(core: &Arc<Core>) -> String {
+    let mut fleet = FleetTrace::new();
+    fleet.set_metadata(
+        "campaign_id",
+        format!("\"{}\"", json::escape(&core.golden_key)),
+    );
+    fleet.set_metadata("injections", core.total.to_string());
+    fleet.add_process(1, "coordinator");
+    let own = core.trace.to_chrome_json(&[]);
+    if let Err(e) = fleet.add_trace(1, &own, 0) {
+        fleet.skip("coordinator", &e);
+    }
+    // Worker pids follow registration order; the offset is the lowest-
+    // RTT heartbeat probe's midpoint estimate (0 until one lands).
+    let workers: Vec<(String, i64)> = {
+        let registry = core.registry.lock().expect("registry lock");
+        registry
+            .workers()
+            .iter()
+            .map(|w| {
+                (
+                    w.addr.clone(),
+                    registry.clock_offset(&w.addr).map_or(0, |e| e.offset_us),
+                )
+            })
+            .collect()
+    };
+    for (i, (addr, _)) in workers.iter().enumerate() {
+        fleet.add_process(2 + i as u64, &format!("worker {addr}"));
+    }
+    // Every assignment each shard ever had, current last — the fetches
+    // happen with no core lock held (workers are remote HTTP calls).
+    let sources: Vec<(String, String)> = {
+        let slots = core.slots.lock().expect("slots lock");
+        slots
+            .iter()
+            .flat_map(|s| {
+                s.prior
+                    .iter()
+                    .cloned()
+                    .chain((!s.job.is_empty()).then(|| (s.worker.clone(), s.job.clone())))
+            })
+            .collect()
+    };
+    for (worker, job) in &sources {
+        let Some(pid) = workers
+            .iter()
+            .position(|(addr, _)| addr == worker)
+            .map(|i| 2 + i as u64)
+        else {
+            fleet.skip(&format!("{worker}/{job}"), "worker not registered");
+            continue;
+        };
+        let offset = workers
+            .iter()
+            .find(|(addr, _)| addr == worker)
+            .map_or(0, |&(_, off)| off);
+        let client = Client::new(worker.clone())
+            .with_connect_timeout(Duration::from_secs(1))
+            .with_read_timeout(Duration::from_secs(5));
+        match client.trace(job) {
+            Ok(doc) => {
+                if let Err(e) = fleet.add_trace(pid, &doc, offset) {
+                    fleet.skip(&format!("{worker}/{job}"), &e);
+                }
+            }
+            Err(e) => fleet.skip(&format!("{worker}/{job}"), &e.to_string()),
+        }
+    }
+    fleet.to_chrome_json()
+}
+
+/// The alert engine's current state, evaluated lazily at request time
+/// so a fired alert resolves once its window drains even after the
+/// campaign stops sweeping.
+fn get_alerts(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    let mut engine = core.alerts.lock().expect("alerts lock");
+    let edges = engine.evaluate_at(Instant::now());
+    engine.export_gauges(&core.metrics);
+    let body = engine.to_json();
+    drop(engine);
+    for edge in &edges {
+        eprintln!("{}", edge.to_json_line());
+    }
+    radcrit_obs::alerts::export_edges(&edges, &core.metrics);
+    respond(stream, 200, "application/json", &body)
 }
 
 fn get_healthz(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {

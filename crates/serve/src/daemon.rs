@@ -48,11 +48,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use radcrit_campaign::golden::GoldenCache;
 use radcrit_campaign::{Campaign, RunOptions};
-use radcrit_obs::MetricsRegistry;
+use radcrit_obs::{AlertConfig, AlertEngine, HealthSample, MetricsRegistry};
 
 use crate::error::ServeError;
 use crate::http::{read_request, respond, respond_chunked, Request};
@@ -124,6 +124,15 @@ struct Core {
     /// Testing hook: pretend the process died — skip terminal journal
     /// writes and result files for in-flight jobs.
     abrupt: AtomicBool,
+    /// Process-wide trace epoch: every job trace measures its
+    /// timestamps from this instant, and `/healthz` reports `now_us`
+    /// on the same timeline so a coordinator can estimate this clock's
+    /// offset from heartbeat round-trips.
+    epoch: Instant,
+    /// Daemon-local health rules (queue saturation is the daemon-level
+    /// signal; fleet rules live on the coordinator). Evaluated lazily
+    /// at `/alerts` and `/metrics` scrape time.
+    alerts: Mutex<AlertEngine>,
 }
 
 /// A running daemon: its address plus the thread handles to join.
@@ -218,6 +227,10 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, ServeError> {
     listener.set_nonblocking(true)?;
 
     let pool = config.pool.max(1);
+    let alerts = AlertEngine::new(AlertConfig {
+        queue_capacity: Some(config.queue_depth as u64),
+        ..AlertConfig::default()
+    });
     let core = Arc::new(Core {
         cache: Arc::new(GoldenCache::new(config.cache_bytes)),
         config,
@@ -231,6 +244,8 @@ pub fn start(config: DaemonConfig) -> Result<DaemonHandle, ServeError> {
         draining: AtomicBool::new(false),
         stop: AtomicBool::new(false),
         abrupt: AtomicBool::new(false),
+        epoch: Instant::now(),
+        alerts: Mutex::new(alerts),
     });
 
     // The host's SIMD dispatch is fixed for the daemon's lifetime
@@ -355,6 +370,8 @@ fn run_job(
         events_out: Some(job_dir.join("events.jsonl")),
         events_sample: spec.events_sample,
         trace_out: Some(job_dir.join("trace.json")),
+        trace_context: spec.trace.clone(),
+        trace_epoch: Some(core.epoch),
         profile_out: Some(job_dir.join("profile.json")),
         golden_cache: Some(Arc::clone(&core.cache)),
         cancel: Some(Arc::clone(cancel)),
@@ -455,9 +472,25 @@ fn route(core: &Arc<Core>, stream: &mut TcpStream, req: &Request) -> Result<(), 
             crate::dashboard::DASHBOARD_HTML,
         ),
         ("GET", ["metrics"]) => get_metrics(core, stream),
+        ("GET", ["alerts"]) => get_alerts(core, stream),
         ("GET", ["healthz"]) => {
+            // Enriched liveness: `"ok":true` stays the first key so
+            // plain-text consumers (`curl | grep '"ok":true'`) keep
+            // working; `now_us` is the daemon's trace-epoch clock the
+            // coordinator probes for offset estimation.
+            let busy = core.busy.load(Ordering::SeqCst);
+            let pool = core.config.pool.max(1);
+            // The daemon's trace epoch is its start time, so uptime and
+            // the trace-timeline clock are the same number.
+            let now_us = core.epoch.elapsed().as_micros();
             let body = format!(
-                "{{\"ok\":true,\"outstanding\":{},\"draining\":{}}}",
+                "{{\"ok\":true,\"version\":\"{}\",\"isa\":\"{}\",\"uptime_us\":{now_us},\
+                 \"now_us\":{now_us},\"workers_busy\":{busy},\"workers_idle\":{},\
+                 \"queue_depth\":{},\"outstanding\":{},\"draining\":{}}}",
+                env!("CARGO_PKG_VERSION"),
+                radcrit_core::exec::active().name(),
+                pool.saturating_sub(busy),
+                core.queue.len(),
                 core.outstanding.load(Ordering::SeqCst),
                 core.draining.load(Ordering::SeqCst),
             );
@@ -963,7 +996,32 @@ fn post_cancel(core: &Arc<Core>, stream: &mut TcpStream, id: &str) -> Result<(),
     }
 }
 
+/// Feeds the daemon's health rules one fresh sample (queue depth is the
+/// daemon-level signal; the fleet rules stay idle without coordinator
+/// inputs), logs any firing/resolved edges as structured JSONL lines,
+/// and mirrors the engine's state onto the metrics registry.
+fn evaluate_alerts(core: &Arc<Core>) {
+    let sample = HealthSample {
+        queue_depth: Some(core.queue.len() as u64),
+        ..HealthSample::default()
+    };
+    let mut engine = core.alerts.lock().expect("alerts lock");
+    let edges = engine.observe(Instant::now(), sample);
+    for edge in &edges {
+        eprintln!("{}", edge.to_json_line());
+    }
+    radcrit_obs::alerts::export_edges(&edges, &core.metrics);
+    engine.export_gauges(&core.metrics);
+}
+
+fn get_alerts(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    evaluate_alerts(core);
+    let body = core.alerts.lock().expect("alerts lock").to_json();
+    respond(stream, 200, "application/json", &body)
+}
+
 fn get_metrics(core: &Arc<Core>, stream: &mut TcpStream) -> Result<(), ServeError> {
+    evaluate_alerts(core);
     // Scrape-time gauges: queue, worker occupancy and cache residency.
     let m = &core.metrics;
     let queued = core.queue.len();

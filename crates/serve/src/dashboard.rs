@@ -13,6 +13,8 @@
 //!   [`CriticalityAggregator`](radcrit_obs::CriticalityAggregator) fold:
 //!   converging FIT with its Poisson 95 % CI, outcome bars, and the
 //!   spatial-class breakdown,
+//! * polls `GET /alerts` for the health-rules panel (firing rules in
+//!   red with their message, quiet rules collapsed to one line),
 //! * polls `GET /metrics` for the batching-efficiency row (bucket
 //!   restores vs forks, dead-strike early exits) and `GET /profile`
 //!   for the daemon-wide hot-phases panel (top self-time phases of the
@@ -45,6 +47,8 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
   th { color: #7b8794; font-weight: 500; }
   td:first-child, th:first-child { text-align: left; }
   #fit { font-size: 1.6rem; }
+  .alert-firing { color: #e74c3c; }
+  .alert-critical { font-weight: 600; }
   #log { height: 11rem; overflow-y: auto; background: #0b0e13; padding: .5rem;
          border-radius: 4px; font-size: 12px; white-space: pre; }
 </style>
@@ -70,6 +74,9 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
 <h2>Spatial classes (SDC)</h2>
 <table><thead><tr><th>class</th><th>all</th><th>&gt;tolerance</th></tr></thead>
 <tbody id="classes"></tbody></table>
+
+<h2>Alerts</h2>
+<p class="mono" id="alerts"><span class="muted">&ndash;</span></p>
 
 <h2>Batching</h2>
 <p class="mono muted" id="batching">&ndash;</p>
@@ -151,6 +158,16 @@ async function pollDaemon() {
       `${restores} bucket restores · ${forks} forks ` +
       `(${restores ? (forks / restores).toFixed(1) : "–"} forks/restore) · ` +
       `${dead} dead-strike early exits`;
+  } catch (e) { /* daemon restarting */ }
+  try {
+    const a = await (await fetch("/alerts")).json();
+    const rules = a.alerts || [];
+    const firing = rules.filter(r => r.state === "firing");
+    $("alerts").innerHTML = firing.length
+      ? firing.map(r =>
+          `<span class="alert-firing${r.severity === "critical" ? " alert-critical" : ""}">` +
+          `${r.rule}: ${r.message}</span>`).join("<br>")
+      : `<span class="muted">all ${rules.length} rules quiet</span>`;
   } catch (e) { /* daemon restarting */ }
   try {
     const p = await (await fetch("/profile")).json();

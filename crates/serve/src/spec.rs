@@ -17,6 +17,7 @@ use radcrit_campaign::{Campaign, KernelSpec};
 use radcrit_core::filter::ToleranceFilter;
 use radcrit_kernels::pathological::Failure;
 use radcrit_obs::json::{self, Json};
+use radcrit_obs::TraceContext;
 
 use crate::error::ServeError;
 
@@ -131,6 +132,11 @@ pub struct JobSpec {
     /// this measures the vectorization speedup and rules it out when
     /// debugging.
     pub force_scalar: bool,
+    /// Distributed-trace context minted by a coordinator: campaign
+    /// identity, shard ordinal and the dispatching span's id. `None`
+    /// (the wire's `null`) for direct submissions — the science is
+    /// identical either way; the context only tags the job's trace.
+    pub trace: Option<TraceContext>,
 }
 
 impl JobSpec {
@@ -150,6 +156,7 @@ impl JobSpec {
             events_sample: 1,
             shard: None,
             force_scalar: false,
+            trace: None,
         }
     }
 
@@ -182,7 +189,7 @@ impl JobSpec {
                 ",\"injections\":{},\"seed\":{},\"tolerance_pct\":{}",
                 ",\"workers\":{},\"deadline_ms\":{}",
                 ",\"priority\":\"{}\",\"events_sample\":{}",
-                ",\"shard\":{},\"force_scalar\":{}}}"
+                ",\"shard\":{},\"force_scalar\":{},\"trace\":{}}}"
             ),
             SPEC_VERSION,
             self.device.wire_name(),
@@ -201,6 +208,15 @@ impl JobSpec {
                 |(start, end)| format!("[{start},{end}]")
             ),
             self.force_scalar,
+            self.trace.as_ref().map_or_else(
+                || "null".to_owned(),
+                |t| format!(
+                    "{{\"campaign_id\":\"{}\",\"shard\":{},\"parent_span\":{}}}",
+                    json::escape(&t.campaign_id),
+                    t.shard,
+                    t.parent_span
+                )
+            ),
         )
     }
 
@@ -254,6 +270,7 @@ impl JobSpec {
                 .map_or(1, |v| v as u64),
             shard: opt_shard(obj).map_err(bad)?,
             force_scalar: opt_bool(obj, "force_scalar").map_err(bad)?.unwrap_or(false),
+            trace: opt_trace(obj).map_err(bad)?,
         };
         spec.validate()?;
         Ok(spec)
@@ -392,6 +409,21 @@ fn opt_shard(obj: &[(String, Json)]) -> Result<Option<(usize, usize)>, String> {
             }
         }
         Ok(_) => Err("field \"shard\" is not an array or null".into()),
+    }
+}
+
+/// The optional trace context: absent and `null` both read as `None`;
+/// otherwise an object with `campaign_id`, `shard` and `parent_span`.
+fn opt_trace(obj: &[(String, Json)]) -> Result<Option<TraceContext>, String> {
+    match json::get(obj, "trace") {
+        Err(_) => Ok(None),
+        Ok(Json::Null) => Ok(None),
+        Ok(Json::Obj(fields)) => Ok(Some(TraceContext {
+            campaign_id: json::get_str(fields, "campaign_id")?.to_owned(),
+            shard: json::get_u64(fields, "shard")?,
+            parent_span: json::get_u64(fields, "parent_span")?,
+        })),
+        Ok(_) => Err("field \"trace\" is not an object or null".into()),
     }
 }
 

@@ -59,6 +59,19 @@ fn shard_rows(client: &Client) -> Vec<Vec<(String, json::Json)>> {
     }
 }
 
+fn alert_rows(client: &Client) -> Vec<Vec<(String, json::Json)>> {
+    let body = client.alerts().unwrap();
+    let parsed = json::parse_line(body.trim()).unwrap();
+    let top = json::as_obj(&parsed).unwrap().to_vec();
+    match json::get(&top, "alerts").unwrap() {
+        json::Json::Arr(rows) => rows
+            .iter()
+            .map(|r| json::as_obj(r).unwrap().to_vec())
+            .collect(),
+        other => panic!("alerts is not an array: {other:?}"),
+    }
+}
+
 fn num(obj: &[(String, json::Json)], key: &str) -> u64 {
     match json::get(obj, key).unwrap() {
         json::Json::Num(n) => n.parse().unwrap(),
@@ -86,6 +99,7 @@ fn a_federated_campaign_matches_the_single_node_summary() {
         heartbeat_interval: Duration::from_millis(200),
         heartbeat_timeout: Duration::from_secs(5),
         summary_out: Some(base.join("merged-summary.json")),
+        trace_out: None,
     })
     .unwrap();
     let client = Client::new(coordinator.addr().to_string());
@@ -162,6 +176,7 @@ fn killing_a_worker_mid_campaign_redispatches_and_merges_bit_identically() {
         heartbeat_interval: Duration::from_millis(200),
         heartbeat_timeout: Duration::from_millis(1000),
         summary_out: Some(base.join("merged-summary.json")),
+        trace_out: Some(base.join("fleet-trace.json")),
     })
     .unwrap();
     let client = Client::new(coordinator.addr().to_string());
@@ -219,6 +234,66 @@ fn killing_a_worker_mid_campaign_redispatches_and_merges_bit_identically() {
         "shard table records no redispatch: {:?}",
         client.shards().unwrap()
     );
+
+    // The health engine saw the whole episode: worker-flapping and
+    // redispatch-storm both fired during the campaign and resolve once
+    // the trailing window drains of deaths and re-dispatches.
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let rows = alert_rows(&client);
+        let rule = |name: &str| {
+            rows.iter()
+                .find(|r| json::get_str(r, "rule").unwrap() == name)
+                .unwrap_or_else(|| panic!("rule {name} missing from /alerts"))
+                .clone()
+        };
+        let flap = rule("worker-flapping");
+        let storm = rule("redispatch-storm");
+        assert!(
+            num(&flap, "fired_total") >= 1,
+            "worker-flapping never fired"
+        );
+        assert!(
+            num(&storm, "fired_total") >= 1,
+            "redispatch-storm never fired"
+        );
+        if json::get_str(&flap, "state").unwrap() == "ok"
+            && json::get_str(&storm, "state").unwrap() == "ok"
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "alerts did not resolve before the deadline: {}",
+            client.alerts().unwrap()
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // One merged fleet trace tells the story end to end: dispatches,
+    // the death, the re-dispatch and per-shard completion — and the
+    // `--trace-out` artifact is the same document.
+    let trace = client.fleet_trace().unwrap();
+    let parsed = json::parse_line(&trace.replace('\n', "")).unwrap();
+    let top = json::as_obj(&parsed).unwrap().to_vec();
+    assert!(matches!(
+        json::get(&top, "traceEvents").unwrap(),
+        json::Json::Arr(_)
+    ));
+    for needle in [
+        "\"dispatch\"",
+        "\"redispatch\"",
+        "worker-dead",
+        "\"shard-complete\"",
+        "\"campaign\"",
+    ] {
+        assert!(trace.contains(needle), "fleet trace missing {needle}");
+    }
+    // The `--trace-out` artifact is the same document modulo clock-offset
+    // refinement between the completion-time write and the fetch above.
+    let artifact = std::fs::read_to_string(base.join("fleet-trace.json")).unwrap();
+    assert!(artifact.contains("\"traceEvents\""), "{artifact}");
+    assert!(artifact.contains("\"redispatch\""), "{artifact}");
 
     coordinator.shutdown().unwrap();
     for handle in workers.into_iter().flatten() {

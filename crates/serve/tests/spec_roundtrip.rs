@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use radcrit_campaign::KernelSpec;
 use radcrit_kernels::pathological::Failure;
+use radcrit_obs::TraceContext;
 use radcrit_serve::{DeviceKind, JobSpec, Priority};
 
 fn kernels() -> impl Strategy<Value = KernelSpec> {
@@ -60,6 +61,34 @@ fn deadlines() -> impl Strategy<Value = Option<u64>> {
     prop_oneof![Just(None), (1u64..3_600_000).prop_map(Some)]
 }
 
+fn traces() -> impl Strategy<Value = Option<TraceContext>> {
+    prop_oneof![
+        Just(None),
+        (
+            prop::collection::vec(
+                prop_oneof![
+                    Just('a'),
+                    Just('7'),
+                    Just(':'),
+                    Just('/'),
+                    Just('\\'),
+                    Just('"'),
+                    Just(' '),
+                    Just('\n'),
+                ],
+                0..24
+            ),
+            0u64..64,
+            0u64..u64::MAX
+        )
+            .prop_map(|(chars, shard, parent_span)| Some(TraceContext {
+                campaign_id: chars.into_iter().collect(),
+                shard,
+                parent_span,
+            })),
+    ]
+}
+
 /// Derives a shard range valid for `injections` from raw entropy: none,
 /// or a non-empty in-range `[start, end)` slice.
 fn shard_for(injections: usize, pick: usize, a: u64, b: u64) -> Option<(usize, usize)> {
@@ -83,6 +112,7 @@ proptest! {
         knobs in (tolerances(), 0usize..17, deadlines(), priorities(), 0u64..64),
         shard_entropy in (0usize..3, 0u64..u64::MAX, 0u64..u64::MAX),
         force_scalar in prop_oneof![Just(false), Just(true)],
+        trace in traces(),
     ) {
         let (tolerance_pct, workers, deadline_ms, priority, events_sample) = knobs;
         let shard = shard_for(injections, shard_entropy.0, shard_entropy.1, shard_entropy.2);
@@ -99,6 +129,7 @@ proptest! {
             events_sample,
             shard,
             force_scalar,
+            trace,
         };
         let wire = spec.to_json();
         let parsed = JobSpec::parse(&wire).unwrap();
@@ -124,6 +155,12 @@ fn bad_specs_are_rejected() {
         good.replace("\"shard\":null", "\"shard\":[3]"),
         good.replace("\"shard\":null", "\"shard\":\"0-5\""),
         good.replace("\"force_scalar\":false", "\"force_scalar\":\"yes\""),
+        good.replace("\"trace\":null", "\"trace\":[1]"),
+        good.replace("\"trace\":null", "\"trace\":{\"campaign_id\":\"x\"}"),
+        good.replace(
+            "\"trace\":null",
+            "\"trace\":{\"campaign_id\":\"x\",\"shard\":0,\"parent_span\":-1}",
+        ),
     ] {
         assert!(
             matches!(
